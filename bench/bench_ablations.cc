@@ -1,0 +1,124 @@
+// Ablations of the Section V implementation techniques, each an explicit
+// design choice called out in DESIGN.md:
+//   - document splitting at infrequent terms (on/off, all methods),
+//   - combiner local aggregation (on/off, NAIVE and APRIORI-SCAN),
+//   - APRIORI-INDEX's K boundary (the paper calibrated K = 4).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace ngram::bench {
+namespace {
+
+void RegisterOption(const std::string& name, const CorpusContext& ctx,
+                    const NgramJobOptions& options) {
+  ::benchmark::RegisterBenchmark(
+      name.c_str(),
+      [&ctx, options](::benchmark::State& state) {
+        RunAndReport(state, ctx, options);
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(::benchmark::kMillisecond);
+}
+
+}  // namespace
+}  // namespace ngram::bench
+
+int main(int argc, char** argv) {
+  using namespace ngram::bench;
+  using ngram::Method;
+  using ngram::MethodName;
+  using ngram::NgramJobOptions;
+  ::benchmark::Initialize(&argc, argv);
+
+  // --- Document splits on/off (sigma high so splitting matters most). ---
+  const ngram::Method all_methods[] = {
+      Method::kNaive, Method::kAprioriScan, Method::kAprioriIndex,
+      Method::kSuffixSigma};
+  for (Method method : all_methods) {
+    for (bool splits : {true, false}) {
+      NgramJobOptions options =
+          BenchOptions(method, Nyt().default_tau, /*sigma=*/20);
+      options.document_splits = splits;
+      RegisterOption(std::string("Ablation/DocSplits/NYT/sigma=20/") +
+                         MethodName(method) + "/" +
+                         (splits ? "on" : "off"),
+                     NytContext(), options);
+    }
+  }
+
+  // --- Combiner on/off. ---
+  for (Method method : {Method::kNaive, Method::kAprioriScan}) {
+    for (bool combiner : {true, false}) {
+      NgramJobOptions options =
+          BenchOptions(method, Nyt().default_tau, /*sigma=*/5);
+      options.use_combiner = combiner;
+      RegisterOption(std::string("Ablation/Combiner/NYT/sigma=5/") +
+                         MethodName(method) + "/" +
+                         (combiner ? "on" : "off"),
+                     NytContext(), options);
+    }
+  }
+
+  // --- APRIORI-INDEX K calibration (paper: K = 4 best). K = 1 is
+  // excluded here: it joins every pair on a single empty-key reducer and
+  // takes minutes even at mini scale (covered by tests instead). ---
+  for (uint32_t k : {2, 3, 4, 5, 6}) {
+    NgramJobOptions options =
+        BenchOptions(Method::kAprioriIndex, Nyt().default_tau, /*sigma=*/8);
+    options.apriori_index_k = k;
+    RegisterOption("Ablation/AprioriIndexK/NYT/sigma=8/K=" +
+                       std::to_string(k),
+                   NytContext(), options);
+  }
+
+  // --- SUFFIX-sigma aggregation: two stacks vs the Section IV hashmap
+  // strawman (watch wallclock and BOOKKEEPING_PEAK_ENTRIES). ---
+  for (ngram::SuffixAggregation agg :
+       {ngram::SuffixAggregation::kStacks,
+        ngram::SuffixAggregation::kHashMap}) {
+    NgramJobOptions options =
+        BenchOptions(Method::kSuffixSigma, /*tau=*/5, /*sigma=*/10);
+    options.suffix_aggregation = agg;
+    const bool stacks = agg == ngram::SuffixAggregation::kStacks;
+    ::benchmark::RegisterBenchmark(
+        (std::string("Ablation/SuffixAggregation/NYT/sigma=10/") +
+         (stacks ? "stacks" : "hashmap"))
+            .c_str(),
+        [options](::benchmark::State& state) {
+          const ngram::CorpusContext& ctx = NytContext();
+          for (auto _ : state) {
+            auto run = ComputeNgramStatistics(ctx, options);
+            if (!run.ok()) {
+              state.SkipWithError(run.status().ToString().c_str());
+              return;
+            }
+            state.SetIterationTime(run->metrics.total_wallclock_ms() /
+                                   1000.0);
+            state.counters["peak_entries"] = static_cast<double>(
+                run->metrics.TotalCounter(
+                    ngram::mr::kBookkeepingPeakEntries));
+            state.counters["ngrams"] =
+                static_cast<double>(run->stats.size());
+          }
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(::benchmark::kMillisecond);
+  }
+
+  // --- Sort-buffer size (spill pressure). ---
+  for (size_t mb : {1, 8, 64}) {
+    NgramJobOptions options =
+        BenchOptions(Method::kSuffixSigma, Nyt().default_tau, /*sigma=*/5);
+    options.sort_buffer_bytes = mb << 20;
+    RegisterOption("Ablation/SortBuffer/NYT/SuffixSigma/mb=" +
+                       std::to_string(mb),
+                   NytContext(), options);
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

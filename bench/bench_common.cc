@@ -1,0 +1,117 @@
+#include "bench_common.h"
+
+namespace ngram::bench {
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? static_cast<uint64_t>(atoll(value)) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? atof(value) : fallback;
+}
+
+}  // namespace
+
+const BenchEnv& BenchEnv::Get() {
+  static const BenchEnv env = [] {
+    BenchEnv e;
+    e.nyt_docs = EnvU64("NGRAM_BENCH_NYT_DOCS", e.nyt_docs);
+    e.cw_docs = EnvU64("NGRAM_BENCH_CW_DOCS", e.cw_docs);
+    e.slots = static_cast<uint32_t>(EnvU64("NGRAM_BENCH_SLOTS", e.slots));
+    e.reducers =
+        static_cast<uint32_t>(EnvU64("NGRAM_BENCH_REDUCERS", e.reducers));
+    e.job_overhead_ms =
+        EnvDouble("NGRAM_BENCH_JOB_OVERHEAD_MS", e.job_overhead_ms);
+    return e;
+  }();
+  return env;
+}
+
+const Corpus& NytCorpus() {
+  static const Corpus corpus = GenerateSyntheticCorpus(
+      NytLikeOptions(BenchEnv::Get().nyt_docs, /*seed=*/20130318));
+  return corpus;
+}
+
+const Corpus& CwCorpus() {
+  static const Corpus corpus = GenerateSyntheticCorpus(
+      ClueWebLikeOptions(BenchEnv::Get().cw_docs, /*seed=*/20090101));
+  return corpus;
+}
+
+const CorpusContext& NytContext() {
+  static const CorpusContext ctx = BuildCorpusContext(NytCorpus());
+  return ctx;
+}
+
+const CorpusContext& CwContext() {
+  static const CorpusContext ctx = BuildCorpusContext(CwCorpus());
+  return ctx;
+}
+
+const Dataset& Nyt() {
+  static const Dataset dataset{"NYT", &NytContext, &NytCorpus,
+                               /*default_tau=*/10};
+  return dataset;
+}
+
+const Dataset& Cw() {
+  static const Dataset dataset{"CW", &CwContext, &CwCorpus,
+                               /*default_tau=*/20};
+  return dataset;
+}
+
+NgramJobOptions BenchOptions(Method method, uint64_t tau, uint32_t sigma) {
+  const BenchEnv& env = BenchEnv::Get();
+  NgramJobOptions options;
+  options.method = method;
+  options.tau = tau;
+  options.sigma = sigma;
+  options.num_reducers = env.reducers;
+  options.map_slots = env.slots;
+  options.reduce_slots = env.slots;
+  options.job_overhead_ms = env.job_overhead_ms;
+  return options;
+}
+
+void RunAndReport(::benchmark::State& state, const CorpusContext& ctx,
+                  const NgramJobOptions& options) {
+  for (auto _ : state) {
+    auto run = ComputeNgramStatistics(ctx, options);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    state.SetIterationTime(run->metrics.total_wallclock_ms() / 1000.0);
+    state.counters["bytes"] = static_cast<double>(
+        run->metrics.map_output_bytes());
+    state.counters["records"] =
+        static_cast<double>(run->metrics.map_output_records());
+    state.counters["jobs"] = run->metrics.num_jobs();
+    state.counters["ngrams"] = static_cast<double>(run->stats.size());
+  }
+}
+
+void RegisterMethodSweep(const std::string& prefix, const Dataset& dataset,
+                         uint64_t tau, uint32_t sigma) {
+  const Method methods[] = {Method::kNaive, Method::kAprioriScan,
+                            Method::kAprioriIndex, Method::kSuffixSigma};
+  for (Method method : methods) {
+    const std::string name = prefix + "/" + MethodName(method);
+    const CorpusContext& ctx = dataset.context();
+    ::benchmark::RegisterBenchmark(
+        name.c_str(),
+        [&ctx, method, tau, sigma](::benchmark::State& state) {
+          RunAndReport(state, ctx, BenchOptions(method, tau, sigma));
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(::benchmark::kMillisecond);
+  }
+}
+
+}  // namespace ngram::bench

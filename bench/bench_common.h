@@ -1,0 +1,71 @@
+// Shared infrastructure for the figure/table reproduction benchmarks.
+//
+// Corpora are scaled-down versions of the paper's datasets (see DESIGN.md
+// section 2); sizes and runtime knobs are overridable via environment
+// variables so the suite runs in minutes on a laptop yet can be scaled up:
+//
+//   NGRAM_BENCH_NYT_DOCS         documents in the NYT-like corpus (default 1500)
+//   NGRAM_BENCH_CW_DOCS          documents in the CW-like corpus  (default 2000)
+//   NGRAM_BENCH_SLOTS            map/reduce slots                (default 4)
+//   NGRAM_BENCH_REDUCERS         reduce tasks                    (default 8)
+//   NGRAM_BENCH_JOB_OVERHEAD_MS  modelled per-job Hadoop admin
+//                                cost added to wallclock         (default 250)
+//
+// Every method run reports the paper's three measures as benchmark
+// counters: wallclock (the benchmark time itself), bytes (MAP_OUTPUT_BYTES)
+// and records (MAP_OUTPUT_RECORDS), plus jobs and output size.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "core/runner.h"
+#include "corpus/synthetic.h"
+
+namespace ngram::bench {
+
+struct BenchEnv {
+  uint64_t nyt_docs = 1500;
+  uint64_t cw_docs = 2000;
+  uint32_t slots = 4;
+  uint32_t reducers = 8;
+  double job_overhead_ms = 250.0;
+
+  static const BenchEnv& Get();
+};
+
+/// Lazily generated, cached corpora and contexts.
+const Corpus& NytCorpus();
+const Corpus& CwCorpus();
+const CorpusContext& NytContext();
+const CorpusContext& CwContext();
+
+/// Dataset handle used by the sweep benchmarks.
+struct Dataset {
+  const char* name;
+  const CorpusContext& (*context)();
+  const Corpus& (*corpus)();
+  /// tau used by the paper for this dataset in sigma sweeps, scaled down.
+  uint64_t default_tau;
+};
+
+const Dataset& Nyt();
+const Dataset& Cw();
+
+/// Baseline options for benchmark runs.
+NgramJobOptions BenchOptions(Method method, uint64_t tau, uint32_t sigma);
+
+/// Executes one method run, feeds the modelled wallclock to the benchmark
+/// via manual time, and attaches the paper's counters. Benchmarks using
+/// this must set ->UseManualTime()->Iterations(1).
+void RunAndReport(::benchmark::State& state, const CorpusContext& ctx,
+                  const NgramJobOptions& options);
+
+/// Registers "name/method" for every method with RunAndReport semantics.
+void RegisterMethodSweep(const std::string& prefix, const Dataset& dataset,
+                         uint64_t tau, uint32_t sigma);
+
+}  // namespace ngram::bench

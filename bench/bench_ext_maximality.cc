@@ -1,0 +1,98 @@
+// Section VI-A extension: maximal and closed n-grams. Measures the 2-job
+// pipeline (SUFFIX-sigma with prefix filtering + the reversed post-filter)
+// and reports the output-size reduction versus the full result — the
+// extension's purpose ("can drastically reduce the amount of n-gram
+// statistics computed").
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/maximality.h"
+
+namespace ngram::bench {
+namespace {
+
+void PrintReductionReport(const char* name, const CorpusContext& ctx,
+                          uint64_t tau, uint32_t sigma) {
+  NgramJobOptions options = BenchOptions(Method::kSuffixSigma, tau, sigma);
+  auto all = ComputeNgramStatistics(ctx, options);
+  auto closed = RunSuffixSigmaClosed(ctx, options);
+  auto maximal = RunSuffixSigmaMaximal(ctx, options);
+  if (!all.ok() || !closed.ok() || !maximal.ok()) {
+    fprintf(stderr, "maximality report failed\n");
+    return;
+  }
+  printf("\n--- Output-size reduction (%s, tau=%llu, sigma=%u) ---\n", name,
+         static_cast<unsigned long long>(tau), sigma);
+  printf("  all frequent n-grams : %10llu\n",
+         static_cast<unsigned long long>(all->stats.size()));
+  printf("  closed               : %10llu  (%.1f%% of all)\n",
+         static_cast<unsigned long long>(closed->stats.size()),
+         100.0 * closed->stats.size() / all->stats.size());
+  printf("  maximal              : %10llu  (%.1f%% of all)\n",
+         static_cast<unsigned long long>(maximal->stats.size()),
+         100.0 * maximal->stats.size() / all->stats.size());
+}
+
+template <typename Fn>
+void RegisterPipeline(const std::string& name, const CorpusContext& ctx,
+                      uint64_t tau, uint32_t sigma, Fn runner) {
+  ::benchmark::RegisterBenchmark(
+      name.c_str(),
+      [&ctx, tau, sigma, runner](::benchmark::State& state) {
+        NgramJobOptions options =
+            BenchOptions(Method::kSuffixSigma, tau, sigma);
+        for (auto _ : state) {
+          auto run = runner(ctx, options);
+          if (!run.ok()) {
+            state.SkipWithError(run.status().ToString().c_str());
+            return;
+          }
+          state.SetIterationTime(run->metrics.total_wallclock_ms() / 1000.0);
+          state.counters["ngrams"] =
+              static_cast<double>(run->stats.size());
+          state.counters["jobs"] = run->metrics.num_jobs();
+          state.counters["records"] =
+              static_cast<double>(run->metrics.map_output_records());
+        }
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(::benchmark::kMillisecond);
+}
+
+}  // namespace
+}  // namespace ngram::bench
+
+int main(int argc, char** argv) {
+  using namespace ngram::bench;
+  using ngram::ComputeNgramStatistics;
+  ::benchmark::Initialize(&argc, argv);
+
+  PrintReductionReport("NYT-like", NytContext(), 25, 20);
+  PrintReductionReport("CW-like", CwContext(), 50, 20);
+
+  for (const auto* d : {&Nyt(), &Cw()}) {
+    const std::string base = std::string("ExtMaximality/") + d->name;
+    RegisterPipeline(base + "/all", d->context(), d->default_tau, 20,
+                     [](const ngram::CorpusContext& ctx,
+                        const ngram::NgramJobOptions& o) {
+                       return ComputeNgramStatistics(ctx, o);
+                     });
+    RegisterPipeline(base + "/closed", d->context(), d->default_tau, 20,
+                     [](const ngram::CorpusContext& ctx,
+                        const ngram::NgramJobOptions& o) {
+                       return ngram::RunSuffixSigmaClosed(ctx, o);
+                     });
+    RegisterPipeline(base + "/maximal", d->context(), d->default_tau, 20,
+                     [](const ngram::CorpusContext& ctx,
+                        const ngram::NgramJobOptions& o) {
+                       return ngram::RunSuffixSigmaMaximal(ctx, o);
+                     });
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 2 reproduction: output characteristics — the number of n-grams
+// per (log10 length, log10 collection frequency) bucket with tau = 5 and
+// sigma = infinity, for both datasets. Computed with SUFFIX-sigma (the
+// paper's closing remark: it handled exactly this setting on the full
+// datasets). The benchmark times the unbounded-sigma run.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace ngram::bench {
+namespace {
+
+void PrintFig2(const char* name, const CorpusContext& ctx) {
+  NgramJobOptions options =
+      BenchOptions(Method::kSuffixSigma, /*tau=*/5, /*sigma=*/0);
+  auto run = ComputeNgramStatistics(ctx, options);
+  if (!run.ok()) {
+    fprintf(stderr, "fig2 run failed: %s\n",
+            run.status().ToString().c_str());
+    return;
+  }
+  const Log10Histogram2D hist = run->stats.OutputCharacteristics();
+  printf("\n====== FIGURE 2 (%s): # n-grams with cf >= 5 per bucket ======\n",
+         name);
+  printf("bucket (i, j): n-gram length in [10^i, 10^(i+1)), cf in "
+         "[10^j, 10^(j+1))\n\n");
+  printf("%s\n", hist.ToTable("length", "cf").c_str());
+  printf("total n-grams: %llu; longest: %u terms\n",
+         static_cast<unsigned long long>(hist.total()),
+         run->stats.MaxLength());
+  printf("(paper: distribution biased toward short, less frequent n-grams;\n"
+         " long n-grams of 100+ terms with cf >= 10 exist in both "
+         "datasets)\n");
+}
+
+void BM_SuffixSigmaUnboundedSigma(::benchmark::State& state,
+                                  const CorpusContext& ctx) {
+  RunAndReport(state, ctx, BenchOptions(Method::kSuffixSigma, 5, 0));
+}
+
+}  // namespace
+}  // namespace ngram::bench
+
+int main(int argc, char** argv) {
+  using namespace ngram::bench;
+  ::benchmark::Initialize(&argc, argv);
+  PrintFig2("NYT-like", NytContext());
+  PrintFig2("CW-like", CwContext());
+  ::benchmark::RegisterBenchmark(
+      "Fig2/NYT/SuffixSigma/tau=5/sigma=inf",
+      [](::benchmark::State& state) {
+        BM_SuffixSigmaUnboundedSigma(state, NytContext());
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(::benchmark::kMillisecond);
+  ::benchmark::RegisterBenchmark(
+      "Fig2/CW/SuffixSigma/tau=5/sigma=inf",
+      [](::benchmark::State& state) {
+        BM_SuffixSigmaUnboundedSigma(state, CwContext());
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(::benchmark::kMillisecond);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 3 reproduction: wallclock times for the two typical use cases.
+//  (a) Training a language model: sigma = 5 with a low minimum collection
+//      frequency (paper: NYT tau=10 / CW tau=100).
+//  (b) Text analytics: sigma = 100 with a higher minimum collection
+//      frequency (paper: NYT tau=100 / CW tau=1000).
+// The paper reports SUFFIX-sigma winning by ~3x on (a) and up to 12x on
+// (b); the expectation here is the same ordering at mini-corpus scale.
+// tau values are scaled to the mini corpora (~1/700th of NYT).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ngram::bench;
+  ::benchmark::Initialize(&argc, argv);
+
+  // (a) Language model: sigma = 5, low tau.
+  RegisterMethodSweep("Fig3a/LanguageModel/NYT/sigma=5/tau=5", Nyt(),
+                      /*tau=*/5, /*sigma=*/5);
+  RegisterMethodSweep("Fig3a/LanguageModel/CW/sigma=5/tau=10", Cw(),
+                      /*tau=*/10, /*sigma=*/5);
+
+  // (b) Text analytics: sigma = 100, higher tau.
+  RegisterMethodSweep("Fig3b/Analytics/NYT/sigma=100/tau=10", Nyt(),
+                      /*tau=*/10, /*sigma=*/100);
+  RegisterMethodSweep("Fig3b/Analytics/CW/sigma=100/tau=20", Cw(),
+                      /*tau=*/20, /*sigma=*/100);
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 5 reproduction: varying the maximum length sigma in {5, 10, 50,
+// 100} at fixed tau (paper: NYT 100 / CW 1000, scaled here).
+//
+// Expected shape (paper): the APRIORI methods launch one job per length,
+// so wallclock keeps growing with sigma; NAIVE and SUFFIX-sigma saturate
+// because only input fragments longer than sigma add work. SUFFIX-sigma's
+// *record* count is exactly constant across sigma (one record per term
+// occurrence); only its bytes saturate.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ngram::bench;
+  ::benchmark::Initialize(&argc, argv);
+
+  for (uint32_t sigma : {5, 10, 50, 100}) {
+    RegisterMethodSweep(
+        "Fig5/NYT/tau=10/sigma=" + std::to_string(sigma), Nyt(),
+        Nyt().default_tau, sigma);
+  }
+  for (uint32_t sigma : {5, 10, 50, 100}) {
+    RegisterMethodSweep("Fig5/CW/tau=20/sigma=" + std::to_string(sigma),
+                        Cw(), Cw().default_tau, sigma);
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

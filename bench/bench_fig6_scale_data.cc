@@ -1,0 +1,63 @@
+// Figure 6 reproduction: scaling the datasets — each method on random 25%,
+// 50%, 75% and 100% document subsets (fixed seed), sigma = 5, the paper's
+// per-dataset tau. Expected shape: near-linear growth for every method;
+// on the NYT-like corpus the pruning-based methods cope slightly better
+// with additional data than NAIVE.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+
+namespace ngram::bench {
+namespace {
+
+/// Cache of sampled corpus contexts, keyed by (dataset name, percent).
+const CorpusContext& SampledContext(const Dataset& dataset, int percent) {
+  static std::map<std::string, std::unique_ptr<CorpusContext>> cache;
+  const std::string key =
+      std::string(dataset.name) + "/" + std::to_string(percent);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto ctx = std::make_unique<CorpusContext>(
+        BuildCorpusContext(dataset.corpus().Sample(percent, /*seed=*/4711)));
+    it = cache.emplace(key, std::move(ctx)).first;
+  }
+  return *it->second;
+}
+
+void RegisterScaleSweep(const Dataset& dataset) {
+  const Method methods[] = {Method::kNaive, Method::kAprioriScan,
+                            Method::kAprioriIndex, Method::kSuffixSigma};
+  for (int percent : {25, 50, 75, 100}) {
+    for (Method method : methods) {
+      const std::string name = std::string("Fig6/") + dataset.name +
+                               "/pct=" + std::to_string(percent) + "/" +
+                               MethodName(method);
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&dataset, percent, method](::benchmark::State& state) {
+            const CorpusContext& ctx = SampledContext(dataset, percent);
+            RunAndReport(state, ctx,
+                         BenchOptions(method, dataset.default_tau, 5));
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ngram::bench
+
+int main(int argc, char** argv) {
+  using namespace ngram::bench;
+  ::benchmark::Initialize(&argc, argv);
+  RegisterScaleSweep(Nyt());
+  RegisterScaleSweep(Cw());
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 7 reproduction: scaling computational resources — the paper
+// varies map/reduce slots (16/32/48/64) on 50% samples with the machine
+// count fixed; here slots are worker threads (1/2/4/8) on one machine,
+// which reproduces the same effect: all methods speed up with diminishing
+// returns as parallel workers contend for shared resources (disks, memory
+// bandwidth).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+
+namespace ngram::bench {
+namespace {
+
+const CorpusContext& HalfContext(const Dataset& dataset) {
+  static std::map<std::string, std::unique_ptr<CorpusContext>> cache;
+  auto it = cache.find(dataset.name);
+  if (it == cache.end()) {
+    auto ctx = std::make_unique<CorpusContext>(
+        BuildCorpusContext(dataset.corpus().Sample(50, /*seed=*/4711)));
+    it = cache.emplace(dataset.name, std::move(ctx)).first;
+  }
+  return *it->second;
+}
+
+void RegisterSlotSweep(const Dataset& dataset) {
+  const Method methods[] = {Method::kNaive, Method::kAprioriScan,
+                            Method::kAprioriIndex, Method::kSuffixSigma};
+  for (uint32_t slots : {1, 2, 4, 8}) {
+    for (Method method : methods) {
+      const std::string name = std::string("Fig7/") + dataset.name +
+                               "/slots=" + std::to_string(slots) + "/" +
+                               MethodName(method);
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&dataset, slots, method](::benchmark::State& state) {
+            NgramJobOptions options =
+                BenchOptions(method, dataset.default_tau, 5);
+            options.map_slots = slots;
+            options.reduce_slots = slots;
+            RunAndReport(state, HalfContext(dataset), options);
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ngram::bench
+
+int main(int argc, char** argv) {
+  using namespace ngram::bench;
+  ::benchmark::Initialize(&argc, argv);
+  RegisterSlotSweep(Nyt());
+  RegisterSlotSweep(Cw());
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

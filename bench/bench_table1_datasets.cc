@@ -1,0 +1,85 @@
+// Table I reproduction: dataset characteristics of the two (synthetic)
+// collections — document count, term occurrences, distinct terms, sentence
+// count, sentence-length mean/stddev — printed in the paper's format.
+// The registered benchmarks time corpus generation and the statistics scan.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace ngram::bench {
+namespace {
+
+void PrintTable1() {
+  const CorpusStats nyt = NytCorpus().ComputeStats();
+  const CorpusStats cw = CwCorpus().ComputeStats();
+  printf("\n================ TABLE I: DATASET CHARACTERISTICS "
+         "================\n");
+  printf("(synthetic stand-ins calibrated to the paper's Table I; see "
+         "DESIGN.md)\n\n");
+  printf("%-28s %16s %16s\n", "", "NYT-like", "CW-like");
+  printf("%-28s %16llu %16llu\n", "# documents",
+         (unsigned long long)nyt.num_documents,
+         (unsigned long long)cw.num_documents);
+  printf("%-28s %16llu %16llu\n", "# term occurrences",
+         (unsigned long long)nyt.term_occurrences,
+         (unsigned long long)cw.term_occurrences);
+  printf("%-28s %16llu %16llu\n", "# distinct terms",
+         (unsigned long long)nyt.distinct_terms,
+         (unsigned long long)cw.distinct_terms);
+  printf("%-28s %16llu %16llu\n", "# sentences",
+         (unsigned long long)nyt.num_sentences,
+         (unsigned long long)cw.num_sentences);
+  printf("%-28s %16.2f %16.2f\n", "sentence length (mean)",
+         nyt.sentence_length_mean, cw.sentence_length_mean);
+  printf("%-28s %16.2f %16.2f\n", "sentence length (stddev)",
+         nyt.sentence_length_stddev, cw.sentence_length_stddev);
+  printf("\npaper's full-scale reference:   NYT          CW\n");
+  printf("  # documents             1,830,592   50,221,915\n");
+  printf("  sentence length (mean)      18.96        17.02\n");
+  printf("  sentence length (stddev)    14.05        17.56\n");
+  printf("==================================================================="
+         "\n\n");
+}
+
+void BM_GenerateNytLike(::benchmark::State& state) {
+  for (auto _ : state) {
+    Corpus corpus = GenerateSyntheticCorpus(
+        NytLikeOptions(static_cast<uint64_t>(state.range(0)), 1));
+    ::benchmark::DoNotOptimize(corpus.docs.data());
+    state.counters["docs"] = static_cast<double>(corpus.docs.size());
+  }
+}
+BENCHMARK(BM_GenerateNytLike)->Arg(500)->Arg(2000)
+    ->Unit(::benchmark::kMillisecond);
+
+void BM_GenerateCwLike(::benchmark::State& state) {
+  for (auto _ : state) {
+    Corpus corpus = GenerateSyntheticCorpus(
+        ClueWebLikeOptions(static_cast<uint64_t>(state.range(0)), 1));
+    ::benchmark::DoNotOptimize(corpus.docs.data());
+  }
+}
+BENCHMARK(BM_GenerateCwLike)->Arg(500)->Arg(2000)
+    ->Unit(::benchmark::kMillisecond);
+
+void BM_ComputeStats(::benchmark::State& state) {
+  const Corpus& corpus = NytCorpus();
+  for (auto _ : state) {
+    CorpusStats stats = corpus.ComputeStats();
+    ::benchmark::DoNotOptimize(stats.term_occurrences);
+  }
+}
+BENCHMARK(BM_ComputeStats)->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ngram::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ngram::bench::PrintTable1();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

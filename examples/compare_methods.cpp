@@ -1,0 +1,71 @@
+// Side-by-side comparison of the four methods on the same corpus: verifies
+// they produce identical statistics and prints the paper's three measures
+// (wallclock, bytes transferred, records) plus job counts — a miniature of
+// the Section VII evaluation.
+//
+//   $ ./compare_methods [num_docs] [tau] [sigma]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/runner.h"
+#include "corpus/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace ngram;
+  const uint64_t num_docs =
+      argc > 1 ? static_cast<uint64_t>(atoll(argv[1])) : 1500;
+  const uint64_t tau = argc > 2 ? static_cast<uint64_t>(atoll(argv[2])) : 8;
+  const uint32_t sigma =
+      argc > 3 ? static_cast<uint32_t>(atoi(argv[3])) : 5;
+
+  printf("NYT-like corpus, %llu docs; tau=%llu sigma=%u\n\n",
+         static_cast<unsigned long long>(num_docs),
+         static_cast<unsigned long long>(tau), sigma);
+  const Corpus corpus =
+      GenerateSyntheticCorpus(NytLikeOptions(num_docs, /*seed=*/3));
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+
+  printf("%-14s %6s %12s %14s %14s %10s\n", "method", "jobs", "wall ms",
+         "records", "bytes", "n-grams");
+  NgramStatistics reference;
+  bool have_reference = false;
+  bool all_agree = true;
+
+  for (Method method : {Method::kNaive, Method::kAprioriScan,
+                        Method::kAprioriIndex, Method::kSuffixSigma}) {
+    NgramJobOptions options;
+    options.method = method;
+    options.tau = tau;
+    options.sigma = sigma;
+    options.num_reducers = 8;
+    options.map_slots = 4;
+    options.reduce_slots = 4;
+
+    auto run = ComputeNgramStatistics(ctx, options);
+    if (!run.ok()) {
+      fprintf(stderr, "%s failed: %s\n", MethodName(method),
+              run.status().ToString().c_str());
+      return 1;
+    }
+    printf("%-14s %6d %12.0f %14llu %14llu %10llu\n", MethodName(method),
+           run->metrics.num_jobs(), run->metrics.total_wallclock_ms(),
+           static_cast<unsigned long long>(run->metrics.map_output_records()),
+           static_cast<unsigned long long>(run->metrics.map_output_bytes()),
+           static_cast<unsigned long long>(run->stats.size()));
+
+    run->stats.SortCanonical();
+    if (!have_reference) {
+      reference = std::move(run->stats);
+      have_reference = true;
+    } else if (!run->stats.SameAs(reference)) {
+      all_agree = false;
+      fprintf(stderr, "MISMATCH: %s disagrees with the reference!\n",
+              MethodName(method));
+    }
+  }
+
+  printf("\n%s\n", all_agree
+                       ? "All methods produced identical statistics."
+                       : "METHODS DISAGREE - this is a bug.");
+  return all_agree ? 0 : 1;
+}

@@ -1,0 +1,215 @@
+// ngram_tool: command-line driver for the library — generate corpora,
+// compute statistics with any method, and inspect results.
+//
+//   ngram_tool generate (nyt|cw) <docs> <out.ngc> [seed]
+//   ngram_tool stats <in.ngc> <out.ngs> --method=suffix-sigma --tau=10
+//               [--sigma=5] [--mode=cf|df] [--reducers=8] [--slots=4]
+//               [--no-splits] [--maximal|--closed]
+//   ngram_tool top <in.ngs> [k]
+//   ngram_tool info <in.ngc>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/maximality.h"
+#include "core/runner.h"
+#include "core/stats_io.h"
+#include "corpus/synthetic.h"
+#include "text/corpus_io.h"
+
+namespace {
+
+using namespace ngram;
+
+int Usage() {
+  fprintf(stderr,
+          "usage:\n"
+          "  ngram_tool generate (nyt|cw) <docs> <out.ngc> [seed]\n"
+          "  ngram_tool stats <in.ngc> <out.ngs> [--method=M] [--tau=N]\n"
+          "             [--sigma=N] [--mode=cf|df] [--reducers=N]\n"
+          "             [--slots=N] [--no-splits] [--maximal|--closed]\n"
+          "  ngram_tool top <in.ngs> [k]\n"
+          "  ngram_tool info <in.ngc>\n"
+          "methods: naive, apriori-scan, apriori-index, suffix-sigma\n");
+  return 2;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    *out = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+int CmdGenerate(const std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    return Usage();
+  }
+  const std::string kind = args[0];
+  const uint64_t docs = static_cast<uint64_t>(atoll(args[1].c_str()));
+  const std::string out = args[2];
+  const uint64_t seed =
+      args.size() > 3 ? static_cast<uint64_t>(atoll(args[3].c_str())) : 1;
+  SyntheticCorpusOptions options;
+  if (kind == "nyt") {
+    options = NytLikeOptions(docs, seed);
+  } else if (kind == "cw") {
+    options = ClueWebLikeOptions(docs, seed);
+  } else {
+    return Usage();
+  }
+  const Corpus corpus = GenerateSyntheticCorpus(options);
+  Status st = WriteCorpusBinary(corpus, out);
+  if (!st.ok()) {
+    fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  printf("wrote %llu documents to %s\n",
+         static_cast<unsigned long long>(corpus.docs.size()), out.c_str());
+  return 0;
+}
+
+int CmdStats(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return Usage();
+  }
+  const std::string in = args[0];
+  const std::string out = args[1];
+  NgramJobOptions options;
+  options.tau = 10;
+  options.sigma = 5;
+  enum { kAll, kMaximal, kClosed } filter = kAll;
+  for (size_t i = 2; i < args.size(); ++i) {
+    std::string value;
+    if (ParseFlag(args[i], "method", &value)) {
+      if (value == "naive") {
+        options.method = Method::kNaive;
+      } else if (value == "apriori-scan") {
+        options.method = Method::kAprioriScan;
+      } else if (value == "apriori-index") {
+        options.method = Method::kAprioriIndex;
+      } else if (value == "suffix-sigma") {
+        options.method = Method::kSuffixSigma;
+      } else {
+        return Usage();
+      }
+    } else if (ParseFlag(args[i], "tau", &value)) {
+      options.tau = static_cast<uint64_t>(atoll(value.c_str()));
+    } else if (ParseFlag(args[i], "sigma", &value)) {
+      options.sigma = static_cast<uint32_t>(atoi(value.c_str()));
+    } else if (ParseFlag(args[i], "mode", &value)) {
+      options.frequency_mode = value == "df" ? FrequencyMode::kDocument
+                                             : FrequencyMode::kCollection;
+    } else if (ParseFlag(args[i], "reducers", &value)) {
+      options.num_reducers = static_cast<uint32_t>(atoi(value.c_str()));
+    } else if (ParseFlag(args[i], "slots", &value)) {
+      options.map_slots = options.reduce_slots =
+          static_cast<uint32_t>(atoi(value.c_str()));
+    } else if (args[i] == "--no-splits") {
+      options.document_splits = false;
+    } else if (args[i] == "--maximal") {
+      filter = kMaximal;
+    } else if (args[i] == "--closed") {
+      filter = kClosed;
+    } else {
+      return Usage();
+    }
+  }
+
+  Corpus corpus;
+  Status st = ReadCorpusBinary(in, &corpus);
+  if (!st.ok()) {
+    fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+  Result<NgramRun> run =
+      filter == kMaximal  ? RunSuffixSigmaMaximal(ctx, options)
+      : filter == kClosed ? RunSuffixSigmaClosed(ctx, options)
+                          : ComputeNgramStatistics(ctx, options);
+  if (!run.ok()) {
+    fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  run->stats.SortCanonical();
+  st = WriteStatsBinary(run->stats, out);
+  if (!st.ok()) {
+    fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  printf("%s: %llu n-grams (tau=%llu sigma=%u) in %.0f ms over %d job(s); "
+         "%llu records / %llu bytes shuffled -> %s\n",
+         MethodName(options.method),
+         static_cast<unsigned long long>(run->stats.size()),
+         static_cast<unsigned long long>(options.tau), options.sigma,
+         run->metrics.total_wallclock_ms(), run->metrics.num_jobs(),
+         static_cast<unsigned long long>(run->metrics.map_output_records()),
+         static_cast<unsigned long long>(run->metrics.map_output_bytes()),
+         out.c_str());
+  return 0;
+}
+
+int CmdTop(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Usage();
+  }
+  const size_t k =
+      args.size() > 1 ? static_cast<size_t>(atoll(args[1].c_str())) : 20;
+  NgramStatistics stats;
+  Status st = ReadStatsBinary(args[0], &stats);
+  if (!st.ok()) {
+    fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::sort(stats.entries.begin(), stats.entries.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  printf("%llu n-grams total; top %zu:\n",
+         static_cast<unsigned long long>(stats.size()), k);
+  for (size_t i = 0; i < stats.entries.size() && i < k; ++i) {
+    printf("%12llu  %s\n",
+           static_cast<unsigned long long>(stats.entries[i].second),
+           SequenceToDebugString(stats.entries[i].first).c_str());
+  }
+  return 0;
+}
+
+int CmdInfo(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Usage();
+  }
+  Corpus corpus;
+  Status st = ReadCorpusBinary(args[0], &corpus);
+  if (!st.ok()) {
+    fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  printf("%s", corpus.ComputeStats().ToString(args[0]).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "generate") {
+    return CmdGenerate(args);
+  }
+  if (command == "stats") {
+    return CmdStats(args);
+  }
+  if (command == "top") {
+    return CmdTop(args);
+  }
+  if (command == "info") {
+    return CmdInfo(args);
+  }
+  return Usage();
+}

@@ -1,0 +1,94 @@
+// Text-analytics use case (paper Section VII-D, Figure 3b): find long
+// recurring fragments of text — quotations, idioms, boilerplate — using a
+// large sigma and the maximality extension to keep the result compact.
+//
+// This example works on real text (a tiny corpus of documents sharing some
+// famous quotations) so the discovered n-grams are readable.
+//
+//   $ ./text_analytics
+#include <cstdio>
+
+#include "core/maximality.h"
+#include "core/runner.h"
+#include "text/corpus_builder.h"
+
+namespace {
+
+const char* const kDocuments[] = {
+    "It was the best of times, it was the worst of times. The city slept "
+    "while the river kept moving. Ask not what your country can do for "
+    "you; ask what you can do for your country.",
+
+    "The committee met on Tuesday. Ask not what your country can do for "
+    "you; ask what you can do for your country. Budgets were discussed at "
+    "length and nothing was decided.",
+
+    "It was the best of times, it was the worst of times. Markets rose "
+    "sharply before the close. Analysts disagreed about the cause.",
+
+    "In his speech he said: ask not what your country can do for you; ask "
+    "what you can do for your country. The crowd applauded for minutes.",
+
+    "It was the best of times, it was the worst of times. That opening "
+    "line remains among the most quoted in literature, critics say.",
+
+    "Weather tomorrow: rain in the north, sun in the south. Markets rose "
+    "sharply before the close. Travel is expected to be slow.",
+};
+
+}  // namespace
+
+int main() {
+  using namespace ngram;
+
+  TextCorpusBuilder builder;
+  uint64_t doc_id = 1;
+  for (const char* text : kDocuments) {
+    builder.Add(doc_id++, text);
+  }
+  auto built = builder.Finalize();
+  printf("Corpus: %zu documents, %zu distinct terms.\n\n",
+         built.corpus.docs.size(), built.vocabulary->size());
+
+  // Analytics setting: long n-grams allowed, recurring at least 3 times;
+  // maximality keeps only the full phrases, not all their fragments.
+  NgramJobOptions options;
+  options.method = Method::kSuffixSigma;
+  options.tau = 3;
+  options.sigma = 100;
+  options.num_reducers = 4;
+
+  const CorpusContext ctx = BuildCorpusContext(built.corpus);
+  auto all = ComputeNgramStatistics(ctx, options);
+  auto maximal = RunSuffixSigmaMaximal(ctx, options);
+  if (!all.ok() || !maximal.ok()) {
+    fprintf(stderr, "run failed\n");
+    return 1;
+  }
+
+  printf("Frequent n-grams (tau=3, sigma=100): %llu total; maximal: %llu "
+         "(%.1fx smaller)\n\n",
+         static_cast<unsigned long long>(all->stats.size()),
+         static_cast<unsigned long long>(maximal->stats.size()),
+         static_cast<double>(all->stats.size()) /
+             static_cast<double>(maximal->stats.size()));
+
+  // Report maximal n-grams of length >= 4: the recurring quotations.
+  std::vector<std::pair<TermSequence, uint64_t>> phrases;
+  for (const auto& [seq, cf] : maximal->stats.entries) {
+    if (seq.size() >= 4) {
+      phrases.emplace_back(seq, cf);
+    }
+  }
+  std::sort(phrases.begin(), phrases.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.size() > b.first.size();
+            });
+  printf("Recurring fragments (maximal, length >= 4):\n");
+  for (const auto& [seq, cf] : phrases) {
+    printf("  [%2zu terms, %llux] \"%s\"\n", seq.size(),
+           static_cast<unsigned long long>(cf),
+           built.vocabulary->Decode(seq).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "core/apriori_scan.h"
+
+#include "core/counting.h"
+#include "index/sequence_set.h"
+#include "util/logging.h"
+
+namespace ngram {
+
+namespace {
+
+/// The k-th scan's mapper: emits k-grams surviving the APRIORI check
+/// against the dictionary of frequent (k-1)-grams.
+class AprioriScanMapper final
+    : public mr::Mapper<uint64_t, Fragment, TermSequence, uint64_t> {
+ public:
+  AprioriScanMapper(const NgramJobOptions& options, uint32_t k,
+                    std::shared_ptr<const UnigramFrequencies> unigram_cf,
+                    std::shared_ptr<const SequenceSet> dict)
+      : options_(options),
+        k_(k),
+        unigram_cf_(std::move(unigram_cf)),
+        dict_(std::move(dict)) {}
+
+  Status Map(const uint64_t& doc_id, const Fragment& fragment,
+             Context* ctx) override {
+    const uint64_t value = CountingValue(options_.frequency_mode, doc_id);
+    Status status;
+    ForEachPiece(fragment, options_.document_splits, *unigram_cf_,
+                 options_.tau, [&](const Fragment& piece) {
+                   if (!status.ok()) {
+                     return;
+                   }
+                   status = MapPiece(piece.terms, value, ctx);
+                 });
+    return status;
+  }
+
+ private:
+  Status MapPiece(const TermSequence& terms, uint64_t value, Context* ctx) {
+    if (terms.size() < k_) {
+      return Status::OK();
+    }
+    TermSequence kgram;
+    for (size_t b = 0; b + k_ <= terms.size(); ++b) {
+      // Algorithm 2 lines 3-5: k = 1, or both constituent (k-1)-grams
+      // frequent.
+      if (k_ > 1) {
+        if (!dict_->ContainsRange(terms, b, b + k_ - 1, &scratch_) ||
+            !dict_->ContainsRange(terms, b + 1, b + k_, &scratch_)) {
+          continue;
+        }
+      }
+      kgram.assign(terms.begin() + b, terms.begin() + b + k_);
+      NGRAM_RETURN_NOT_OK(ctx->Emit(kgram, value));
+    }
+    return Status::OK();
+  }
+
+  const NgramJobOptions options_;
+  const uint32_t k_;
+  const std::shared_ptr<const UnigramFrequencies> unigram_cf_;
+  const std::shared_ptr<const SequenceSet> dict_;
+  std::string scratch_;
+};
+
+}  // namespace
+
+Result<NgramRun> RunAprioriScan(const CorpusContext& ctx,
+                                const NgramJobOptions& options) {
+  NgramRun run;
+  const uint32_t sigma = options.sigma_or_max();
+
+  mr::RawCombineFn combiner;
+  if (options.use_combiner &&
+      options.frequency_mode == FrequencyMode::kCollection) {
+    combiner = mr::SumCombiner();
+  }
+
+  std::shared_ptr<const SequenceSet> dict;  // Frequent (k-1)-grams.
+  for (uint32_t k = 1; k <= sigma; ++k) {
+    mr::JobConfig config =
+        MakeBaseJobConfig(options, "apriori-scan-k" + std::to_string(k));
+
+    mr::MemoryTable<TermSequence, uint64_t> output;
+    auto metrics = mr::RunJob<AprioriScanMapper, CountReducer>(
+        config, ctx.input,
+        [&options, &ctx, k, dict] {
+          return std::make_unique<AprioriScanMapper>(options, k,
+                                                     ctx.unigram_cf, dict);
+        },
+        [&options] {
+          return std::make_unique<CountReducer>(options.tau,
+                                                options.frequency_mode);
+        },
+        &output, combiner);
+    if (!metrics.ok()) {
+      return metrics.status();
+    }
+    mr::JobMetrics job = std::move(metrics).ValueOrDie();
+    if (dict != nullptr) {
+      job.counters[kDictionaryEntries] = dict->size();
+      job.counters[kDictionaryBytes] = dict->MemoryBytes();
+    }
+    run.metrics.Add(std::move(job));
+
+    if (output.empty()) {
+      break;  // No frequent k-grams: no longer n-gram can be frequent.
+    }
+    const bool last_iteration = (k + 1 > sigma);
+    if (!last_iteration) {
+      // Build the dictionary for iteration k+1 from this iteration's
+      // output.
+      SequenceSet::Options dict_options;
+      dict_options.memory_budget_bytes = options.reducer_memory_budget_bytes;
+      if (!options.work_dir.empty()) {
+        dict_options.spill_dir =
+            options.work_dir + "/apriori-scan-dict-k" + std::to_string(k);
+      } else {
+        dict_options.spill_dir = "";
+        dict_options.memory_budget_bytes = SIZE_MAX;  // No spill target.
+      }
+      auto next_dict = std::make_shared<SequenceSet>(dict_options);
+      std::string encoded;
+      for (const auto& [seq, cf] : output.rows) {
+        encoded.clear();
+        SequenceCodec::Encode(seq, &encoded);
+        NGRAM_RETURN_NOT_OK(next_dict->Insert(Slice(encoded)));
+      }
+      dict = std::move(next_dict);
+    }
+    for (auto& [seq, cf] : output.rows) {
+      run.stats.Add(std::move(seq), cf);
+    }
+    if (last_iteration) {
+      break;
+    }
+  }
+  return run;
+}
+
+}  // namespace ngram

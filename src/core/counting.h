@@ -1,0 +1,75 @@
+// Shared mapper/reducer pieces for the counting-style methods (NAIVE and
+// APRIORI-SCAN): values are either occurrence counts (collection-frequency
+// mode; combinable) or document ids (document-frequency mode).
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "core/input.h"
+#include "core/options.h"
+#include "mapreduce/job.h"
+
+namespace ngram {
+
+/// Reducer for (n-gram, value) pairs. In collection mode, values are
+/// partial counts and are summed (Algorithm 1's |l| generalized to combined
+/// counts); in document mode, values are doc ids and distinct ones are
+/// counted. Emits (n-gram, frequency) when frequency >= tau.
+class CountReducer final
+    : public mr::Reducer<TermSequence, uint64_t, TermSequence, uint64_t> {
+ public:
+  CountReducer(uint64_t tau, FrequencyMode mode) : tau_(tau), mode_(mode) {}
+
+  Status Reduce(const TermSequence& key, Values* values,
+                Context* ctx) override {
+    uint64_t frequency = 0;
+    if (mode_ == FrequencyMode::kCollection) {
+      uint64_t v = 0;
+      while (values->Next(&v)) {
+        frequency += v;
+      }
+    } else {
+      distinct_.clear();
+      uint64_t did = 0;
+      while (values->Next(&did)) {
+        distinct_.insert(did);
+      }
+      frequency = distinct_.size();
+    }
+    if (frequency >= tau_) {
+      return ctx->Emit(key, frequency);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const uint64_t tau_;
+  const FrequencyMode mode_;
+  std::unordered_set<uint64_t> distinct_;  // Reused across groups.
+};
+
+/// Value a counting mapper emits for one n-gram occurrence: a unit count in
+/// collection mode (so the SumCombiner can pre-aggregate), the document id
+/// in document mode.
+inline uint64_t CountingValue(FrequencyMode mode, uint64_t doc_id) {
+  return mode == FrequencyMode::kCollection ? 1 : doc_id;
+}
+
+/// Base MapReduce job settings derived from the run options.
+inline mr::JobConfig MakeBaseJobConfig(const NgramJobOptions& options,
+                                       const std::string& name) {
+  mr::JobConfig config;
+  config.name = name;
+  config.num_reducers = options.num_reducers;
+  config.map_slots = options.map_slots;
+  config.reduce_slots = options.reduce_slots;
+  config.num_map_tasks = options.num_map_tasks;
+  config.sort_buffer_bytes = options.sort_buffer_bytes;
+  config.job_overhead_ms = options.job_overhead_ms;
+  config.work_dir = options.work_dir;
+  config.max_task_attempts = options.max_task_attempts;
+  return config;
+}
+
+}  // namespace ngram

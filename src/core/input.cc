@@ -1,0 +1,72 @@
+#include "core/input.h"
+
+#include <algorithm>
+
+namespace ngram {
+
+CorpusContext BuildCorpusContext(const Corpus& corpus) {
+  CorpusContext ctx;
+  uint64_t max_doc_id = 0;
+  for (const auto& doc : corpus.docs) {
+    max_doc_id = std::max(max_doc_id, doc.id);
+  }
+  auto years = std::make_shared<std::vector<int32_t>>();
+  years->assign(max_doc_id + 1, 0);
+
+  uint64_t num_rows = 0;
+  for (const auto& doc : corpus.docs) {
+    num_rows += doc.sentences.size();
+  }
+  ctx.input.rows.reserve(num_rows);
+
+  for (const auto& doc : corpus.docs) {
+    (*years)[doc.id] = doc.year;
+    uint32_t base = 0;
+    for (const auto& sentence : doc.sentences) {
+      Fragment fragment;
+      fragment.base = base;
+      fragment.terms = sentence;
+      ctx.total_term_occurrences += sentence.size();
+      // +1 gap so fragments are never position-adjacent (barrier safety
+      // for positional joins).
+      base += static_cast<uint32_t>(sentence.size()) + 1;
+      ctx.input.Add(doc.id, std::move(fragment));
+    }
+  }
+
+  ctx.unigram_cf = std::make_shared<const UnigramFrequencies>(
+      ComputeUnigramFrequencies(corpus));
+  ctx.doc_years = std::move(years);
+  return ctx;
+}
+
+void ForEachPiece(const Fragment& fragment, bool document_splits,
+                  const UnigramFrequencies& unigram_cf, uint64_t tau,
+                  const std::function<void(const Fragment&)>& fn) {
+  if (!document_splits || tau <= 1) {
+    fn(fragment);
+    return;
+  }
+  Fragment piece;
+  bool open = false;
+  for (size_t i = 0; i < fragment.terms.size(); ++i) {
+    const TermId t = fragment.terms[i];
+    const uint64_t cf = t < unigram_cf.size() ? unigram_cf[t] : 0;
+    if (cf >= tau) {
+      if (!open) {
+        piece.base = fragment.base + static_cast<uint32_t>(i);
+        piece.terms.clear();
+        open = true;
+      }
+      piece.terms.push_back(t);
+    } else if (open) {
+      fn(piece);
+      open = false;
+    }
+  }
+  if (open) {
+    fn(piece);
+  }
+}
+
+}  // namespace ngram

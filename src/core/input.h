@@ -1,0 +1,74 @@
+// The MapReduce input model shared by all methods.
+//
+// A corpus becomes a table of (doc_id, Fragment) rows, one row per sentence
+// (sentences are n-gram barriers, Section VII-B). A Fragment carries its
+// base term offset within the document so that APRIORI-INDEX's positional
+// postings live in one document-wide coordinate space; consecutive
+// fragments are separated by a position gap, which guarantees posting-list
+// joins can never produce an n-gram that spans a barrier.
+//
+// Document splitting at infrequent terms (Section V) happens *inside* the
+// mappers via ForEachPiece, because it depends on the run's tau.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "encoding/serde.h"
+#include "mapreduce/dataset.h"
+#include "text/corpus.h"
+
+namespace ngram {
+
+/// A sentence (or split piece) of a document with its base position.
+struct Fragment {
+  uint32_t base = 0;
+  TermSequence terms;
+
+  bool operator==(const Fragment& o) const {
+    return base == o.base && terms == o.terms;
+  }
+};
+
+template <>
+struct Serde<Fragment> {
+  static void Encode(const Fragment& f, std::string* out) {
+    PutVarint32(out, f.base);
+    SequenceCodec::Encode(f.terms, out);
+  }
+  static bool Decode(Slice in, Fragment* f) {
+    if (!GetVarint32(&in, &f->base)) {
+      return false;
+    }
+    return SequenceCodec::Decode(in, &f->terms);
+  }
+};
+
+/// The input table type every method's first job consumes.
+using InputTable = mr::MemoryTable<uint64_t, Fragment>;
+
+/// Immutable per-run context shared by mapper instances (the moral
+/// equivalent of Hadoop's distributed cache for side data).
+struct CorpusContext {
+  InputTable input;
+  /// Unigram collection frequencies (for document splitting).
+  std::shared_ptr<const UnigramFrequencies> unigram_cf;
+  /// doc id -> publication year (time-series extension); empty if no
+  /// timestamps.
+  std::shared_ptr<const std::vector<int32_t>> doc_years;
+  uint64_t total_term_occurrences = 0;
+};
+
+/// Builds the input table (one row per sentence, position gaps between
+/// sentences) and the shared side data.
+CorpusContext BuildCorpusContext(const Corpus& corpus);
+
+/// Applies document splitting (when enabled) and invokes `fn` on every
+/// resulting piece. With splitting disabled, `fn` sees the fragment as-is.
+void ForEachPiece(const Fragment& fragment, bool document_splits,
+                  const UnigramFrequencies& unigram_cf, uint64_t tau,
+                  const std::function<void(const Fragment&)>& fn);
+
+}  // namespace ngram

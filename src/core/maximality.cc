@@ -1,0 +1,103 @@
+#include "core/maximality.h"
+
+#include <algorithm>
+
+#include "core/counting.h"
+#include "core/rev_lex.h"
+#include "core/suffix_sigma.h"
+#include "core/suffix_stack.h"
+
+namespace ngram {
+
+namespace {
+
+/// Post-filter mapper: reverses n-grams so suffix relations become prefix
+/// relations.
+class ReverseMapper final
+    : public mr::Mapper<TermSequence, uint64_t, TermSequence, uint64_t> {
+ public:
+  Status Map(const TermSequence& seq, const uint64_t& cf,
+             Context* ctx) override {
+    TermSequence reversed(seq.rbegin(), seq.rend());
+    return ctx->Emit(reversed, cf);
+  }
+};
+
+/// Post-filter reducer: PrefixFilterStack over reversed n-grams; emits
+/// survivors restored to their original orientation.
+class SuffixFilterReducer final
+    : public mr::Reducer<TermSequence, uint64_t, TermSequence, uint64_t> {
+ public:
+  explicit SuffixFilterReducer(EmitMode mode) : mode_(mode) {}
+
+  Status Setup(Context* ctx) override {
+    stack_ = std::make_unique<PrefixFilterStack>(
+        mode_, [ctx](const TermSequence& reversed, uint64_t cf) {
+          TermSequence original(reversed.rbegin(), reversed.rend());
+          return ctx->Emit(std::move(original), cf);
+        });
+    return Status::OK();
+  }
+
+  Status Reduce(const TermSequence& reversed, Values* values,
+                Context* ctx) override {
+    // Keys are unique n-grams from job 1, so exactly one value arrives.
+    uint64_t cf = 0;
+    if (!values->Next(&cf)) {
+      return Status::Internal("post-filter group without value");
+    }
+    return stack_->Push(reversed, cf);
+  }
+
+  Status Cleanup(Context* ctx) override { return stack_->Flush(); }
+
+ private:
+  const EmitMode mode_;
+  std::unique_ptr<PrefixFilterStack> stack_;
+};
+
+Result<NgramRun> RunWithMode(const CorpusContext& ctx,
+                             const NgramJobOptions& options, EmitMode mode) {
+  // Job 1: SUFFIX-sigma with prefix filtering.
+  auto first = RunSuffixSigma(ctx, options, mode);
+  if (!first.ok()) {
+    return first.status();
+  }
+  NgramRun run = std::move(first).ValueOrDie();
+
+  // Job 2: suffix filtering on reversed n-grams.
+  mr::JobConfig config = MakeBaseJobConfig(
+      options,
+      mode == EmitMode::kPrefixMaximal ? "maximality-filter"
+                                       : "closedness-filter");
+  config.partitioner = FirstTermPartitioner::Instance();
+  config.sort_comparator = ReverseLexSequenceComparator::Instance();
+
+  mr::MemoryTable<TermSequence, uint64_t> input;
+  input.rows = std::move(run.stats.entries);
+  mr::MemoryTable<TermSequence, uint64_t> output;
+  auto metrics = mr::RunJob<ReverseMapper, SuffixFilterReducer>(
+      config, input, [] { return std::make_unique<ReverseMapper>(); },
+      [mode] { return std::make_unique<SuffixFilterReducer>(mode); },
+      &output);
+  if (!metrics.ok()) {
+    return metrics.status();
+  }
+  run.metrics.Add(std::move(metrics).ValueOrDie());
+  run.stats.entries = std::move(output.rows);
+  return run;
+}
+
+}  // namespace
+
+Result<NgramRun> RunSuffixSigmaMaximal(const CorpusContext& ctx,
+                                       const NgramJobOptions& options) {
+  return RunWithMode(ctx, options, EmitMode::kPrefixMaximal);
+}
+
+Result<NgramRun> RunSuffixSigmaClosed(const CorpusContext& ctx,
+                                      const NgramJobOptions& options) {
+  return RunWithMode(ctx, options, EmitMode::kPrefixClosed);
+}
+
+}  // namespace ngram

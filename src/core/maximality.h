@@ -1,0 +1,30 @@
+// Maximal and closed n-grams (Section VI-A).
+//
+// An n-gram r is MAXIMAL if no super-n-gram s (r strict subsequence, within
+// the sigma bound) has cf(s) >= tau; CLOSED if none has cf(s) = cf(r).
+//
+// Pipeline (two jobs, as in the paper):
+//   1. SUFFIX-sigma with the emission filter: the reducer's pop stream
+//      yields only prefix-maximal (prefix-closed) n-grams.
+//   2. Post-filter job: reverse every surviving n-gram, partition by first
+//      (reversed) term, sort reverse-lexicographically, and keep only
+//      suffix-maximal (suffix-closed) ones via the PrefixFilterStack;
+//      n-grams are un-reversed before the final emit.
+#pragma once
+
+#include "core/input.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "util/result.h"
+
+namespace ngram {
+
+/// All maximal n-grams with their frequencies.
+Result<NgramRun> RunSuffixSigmaMaximal(const CorpusContext& ctx,
+                                       const NgramJobOptions& options);
+
+/// All closed n-grams with their frequencies.
+Result<NgramRun> RunSuffixSigmaClosed(const CorpusContext& ctx,
+                                      const NgramJobOptions& options);
+
+}  // namespace ngram

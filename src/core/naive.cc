@@ -1,0 +1,83 @@
+#include "core/naive.h"
+
+#include "core/counting.h"
+
+namespace ngram {
+
+namespace {
+
+/// Algorithm 1's mapper: all n-grams up to length sigma, per fragment
+/// piece.
+class NaiveMapper final
+    : public mr::Mapper<uint64_t, Fragment, TermSequence, uint64_t> {
+ public:
+  NaiveMapper(const NgramJobOptions& options,
+              std::shared_ptr<const UnigramFrequencies> unigram_cf)
+      : options_(options), unigram_cf_(std::move(unigram_cf)) {}
+
+  Status Map(const uint64_t& doc_id, const Fragment& fragment,
+             Context* ctx) override {
+    const uint64_t sigma = options_.sigma_or_max();
+    const uint64_t value = CountingValue(options_.frequency_mode, doc_id);
+    Status status;
+    ForEachPiece(fragment, options_.document_splits, *unigram_cf_,
+                 options_.tau, [&](const Fragment& piece) {
+                   if (!status.ok()) {
+                     return;
+                   }
+                   const auto& terms = piece.terms;
+                   TermSequence ngram;
+                   for (size_t b = 0; b < terms.size(); ++b) {
+                     ngram.clear();
+                     for (size_t e = b;
+                          e < terms.size() && (e - b) < sigma; ++e) {
+                       ngram.push_back(terms[e]);
+                       status = ctx->Emit(ngram, value);
+                       if (!status.ok()) {
+                         return;
+                       }
+                     }
+                   }
+                 });
+    return status;
+  }
+
+ private:
+  const NgramJobOptions options_;
+  const std::shared_ptr<const UnigramFrequencies> unigram_cf_;
+};
+
+}  // namespace
+
+Result<NgramRun> RunNaive(const CorpusContext& ctx,
+                          const NgramJobOptions& options) {
+  mr::JobConfig config = MakeBaseJobConfig(options, "naive");
+
+  mr::RawCombineFn combiner;
+  if (options.use_combiner &&
+      options.frequency_mode == FrequencyMode::kCollection) {
+    combiner = mr::SumCombiner();
+  }
+
+  mr::MemoryTable<TermSequence, uint64_t> output;
+  auto metrics = mr::RunJob<NaiveMapper, CountReducer>(
+      config, ctx.input,
+      [&options, &ctx] {
+        return std::make_unique<NaiveMapper>(options, ctx.unigram_cf);
+      },
+      [&options] {
+        return std::make_unique<CountReducer>(options.tau,
+                                              options.frequency_mode);
+      },
+      &output, combiner);
+  if (!metrics.ok()) {
+    return metrics.status();
+  }
+
+  NgramRun run;
+  run.metrics.Add(std::move(metrics).ValueOrDie());
+  run.stats.entries = std::move(output.rows);
+  return run;
+}
+
+}  // namespace ngram

@@ -1,0 +1,19 @@
+// NAIVE (Algorithm 1): word counting extended to variable-length n-grams.
+// The mapper emits every n-gram of length <= sigma of every fragment; the
+// reducer counts and thresholds. One job; the map output volume is
+// sum over n-grams of cf(s) records — the method's known weakness.
+#pragma once
+
+#include "core/input.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "util/result.h"
+
+namespace ngram {
+
+/// Runs NAIVE over the corpus context. Honors tau/sigma, frequency mode,
+/// document splitting, and the combiner toggle from `options`.
+Result<NgramRun> RunNaive(const CorpusContext& ctx,
+                          const NgramJobOptions& options);
+
+}  // namespace ngram

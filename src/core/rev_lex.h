@@ -1,0 +1,76 @@
+// SUFFIX-sigma's two Hadoop customizations (Algorithm 4):
+//
+//  - the reverse lexicographic order over term sequences,
+//        r < s  <=>  (|r| > |s| and s is a prefix of r)  or
+//                    exists i: r[i] > s[i] and r[j] = s[j] for j < i,
+//    implemented as a raw comparator that walks the two varbyte encodings
+//    in lockstep without allocating;
+//
+//  - the first-term partitioner, which routes every suffix to the reducer
+//    responsible for its first term, so one reducer sees all suffixes that
+//    can represent n-grams starting with that term.
+#pragma once
+
+#include "encoding/sequence.h"
+#include "mapreduce/comparator.h"
+#include "mapreduce/partitioner.h"
+
+namespace ngram {
+
+class ReverseLexSequenceComparator final : public mr::RawComparator {
+ public:
+  int Compare(Slice a, Slice b) const override {
+    SequenceReader ra(a);
+    SequenceReader rb(b);
+    for (;;) {
+      TermId ta = 0, tb = 0;
+      const bool ha = ra.Next(&ta);
+      const bool hb = rb.Next(&tb);
+      if (ha && hb) {
+        if (ta != tb) {
+          // Larger term id first (descending), per the paper's comparator.
+          return ta > tb ? -1 : +1;
+        }
+      } else if (ha) {
+        return -1;  // a strictly longer, b a prefix of a: a orders first.
+      } else if (hb) {
+        return +1;
+      } else {
+        return 0;
+      }
+    }
+  }
+
+  const char* Name() const override { return "reverse-lex-sequence"; }
+
+  static const ReverseLexSequenceComparator* Instance() {
+    static const ReverseLexSequenceComparator kInstance;
+    return &kInstance;
+  }
+};
+
+/// Partitions an encoded sequence by its first term only (Algorithm 4's
+/// partition() = hashcode(s[0]) mod R).
+class FirstTermPartitioner final : public mr::Partitioner {
+ public:
+  uint32_t Partition(Slice key, uint32_t num_partitions) const override {
+    TermId first = 0;
+    SequenceReader reader(key);
+    reader.Next(&first);
+    // SplitMix64 finalizer as the "hashcode".
+    uint64_t z = first + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<uint32_t>(z % num_partitions);
+  }
+
+  const char* Name() const override { return "first-term"; }
+
+  static const FirstTermPartitioner* Instance() {
+    static const FirstTermPartitioner kInstance;
+    return &kInstance;
+  }
+};
+
+}  // namespace ngram

@@ -1,0 +1,66 @@
+#include "core/runner.h"
+
+#include "core/apriori_index.h"
+#include "core/apriori_scan.h"
+#include "core/naive.h"
+#include "core/suffix_sigma.h"
+
+namespace ngram {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kNaive:
+      return "Naive";
+    case Method::kAprioriScan:
+      return "Apriori-Scan";
+    case Method::kAprioriIndex:
+      return "Apriori-Index";
+    case Method::kSuffixSigma:
+      return "Suffix-sigma";
+  }
+  return "unknown";
+}
+
+Status ValidateOptions(const NgramJobOptions& options) {
+  if (options.tau == 0) {
+    return Status::InvalidArgument("tau must be >= 1");
+  }
+  if (options.num_reducers == 0) {
+    return Status::InvalidArgument("num_reducers must be >= 1");
+  }
+  if (options.map_slots == 0 || options.reduce_slots == 0) {
+    return Status::InvalidArgument("slot counts must be >= 1");
+  }
+  if (options.method == Method::kAprioriIndex &&
+      options.apriori_index_k == 0) {
+    return Status::InvalidArgument("apriori_index_k must be >= 1");
+  }
+  if (options.sort_buffer_bytes < 1024) {
+    return Status::InvalidArgument("sort_buffer_bytes must be >= 1 KiB");
+  }
+  return Status::OK();
+}
+
+Result<NgramRun> ComputeNgramStatistics(const CorpusContext& ctx,
+                                        const NgramJobOptions& options) {
+  NGRAM_RETURN_NOT_OK(ValidateOptions(options));
+  switch (options.method) {
+    case Method::kNaive:
+      return RunNaive(ctx, options);
+    case Method::kAprioriScan:
+      return RunAprioriScan(ctx, options);
+    case Method::kAprioriIndex:
+      return RunAprioriIndex(ctx, options);
+    case Method::kSuffixSigma:
+      return RunSuffixSigma(ctx, options);
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+Result<NgramRun> ComputeNgramStatistics(const Corpus& corpus,
+                                        const NgramJobOptions& options) {
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+  return ComputeNgramStatistics(ctx, options);
+}
+
+}  // namespace ngram

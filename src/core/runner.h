@@ -1,0 +1,33 @@
+// The library's front door: compute n-gram statistics over a corpus with
+// any of the paper's four methods.
+//
+//   ngram::NgramJobOptions options;
+//   options.tau = 10;
+//   options.sigma = 5;
+//   options.method = ngram::Method::kSuffixSigma;
+//   auto run = ngram::ComputeNgramStatistics(corpus, options);
+//   // run->stats  : (n-gram, frequency) table
+//   // run->metrics: wallclock / bytes / records per MapReduce job
+#pragma once
+
+#include "core/input.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "text/corpus.h"
+#include "util/result.h"
+
+namespace ngram {
+
+/// Validates option combinations (e.g. a positive tau, sane slot counts).
+Status ValidateOptions(const NgramJobOptions& options);
+
+/// Computes statistics with the method selected in `options`, reusing a
+/// prebuilt corpus context (preferred in parameter sweeps).
+Result<NgramRun> ComputeNgramStatistics(const CorpusContext& ctx,
+                                        const NgramJobOptions& options);
+
+/// Convenience overload that builds the context internally.
+Result<NgramRun> ComputeNgramStatistics(const Corpus& corpus,
+                                        const NgramJobOptions& options);
+
+}  // namespace ngram

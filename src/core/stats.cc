@@ -1,0 +1,109 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ngram {
+
+void NgramStatistics::SortCanonical() {
+  std::sort(entries.begin(), entries.end());
+}
+
+bool NgramStatistics::SameAs(NgramStatistics& other) {
+  SortCanonical();
+  other.SortCanonical();
+  return entries == other.entries;
+}
+
+uint64_t NgramStatistics::FrequencyOf(const TermSequence& seq) const {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), seq,
+      [](const Entry& e, const TermSequence& s) { return e.first < s; });
+  if (it != entries.end() && it->first == seq) {
+    return it->second;
+  }
+  return 0;
+}
+
+std::vector<std::string> NgramStatistics::DiffAgainst(
+    const NgramStatistics& other, size_t max_items) const {
+  std::vector<std::string> diffs;
+  size_t i = 0, j = 0;
+  while ((i < entries.size() || j < other.entries.size()) &&
+         diffs.size() < max_items) {
+    if (j >= other.entries.size() ||
+        (i < entries.size() && entries[i].first < other.entries[j].first)) {
+      diffs.push_back("only-left: " + SequenceToDebugString(entries[i].first) +
+                      ":" + std::to_string(entries[i].second));
+      ++i;
+    } else if (i >= entries.size() ||
+               other.entries[j].first < entries[i].first) {
+      diffs.push_back("only-right: " +
+                      SequenceToDebugString(other.entries[j].first) + ":" +
+                      std::to_string(other.entries[j].second));
+      ++j;
+    } else {
+      if (entries[i].second != other.entries[j].second) {
+        diffs.push_back("freq-mismatch: " +
+                        SequenceToDebugString(entries[i].first) + " left=" +
+                        std::to_string(entries[i].second) + " right=" +
+                        std::to_string(other.entries[j].second));
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return diffs;
+}
+
+Log10Histogram2D NgramStatistics::OutputCharacteristics() const {
+  Log10Histogram2D hist;
+  for (const auto& [seq, cf] : entries) {
+    hist.Add(seq.size(), cf);
+  }
+  return hist;
+}
+
+uint32_t NgramStatistics::MaxLength() const {
+  uint32_t max_len = 0;
+  for (const auto& [seq, cf] : entries) {
+    max_len = std::max(max_len, static_cast<uint32_t>(seq.size()));
+  }
+  return max_len;
+}
+
+std::map<TermSequence, uint64_t> NgramStatistics::ToMap() const {
+  std::map<TermSequence, uint64_t> out;
+  for (const auto& [seq, cf] : entries) {
+    out[seq] = cf;
+  }
+  return out;
+}
+
+std::string NgramStatistics::ToString(const Vocabulary& vocab,
+                                      size_t limit) const {
+  std::vector<const Entry*> by_freq;
+  by_freq.reserve(entries.size());
+  for (const auto& e : entries) {
+    by_freq.push_back(&e);
+  }
+  std::stable_sort(by_freq.begin(), by_freq.end(),
+                   [](const Entry* a, const Entry* b) {
+                     return a->second > b->second;
+                   });
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < by_freq.size() && i < limit; ++i) {
+    snprintf(buf, sizeof(buf), "%12llu  ",
+             static_cast<unsigned long long>(by_freq[i]->second));
+    out += buf;
+    out += vocab.Decode(by_freq[i]->first);
+    out += '\n';
+  }
+  if (by_freq.size() > limit) {
+    out += "... (" + std::to_string(by_freq.size() - limit) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace ngram

@@ -1,0 +1,69 @@
+// NgramStatistics: the output of every method — n-grams with their
+// collection (or document) frequencies — plus the run's metrics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "encoding/sequence.h"
+#include "mapreduce/metrics.h"
+#include "text/vocabulary.h"
+#include "util/histogram.h"
+
+namespace ngram {
+
+/// The statistics table: each entry is an n-gram (term-id sequence) with
+/// its frequency. Entry order is method-dependent until SortCanonical().
+struct NgramStatistics {
+  using Entry = std::pair<TermSequence, uint64_t>;
+  std::vector<Entry> entries;
+
+  uint64_t size() const { return entries.size(); }
+  bool empty() const { return entries.empty(); }
+
+  void Add(TermSequence seq, uint64_t frequency) {
+    entries.emplace_back(std::move(seq), frequency);
+  }
+
+  /// Sorts entries lexicographically by term-id sequence (canonical order
+  /// for equality checks across methods).
+  void SortCanonical();
+
+  /// True iff both tables contain the same (n-gram, frequency) multiset.
+  /// Both operands are sorted canonically as a side effect.
+  bool SameAs(NgramStatistics& other);
+
+  /// Frequency of `seq`, or 0 when absent. Requires canonical order.
+  uint64_t FrequencyOf(const TermSequence& seq) const;
+
+  /// Entries whose (seq, frequency) differ between the two tables — for
+  /// test diagnostics. Requires both canonically sorted.
+  std::vector<std::string> DiffAgainst(const NgramStatistics& other,
+                                       size_t max_items = 10) const;
+
+  /// Buckets entries into the paper's Figure 2 histogram: the n-gram s goes
+  /// into bucket (floor(log10 |s|), floor(log10 cf(s))).
+  Log10Histogram2D OutputCharacteristics() const;
+
+  /// Longest n-gram present.
+  uint32_t MaxLength() const;
+
+  /// As a sorted map (tests / small corpora only).
+  std::map<TermSequence, uint64_t> ToMap() const;
+
+  /// Renders entries via the vocabulary, sorted by descending frequency,
+  /// at most `limit` rows.
+  std::string ToString(const Vocabulary& vocab, size_t limit = 50) const;
+};
+
+/// A method run: its statistics table plus the metrics of every MapReduce
+/// job it launched.
+struct NgramRun {
+  NgramStatistics stats;
+  mr::RunMetrics metrics;
+};
+
+}  // namespace ngram

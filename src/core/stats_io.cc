@@ -1,0 +1,141 @@
+#include "core/stats_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "encoding/sequence.h"
+#include "encoding/varint.h"
+#include "util/macros.h"
+
+namespace ngram {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'G', 'S', '1'};
+
+struct FileCloser {
+  void operator()(FILE* f) const {
+    if (f != nullptr) {
+      fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<FILE, FileCloser>;
+
+Status WriteAll(FILE* f, const std::string& data, const std::string& path) {
+  if (fwrite(data.data(), 1, data.size(), f) != data.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteStatsTsv(const NgramStatistics& stats, const Vocabulary* vocab,
+                     const std::string& path) {
+  FilePtr f(fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  std::string line;
+  for (const auto& [seq, cf] : stats.entries) {
+    line.clear();
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (i > 0) {
+        line += ' ';
+      }
+      if (vocab != nullptr) {
+        line += vocab->TermOf(seq[i]);
+      } else {
+        line += std::to_string(seq[i]);
+      }
+    }
+    line += '\t';
+    line += std::to_string(cf);
+    line += '\n';
+    NGRAM_RETURN_NOT_OK(WriteAll(f.get(), line, path));
+  }
+  if (fflush(f.get()) != 0) {
+    return Status::IOError("flush " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteStatsBinary(const NgramStatistics& stats,
+                        const std::string& path) {
+  FilePtr f(fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  std::string buf(kMagic, sizeof(kMagic));
+  PutVarint64(&buf, stats.entries.size());
+  std::string seq_bytes;
+  for (const auto& [seq, cf] : stats.entries) {
+    seq_bytes.clear();
+    SequenceCodec::Encode(seq, &seq_bytes);
+    PutVarint64(&buf, seq_bytes.size());
+    buf += seq_bytes;
+    PutVarint64(&buf, cf);
+    if (buf.size() > (1 << 20)) {
+      NGRAM_RETURN_NOT_OK(WriteAll(f.get(), buf, path));
+      buf.clear();
+    }
+  }
+  NGRAM_RETURN_NOT_OK(WriteAll(f.get(), buf, path));
+  if (fflush(f.get()) != 0) {
+    return Status::IOError("flush " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadStatsBinary(const std::string& path, NgramStatistics* stats) {
+  stats->entries.clear();
+  FilePtr f(fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  std::string content;
+  char chunk[64 * 1024];
+  size_t got = 0;
+  while ((got = fread(chunk, 1, sizeof(chunk), f.get())) > 0) {
+    content.append(chunk, got);
+  }
+  if (ferror(f.get())) {
+    return Status::IOError("read " + path);
+  }
+  Slice in(content);
+  if (in.size() < sizeof(kMagic) ||
+      memcmp(in.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": not an NGS1 statistics file");
+  }
+  in.RemovePrefix(sizeof(kMagic));
+  uint64_t count = 0;
+  if (!GetVarint64(&in, &count)) {
+    return Status::Corruption(path + ": bad entry count");
+  }
+  stats->entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t seq_len = 0;
+    if (!GetVarint64(&in, &seq_len) || seq_len > in.size()) {
+      return Status::Corruption(path + ": truncated entry");
+    }
+    TermSequence seq;
+    if (!SequenceCodec::Decode(Slice(in.data(), seq_len), &seq)) {
+      return Status::Corruption(path + ": undecodable sequence");
+    }
+    in.RemovePrefix(seq_len);
+    uint64_t cf = 0;
+    if (!GetVarint64(&in, &cf)) {
+      return Status::Corruption(path + ": truncated frequency");
+    }
+    stats->entries.emplace_back(std::move(seq), cf);
+  }
+  if (!in.empty()) {
+    return Status::Corruption(path + ": trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace ngram

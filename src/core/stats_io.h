@@ -1,0 +1,26 @@
+// Persistence for n-gram statistics tables: a compact binary format for
+// programmatic reuse, and the "Google n-gram corpus" style TSV
+// (ngram<TAB>count) for interchange with NLP toolchains.
+#pragma once
+
+#include <string>
+
+#include "core/stats.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace ngram {
+
+/// Writes `stats` as "term term term<TAB>frequency" lines, decoding term
+/// ids through `vocab` (pass nullptr to write raw term ids).
+Status WriteStatsTsv(const NgramStatistics& stats, const Vocabulary* vocab,
+                     const std::string& path);
+
+/// Writes `stats` in the binary format (magic "NGS1", varbyte entries).
+Status WriteStatsBinary(const NgramStatistics& stats,
+                        const std::string& path);
+
+/// Reads a binary statistics file written by WriteStatsBinary.
+Status ReadStatsBinary(const std::string& path, NgramStatistics* stats);
+
+}  // namespace ngram

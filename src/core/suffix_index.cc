@@ -1,0 +1,189 @@
+#include "core/suffix_index.h"
+
+#include <algorithm>
+
+#include "core/counting.h"
+#include "core/rev_lex.h"
+#include "core/suffix_stack.h"
+
+namespace ngram {
+
+namespace {
+
+/// (doc id, document-global position) of one suffix occurrence.
+using DocPosition = std::pair<uint64_t, uint64_t>;
+
+/// Posting-list aggregate for the suffix stack: postings sorted by doc id
+/// with sorted positions; merging is a two-level sorted union. The tau
+/// threshold applies to collection frequency or document frequency
+/// depending on the policy parameter.
+template <bool kDocFrequency>
+struct PostingAggregate {
+  PostingList list;
+  uint64_t occurrences = 0;
+
+  void MergeFrom(const PostingAggregate& other) {
+    PostingList merged;
+    merged.postings.reserve(list.postings.size() +
+                            other.list.postings.size());
+    size_t i = 0, j = 0;
+    while (i < list.postings.size() || j < other.list.postings.size()) {
+      if (j >= other.list.postings.size() ||
+          (i < list.postings.size() &&
+           list.postings[i].doc_id < other.list.postings[j].doc_id)) {
+        merged.postings.push_back(std::move(list.postings[i++]));
+      } else if (i >= list.postings.size() ||
+                 other.list.postings[j].doc_id < list.postings[i].doc_id) {
+        merged.postings.push_back(other.list.postings[j++]);
+      } else {
+        Posting combined;
+        combined.doc_id = list.postings[i].doc_id;
+        std::merge(list.postings[i].positions.begin(),
+                   list.postings[i].positions.end(),
+                   other.list.postings[j].positions.begin(),
+                   other.list.postings[j].positions.end(),
+                   std::back_inserter(combined.positions));
+        merged.postings.push_back(std::move(combined));
+        ++i;
+        ++j;
+      }
+    }
+    list = std::move(merged);
+    occurrences += other.occurrences;
+  }
+
+  uint64_t Total() const {
+    return kDocFrequency ? list.DocumentFrequency() : occurrences;
+  }
+};
+
+class IndexSuffixMapper final
+    : public mr::Mapper<uint64_t, Fragment, TermSequence, DocPosition> {
+ public:
+  IndexSuffixMapper(const NgramJobOptions& options,
+                    std::shared_ptr<const UnigramFrequencies> unigram_cf)
+      : options_(options), unigram_cf_(std::move(unigram_cf)) {}
+
+  Status Map(const uint64_t& doc_id, const Fragment& fragment,
+             Context* ctx) override {
+    const uint64_t sigma = options_.sigma_or_max();
+    Status status;
+    ForEachPiece(fragment, options_.document_splits, *unigram_cf_,
+                 options_.tau, [&](const Fragment& piece) {
+                   if (!status.ok()) {
+                     return;
+                   }
+                   const auto& terms = piece.terms;
+                   TermSequence suffix;
+                   for (size_t b = 0; b < terms.size(); ++b) {
+                     const size_t end =
+                         std::min<size_t>(terms.size(), b + sigma);
+                     suffix.assign(terms.begin() + b, terms.begin() + end);
+                     status = ctx->Emit(suffix, {doc_id, piece.base + b});
+                     if (!status.ok()) {
+                       return;
+                     }
+                   }
+                 });
+    return status;
+  }
+
+ private:
+  const NgramJobOptions options_;
+  const std::shared_ptr<const UnigramFrequencies> unigram_cf_;
+};
+
+class IndexSuffixReducer final
+    : public mr::Reducer<TermSequence, DocPosition, TermSequence,
+                         PostingList> {
+ public:
+  explicit IndexSuffixReducer(const NgramJobOptions& options)
+      : options_(options) {}
+
+  Status Setup(Context* ctx) override {
+    if (options_.frequency_mode == FrequencyMode::kCollection) {
+      cf_stack_ = MakeStack<false>(ctx);
+    } else {
+      df_stack_ = MakeStack<true>(ctx);
+    }
+    return Status::OK();
+  }
+
+  Status Reduce(const TermSequence& suffix, Values* values,
+                Context* ctx) override {
+    occurrences_.clear();
+    DocPosition dp;
+    while (values->Next(&dp)) {
+      occurrences_.push_back(dp);
+    }
+    std::sort(occurrences_.begin(), occurrences_.end());
+    if (cf_stack_ != nullptr) {
+      return cf_stack_->Push(suffix, MakeAggregate<false>());
+    }
+    return df_stack_->Push(suffix, MakeAggregate<true>());
+  }
+
+  Status Cleanup(Context* ctx) override {
+    if (cf_stack_ != nullptr) {
+      return cf_stack_->Flush();
+    }
+    return df_stack_->Flush();
+  }
+
+ private:
+  template <bool kDf>
+  std::unique_ptr<SuffixStack<PostingAggregate<kDf>>> MakeStack(
+      Context* ctx) {
+    return std::make_unique<SuffixStack<PostingAggregate<kDf>>>(
+        options_.tau, EmitMode::kAll,
+        [ctx](const TermSequence& ngram, const PostingAggregate<kDf>& agg) {
+          return ctx->Emit(ngram, agg.list);
+        });
+  }
+
+  template <bool kDf>
+  PostingAggregate<kDf> MakeAggregate() const {
+    PostingAggregate<kDf> agg;
+    agg.occurrences = occurrences_.size();
+    for (const auto& [doc, pos] : occurrences_) {
+      if (agg.list.postings.empty() ||
+          agg.list.postings.back().doc_id != doc) {
+        agg.list.postings.push_back({doc, {static_cast<uint32_t>(pos)}});
+      } else {
+        agg.list.postings.back().positions.push_back(
+            static_cast<uint32_t>(pos));
+      }
+    }
+    return agg;
+  }
+
+  const NgramJobOptions options_;
+  std::unique_ptr<SuffixStack<PostingAggregate<false>>> cf_stack_;
+  std::unique_ptr<SuffixStack<PostingAggregate<true>>> df_stack_;
+  std::vector<DocPosition> occurrences_;
+};
+
+}  // namespace
+
+Result<SuffixIndexRun> RunSuffixSigmaIndex(const CorpusContext& ctx,
+                                           const NgramJobOptions& options) {
+  mr::JobConfig config = MakeBaseJobConfig(options, "suffix-sigma-index");
+  config.partitioner = FirstTermPartitioner::Instance();
+  config.sort_comparator = ReverseLexSequenceComparator::Instance();
+
+  SuffixIndexRun run;
+  auto metrics = mr::RunJob<IndexSuffixMapper, IndexSuffixReducer>(
+      config, ctx.input,
+      [&options, &ctx] {
+        return std::make_unique<IndexSuffixMapper>(options, ctx.unigram_cf);
+      },
+      [&options] { return std::make_unique<IndexSuffixReducer>(options); },
+      &run.index);
+  if (!metrics.ok()) {
+    return metrics.status();
+  }
+  run.metrics.Add(std::move(metrics).ValueOrDie());
+  return run;
+}
+
+}  // namespace ngram

@@ -1,0 +1,31 @@
+// Inverted-index aggregation via SUFFIX-sigma (Section VI-B, first bullet:
+// "build an inverted index that records for every n-gram how often or where
+// it occurs in individual documents").
+//
+// The mapper emits every sigma-truncated suffix with its (doc id, position)
+// rather than just the doc id; the reducer's counts stack becomes a stack
+// of positional posting lists, merged lazily as frames pop. The result is
+// the same n-gram -> posting-list table APRIORI-INDEX produces, but in a
+// single job — tests cross-check the two.
+#pragma once
+
+#include "core/apriori_index.h"
+#include "core/input.h"
+#include "core/options.h"
+#include "index/posting.h"
+#include "mapreduce/metrics.h"
+#include "util/result.h"
+
+namespace ngram {
+
+struct SuffixIndexRun {
+  PositionalIndex index;
+  mr::RunMetrics metrics;
+};
+
+/// Builds the positional index of every n-gram with |s| <= sigma and
+/// cf >= tau (collection-frequency mode) or df >= tau (document mode).
+Result<SuffixIndexRun> RunSuffixSigmaIndex(const CorpusContext& ctx,
+                                           const NgramJobOptions& options);
+
+}  // namespace ngram

@@ -1,0 +1,207 @@
+#include "core/suffix_sigma.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/counting.h"
+#include "core/rev_lex.h"
+
+namespace ngram {
+
+namespace {
+
+/// Algorithm 4's mapper: one truncated suffix per position.
+class SuffixMapper final
+    : public mr::Mapper<uint64_t, Fragment, TermSequence, uint64_t> {
+ public:
+  SuffixMapper(const NgramJobOptions& options,
+               std::shared_ptr<const UnigramFrequencies> unigram_cf)
+      : options_(options), unigram_cf_(std::move(unigram_cf)) {}
+
+  Status Map(const uint64_t& doc_id, const Fragment& fragment,
+             Context* ctx) override {
+    const uint64_t sigma = options_.sigma_or_max();
+    Status status;
+    ForEachPiece(fragment, options_.document_splits, *unigram_cf_,
+                 options_.tau, [&](const Fragment& piece) {
+                   if (!status.ok()) {
+                     return;
+                   }
+                   const auto& terms = piece.terms;
+                   TermSequence suffix;
+                   for (size_t b = 0; b < terms.size(); ++b) {
+                     const size_t end =
+                         std::min<size_t>(terms.size(), b + sigma);
+                     suffix.assign(terms.begin() + b, terms.begin() + end);
+                     status = ctx->Emit(suffix, doc_id);
+                     if (!status.ok()) {
+                       return;
+                     }
+                   }
+                 });
+    return status;
+  }
+
+ private:
+  const NgramJobOptions options_;
+  const std::shared_ptr<const UnigramFrequencies> unigram_cf_;
+};
+
+/// Algorithm 4's reducer: feeds the two-stack automaton; Cleanup() is the
+/// paper's cleanup() -> reduce(empty) flush. Tracks the peak number of
+/// simultaneously tracked n-grams (= max stack depth <= sigma).
+class SuffixReducer final
+    : public mr::Reducer<TermSequence, uint64_t, TermSequence, uint64_t> {
+ public:
+  SuffixReducer(const NgramJobOptions& options, EmitMode emit_mode)
+      : options_(options), emit_mode_(emit_mode) {}
+
+  Status Setup(Context* ctx) override {
+    if (options_.frequency_mode == FrequencyMode::kCollection) {
+      count_stack_ = std::make_unique<SuffixStack<CountAggregate>>(
+          options_.tau, emit_mode_,
+          [ctx](const TermSequence& ngram, const CountAggregate& agg) {
+            return ctx->Emit(ngram, agg.count);
+          });
+    } else {
+      doc_stack_ = std::make_unique<SuffixStack<DocSetAggregate>>(
+          options_.tau, emit_mode_,
+          [ctx](const TermSequence& ngram, const DocSetAggregate& agg) {
+            return ctx->Emit(ngram, agg.Total());
+          });
+    }
+    return Status::OK();
+  }
+
+  Status Reduce(const TermSequence& suffix, Values* values,
+                Context* ctx) override {
+    Status st;
+    if (count_stack_ != nullptr) {
+      CountAggregate agg;
+      agg.count = values->Count();  // |l| without deserializing values.
+      st = count_stack_->Push(suffix, std::move(agg));
+      peak_entries_ = std::max(peak_entries_,
+                               static_cast<uint64_t>(count_stack_->depth()));
+    } else {
+      DocSetAggregate agg;
+      uint64_t did = 0;
+      while (values->Next(&did)) {
+        agg.docs.push_back(did);
+      }
+      std::sort(agg.docs.begin(), agg.docs.end());
+      agg.docs.erase(std::unique(agg.docs.begin(), agg.docs.end()),
+                     agg.docs.end());
+      st = doc_stack_->Push(suffix, std::move(agg));
+      peak_entries_ = std::max(peak_entries_,
+                               static_cast<uint64_t>(doc_stack_->depth()));
+    }
+    return st;
+  }
+
+  Status Cleanup(Context* ctx) override {
+    ctx->counters()->UpdateSharedMax(mr::kBookkeepingPeakEntries,
+                                     peak_entries_);
+    if (count_stack_ != nullptr) {
+      return count_stack_->Flush();
+    }
+    return doc_stack_->Flush();
+  }
+
+ private:
+  const NgramJobOptions options_;
+  const EmitMode emit_mode_;
+  std::unique_ptr<SuffixStack<CountAggregate>> count_stack_;
+  std::unique_ptr<SuffixStack<DocSetAggregate>> doc_stack_;
+  uint64_t peak_entries_ = 0;
+};
+
+/// The Section IV strawman: aggregate every prefix of every suffix in one
+/// big in-memory map; nothing can be emitted before cleanup(), and the
+/// bookkeeping grows with the number of distinct n-grams on the reducer.
+class HashAggregationSuffixReducer final
+    : public mr::Reducer<TermSequence, uint64_t, TermSequence, uint64_t> {
+ public:
+  explicit HashAggregationSuffixReducer(const NgramJobOptions& options)
+      : options_(options) {}
+
+  Status Reduce(const TermSequence& suffix, Values* values,
+                Context* ctx) override {
+    const uint64_t count = values->Count();
+    TermSequence prefix;
+    prefix.reserve(suffix.size());
+    for (TermId t : suffix) {
+      prefix.push_back(t);
+      counts_[prefix] += count;
+    }
+    return Status::OK();
+  }
+
+  Status Cleanup(Context* ctx) override {
+    ctx->counters()->UpdateSharedMax(mr::kBookkeepingPeakEntries,
+                                     counts_.size());
+    for (const auto& [ngram, cf] : counts_) {
+      if (cf >= options_.tau) {
+        NGRAM_RETURN_NOT_OK(ctx->Emit(ngram, cf));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  const NgramJobOptions options_;
+  std::map<TermSequence, uint64_t> counts_;
+};
+
+}  // namespace
+
+Result<NgramRun> RunSuffixSigma(const CorpusContext& ctx,
+                                const NgramJobOptions& options,
+                                EmitMode emit_mode) {
+  mr::JobConfig config = MakeBaseJobConfig(options, "suffix-sigma");
+  config.partitioner = FirstTermPartitioner::Instance();
+  config.sort_comparator = ReverseLexSequenceComparator::Instance();
+
+  mr::MemoryTable<TermSequence, uint64_t> output;
+  auto run_job = [&]() -> Result<mr::JobMetrics> {
+    if (options.suffix_aggregation == SuffixAggregation::kHashMap) {
+      if (options.frequency_mode != FrequencyMode::kCollection) {
+        return Status::InvalidArgument(
+            "hashmap suffix aggregation supports collection frequencies "
+            "only");
+      }
+      if (emit_mode != EmitMode::kAll) {
+        return Status::InvalidArgument(
+            "maximality/closedness require stack aggregation");
+      }
+      return mr::RunJob<SuffixMapper, HashAggregationSuffixReducer>(
+          config, ctx.input,
+          [&options, &ctx] {
+            return std::make_unique<SuffixMapper>(options, ctx.unigram_cf);
+          },
+          [&options] {
+            return std::make_unique<HashAggregationSuffixReducer>(options);
+          },
+          &output);
+    }
+    return mr::RunJob<SuffixMapper, SuffixReducer>(
+        config, ctx.input,
+        [&options, &ctx] {
+          return std::make_unique<SuffixMapper>(options, ctx.unigram_cf);
+        },
+        [&options, emit_mode] {
+          return std::make_unique<SuffixReducer>(options, emit_mode);
+        },
+        &output);
+  };
+  auto metrics = run_job();
+  if (!metrics.ok()) {
+    return metrics.status();
+  }
+
+  NgramRun run;
+  run.metrics.Add(std::move(metrics).ValueOrDie());
+  run.stats.entries = std::move(output.rows);
+  return run;
+}
+
+}  // namespace ngram

@@ -1,0 +1,33 @@
+// SUFFIX-sigma (Algorithm 4) — the paper's contribution.
+//
+// One MapReduce job. The mapper emits, per term position, a single
+// key-value pair: the suffix starting there, truncated to sigma terms, with
+// the document id as value. Suffixes are partitioned by their FIRST term
+// only and sorted in REVERSE LEXICOGRAPHIC order, so a reducer sees every
+// suffix that can represent n-grams starting with its terms, ordered such
+// that an n-gram can be finalized and emitted the moment no unseen suffix
+// can still be prefixed by it. Bookkeeping is two stacks (SuffixStack):
+// the terms of the current suffix and one lazily-aggregated count per
+// prefix. cleanup() flushes the remainder.
+//
+// Map output: exactly one record per term occurrence — sum over unigrams of
+// cf(s) records, each O(sigma) bytes — the method's headline advantage.
+#pragma once
+
+#include "core/input.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "core/suffix_stack.h"
+#include "util/result.h"
+
+namespace ngram {
+
+/// Runs SUFFIX-sigma, emitting every frequent n-gram (EmitMode::kAll), or
+/// only prefix-maximal/prefix-closed ones when `emit_mode` says so (the
+/// first job of the Section VI-A pipeline; use RunSuffixSigmaMaximal /
+/// RunSuffixSigmaClosed for the complete pipeline).
+Result<NgramRun> RunSuffixSigma(const CorpusContext& ctx,
+                                const NgramJobOptions& options,
+                                EmitMode emit_mode = EmitMode::kAll);
+
+}  // namespace ngram

@@ -1,0 +1,288 @@
+// The two-stack suffix aggregator at the core of SUFFIX-sigma's reducer
+// (Algorithm 4 and Figure 1), generalized over the aggregate type so the
+// same automaton serves plain counting, document frequencies, and n-gram
+// time series (Section VI-B).
+//
+// Suffix keys arrive in reverse lexicographic order. The stack holds the
+// prefixes of the most recent suffix; each frame lazily accumulates the
+// aggregate of its subtree. When the next suffix diverges, completed frames
+// pop — at that moment the frame's aggregate is the n-gram's final value,
+// because no yet-unseen suffix can have it as a prefix.
+//
+// Each frame also tracks the maximum Total() over its *completed children*,
+// which is exactly max { cf(extension) } — enabling exact prefix-maximality
+// (max child cf < tau) and prefix-closedness (max child cf != own cf)
+// decisions at pop time (Section VI-A).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "encoding/sequence.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace ngram {
+
+/// Which n-grams to emit at pop time.
+enum class EmitMode {
+  kAll,            // Every n-gram with Total() >= tau.
+  kPrefixMaximal,  // ... and no prefix-extension with cf >= tau.
+  kPrefixClosed,   // ... and no prefix-extension with equal cf.
+};
+
+/// Plain occurrence counting (collection frequency).
+struct CountAggregate {
+  uint64_t count = 0;
+
+  void MergeFrom(const CountAggregate& other) { count += other.count; }
+  uint64_t Total() const { return count; }
+};
+
+/// Distinct-document tracking (document frequency). Docs are kept sorted
+/// and unique; merging is a sorted-set union.
+struct DocSetAggregate {
+  std::vector<uint64_t> docs;
+
+  void MergeFrom(const DocSetAggregate& other) {
+    std::vector<uint64_t> merged;
+    merged.reserve(docs.size() + other.docs.size());
+    size_t i = 0, j = 0;
+    while (i < docs.size() || j < other.docs.size()) {
+      uint64_t next;
+      if (j >= other.docs.size() ||
+          (i < docs.size() && docs[i] <= other.docs[j])) {
+        next = docs[i];
+        if (j < other.docs.size() && other.docs[j] == next) {
+          ++j;
+        }
+        ++i;
+      } else {
+        next = other.docs[j];
+        ++j;
+      }
+      merged.push_back(next);
+    }
+    docs = std::move(merged);
+  }
+  uint64_t Total() const { return docs.size(); }
+};
+
+/// \brief The SUFFIX-sigma reducer automaton.
+///
+/// \tparam Agg aggregate with MergeFrom(const Agg&) and uint64_t Total().
+template <typename Agg>
+class SuffixStack {
+ public:
+  /// Called for every emitted n-gram with its final aggregate.
+  using EmitFn = std::function<Status(const TermSequence&, const Agg&)>;
+
+  SuffixStack(uint64_t tau, EmitMode mode, EmitFn emit)
+      : tau_(tau), mode_(mode), emit_(std::move(emit)) {}
+
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(SuffixStack);
+
+  /// Feeds the next suffix (reverse-lex order) with the aggregate of its
+  /// exact occurrences (|l| for counting). Returns InvalidArgument on
+  /// out-of-order input.
+  Status Push(const TermSequence& suffix, Agg value) {
+    // Longest common prefix of the stack path and the new suffix.
+    size_t lcp = 0;
+    while (lcp < path_.size() && lcp < suffix.size() &&
+           path_[lcp] == suffix[lcp]) {
+      ++lcp;
+    }
+    // Order sanity: the new suffix may not strictly extend the path (an
+    // extension sorts *before* its prefix in reverse-lex order), and at the
+    // divergence point its term must be smaller (descending order).
+    if (lcp == path_.size() && suffix.size() > path_.size() &&
+        !path_.empty()) {
+      return Status::InvalidArgument(
+          "suffix stream not in reverse lexicographic order (extension "
+          "after prefix)");
+    }
+    if (lcp < path_.size() && lcp < suffix.size() &&
+        suffix[lcp] > path_[lcp]) {
+      return Status::InvalidArgument(
+          "suffix stream not in reverse lexicographic order");
+    }
+    while (path_.size() > lcp) {
+      NGRAM_RETURN_NOT_OK(PopFrame());
+    }
+    if (path_.size() == suffix.size()) {
+      // The suffix equals the current path (it was a prefix of an earlier,
+      // longer suffix): merge directly, like Algorithm 4 line 7/8.
+      if (!frames_.empty()) {
+        const uint64_t t = value.Total();
+        frames_.back().agg.MergeFrom(value);
+        (void)t;
+      } else if (!suffix.empty()) {
+        return Status::Internal("empty stack with non-empty suffix");
+      }
+      return Status::OK();
+    }
+    for (size_t i = path_.size(); i < suffix.size(); ++i) {
+      path_.push_back(suffix[i]);
+      frames_.push_back(Frame{});
+    }
+    frames_.back().agg = std::move(value);
+    return Status::OK();
+  }
+
+  /// Pops every remaining frame — the reducer's cleanup() hook
+  /// (Algorithm 4 invokes reduce with an empty sequence).
+  Status Flush() {
+    while (!frames_.empty()) {
+      NGRAM_RETURN_NOT_OK(PopFrame());
+    }
+    return Status::OK();
+  }
+
+  /// Current (term, subtree-total) frames bottom-to-top — lets tests replay
+  /// the paper's Figure 1.
+  std::vector<std::pair<TermId, uint64_t>> FrameSnapshot() const {
+    std::vector<std::pair<TermId, uint64_t>> snapshot;
+    snapshot.reserve(frames_.size());
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      snapshot.emplace_back(path_[i], frames_[i].agg.Total());
+    }
+    return snapshot;
+  }
+
+  size_t depth() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    Agg agg;
+    uint64_t max_child_total = 0;
+  };
+
+  Status PopFrame() {
+    Frame& top = frames_.back();
+    const uint64_t total = top.agg.Total();
+    bool emit = total >= tau_;
+    if (mode_ == EmitMode::kPrefixMaximal) {
+      emit = emit && top.max_child_total < tau_;
+    } else if (mode_ == EmitMode::kPrefixClosed) {
+      emit = emit && top.max_child_total != total;
+    }
+    if (emit) {
+      NGRAM_RETURN_NOT_OK(emit_(path_, top.agg));
+    }
+    if (frames_.size() >= 2) {
+      Frame& parent = frames_[frames_.size() - 2];
+      parent.max_child_total = std::max(parent.max_child_total, total);
+      parent.agg.MergeFrom(top.agg);
+    }
+    frames_.pop_back();
+    path_.pop_back();
+    return Status::OK();
+  }
+
+  const uint64_t tau_;
+  const EmitMode mode_;
+  const EmitFn emit_;
+  std::vector<Frame> frames_;
+  TermSequence path_;
+};
+
+/// \brief Stack filter for the maximality/closedness post-processing job
+/// (Section VI-A).
+///
+/// Inputs are *reversed* n-grams with their exact frequencies, again in
+/// reverse-lex order. Unlike SuffixStack, frames do not aggregate: an input
+/// item keeps its own cf, and interior frames may not correspond to any
+/// input at all. A frame tracks whether any descendant input exists
+/// (maximality) and the max descendant cf (closedness).
+class PrefixFilterStack {
+ public:
+  using EmitFn = std::function<Status(const TermSequence&, uint64_t)>;
+
+  /// `mode` must be kPrefixMaximal or kPrefixClosed.
+  PrefixFilterStack(EmitMode mode, EmitFn emit)
+      : mode_(mode), emit_(std::move(emit)) {}
+
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(PrefixFilterStack);
+
+  Status Push(const TermSequence& item, uint64_t frequency) {
+    size_t lcp = 0;
+    while (lcp < path_.size() && lcp < item.size() &&
+           path_[lcp] == item[lcp]) {
+      ++lcp;
+    }
+    if ((lcp == path_.size() && item.size() > path_.size() &&
+         !path_.empty()) ||
+        (lcp < path_.size() && lcp < item.size() && item[lcp] > path_[lcp])) {
+      return Status::InvalidArgument(
+          "filter input not in reverse lexicographic order");
+    }
+    while (path_.size() > lcp) {
+      NGRAM_RETURN_NOT_OK(PopFrame());
+    }
+    if (path_.size() == item.size()) {
+      if (frames_.empty()) {
+        return Status::Internal("duplicate empty item");
+      }
+      frames_.back().is_item = true;
+      frames_.back().cf = frequency;
+      return Status::OK();
+    }
+    for (size_t i = path_.size(); i < item.size(); ++i) {
+      path_.push_back(item[i]);
+      frames_.push_back(Frame{});
+    }
+    frames_.back().is_item = true;
+    frames_.back().cf = frequency;
+    return Status::OK();
+  }
+
+  Status Flush() {
+    while (!frames_.empty()) {
+      NGRAM_RETURN_NOT_OK(PopFrame());
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Frame {
+    bool is_item = false;
+    uint64_t cf = 0;
+    bool has_descendant_item = false;
+    uint64_t max_descendant_cf = 0;
+  };
+
+  Status PopFrame() {
+    Frame& top = frames_.back();
+    if (top.is_item) {
+      bool emit = true;
+      if (mode_ == EmitMode::kPrefixMaximal) {
+        emit = !top.has_descendant_item;
+      } else if (mode_ == EmitMode::kPrefixClosed) {
+        emit = top.max_descendant_cf != top.cf;
+      }
+      if (emit) {
+        NGRAM_RETURN_NOT_OK(emit_(path_, top.cf));
+      }
+    }
+    if (frames_.size() >= 2) {
+      Frame& parent = frames_[frames_.size() - 2];
+      parent.has_descendant_item |= top.is_item || top.has_descendant_item;
+      parent.max_descendant_cf =
+          std::max({parent.max_descendant_cf, top.max_descendant_cf,
+                    top.is_item ? top.cf : 0});
+    }
+    frames_.pop_back();
+    path_.pop_back();
+    return Status::OK();
+  }
+
+  const EmitMode mode_;
+  const EmitFn emit_;
+  std::vector<Frame> frames_;
+  TermSequence path_;
+};
+
+}  // namespace ngram

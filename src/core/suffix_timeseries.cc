@@ -1,0 +1,118 @@
+#include "core/suffix_timeseries.h"
+
+#include <algorithm>
+
+#include "core/counting.h"
+#include "core/rev_lex.h"
+#include "core/suffix_stack.h"
+
+namespace ngram {
+
+namespace {
+
+/// (doc id, year) — the paper's "document identifier and its associated
+/// timestamp" suffix value.
+using DocYear = std::pair<uint64_t, int64_t>;
+
+class TimeSeriesSuffixMapper final
+    : public mr::Mapper<uint64_t, Fragment, TermSequence, DocYear> {
+ public:
+  TimeSeriesSuffixMapper(const NgramJobOptions& options,
+                         std::shared_ptr<const UnigramFrequencies> unigram_cf,
+                         std::shared_ptr<const std::vector<int32_t>> years)
+      : options_(options),
+        unigram_cf_(std::move(unigram_cf)),
+        years_(std::move(years)) {}
+
+  Status Map(const uint64_t& doc_id, const Fragment& fragment,
+             Context* ctx) override {
+    const uint64_t sigma = options_.sigma_or_max();
+    const int64_t year =
+        doc_id < years_->size() ? (*years_)[doc_id] : 0;
+    const DocYear value{doc_id, year};
+    Status status;
+    ForEachPiece(fragment, options_.document_splits, *unigram_cf_,
+                 options_.tau, [&](const Fragment& piece) {
+                   if (!status.ok()) {
+                     return;
+                   }
+                   const auto& terms = piece.terms;
+                   TermSequence suffix;
+                   for (size_t b = 0; b < terms.size(); ++b) {
+                     const size_t end =
+                         std::min<size_t>(terms.size(), b + sigma);
+                     suffix.assign(terms.begin() + b, terms.begin() + end);
+                     status = ctx->Emit(suffix, value);
+                     if (!status.ok()) {
+                       return;
+                     }
+                   }
+                 });
+    return status;
+  }
+
+ private:
+  const NgramJobOptions options_;
+  const std::shared_ptr<const UnigramFrequencies> unigram_cf_;
+  const std::shared_ptr<const std::vector<int32_t>> years_;
+};
+
+class TimeSeriesSuffixReducer final
+    : public mr::Reducer<TermSequence, DocYear, TermSequence, TimeSeries> {
+ public:
+  explicit TimeSeriesSuffixReducer(const NgramJobOptions& options)
+      : options_(options) {}
+
+  Status Setup(Context* ctx) override {
+    stack_ = std::make_unique<SuffixStack<TimeSeries>>(
+        options_.tau, EmitMode::kAll,
+        [ctx](const TermSequence& ngram, const TimeSeries& ts) {
+          return ctx->Emit(ngram, ts);
+        });
+    return Status::OK();
+  }
+
+  Status Reduce(const TermSequence& suffix, Values* values,
+                Context* ctx) override {
+    TimeSeries ts;
+    DocYear value;
+    while (values->Next(&value)) {
+      ts.Add(static_cast<int32_t>(value.second), 1);
+    }
+    return stack_->Push(suffix, std::move(ts));
+  }
+
+  Status Cleanup(Context* ctx) override { return stack_->Flush(); }
+
+ private:
+  const NgramJobOptions options_;
+  std::unique_ptr<SuffixStack<TimeSeries>> stack_;
+};
+
+}  // namespace
+
+Result<TimeSeriesRun> RunSuffixSigmaTimeSeries(
+    const CorpusContext& ctx, const NgramJobOptions& options) {
+  mr::JobConfig config = MakeBaseJobConfig(options, "suffix-sigma-ts");
+  config.partitioner = FirstTermPartitioner::Instance();
+  config.sort_comparator = ReverseLexSequenceComparator::Instance();
+
+  TimeSeriesRun run;
+  auto metrics = mr::RunJob<TimeSeriesSuffixMapper, TimeSeriesSuffixReducer>(
+      config, ctx.input,
+      [&options, &ctx] {
+        return std::make_unique<TimeSeriesSuffixMapper>(
+            options, ctx.unigram_cf, ctx.doc_years);
+      },
+      [&options] {
+        return std::make_unique<TimeSeriesSuffixReducer>(options);
+      },
+      &run.series);
+  if (!metrics.ok()) {
+    return metrics.status();
+  }
+  run.metrics.Add(std::move(metrics).ValueOrDie());
+  return run;
+}
+
+}  // namespace ngram

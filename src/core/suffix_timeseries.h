@@ -1,0 +1,29 @@
+// n-gram time series via SUFFIX-sigma (Section VI-B): the mapper emits
+// every suffix with (doc id, publication year); the reducer replaces the
+// counts stack with a stack of lazily-merged time series. The result maps
+// every frequent n-gram to its yearly occurrence counts — the culturomics
+// aggregation — while still transferring document metadata only once per
+// suffix rather than once per contained n-gram (the stated advantage over
+// extending NAIVE).
+#pragma once
+
+#include "core/input.h"
+#include "core/options.h"
+#include "core/timeseries.h"
+#include "mapreduce/dataset.h"
+#include "mapreduce/metrics.h"
+#include "util/result.h"
+
+namespace ngram {
+
+struct TimeSeriesRun {
+  mr::MemoryTable<TermSequence, TimeSeries> series;
+  mr::RunMetrics metrics;
+};
+
+/// Computes the time series of every n-gram with |s| <= sigma and total
+/// cf >= tau. Documents without a year (year == 0) are bucketed at year 0.
+Result<TimeSeriesRun> RunSuffixSigmaTimeSeries(const CorpusContext& ctx,
+                                               const NgramJobOptions& options);
+
+}  // namespace ngram

@@ -1,0 +1,77 @@
+#include "core/timeseries.h"
+
+#include <algorithm>
+
+namespace ngram {
+
+void TimeSeries::Add(int32_t year, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  auto it = std::lower_bound(
+      points.begin(), points.end(), year,
+      [](const std::pair<int32_t, uint64_t>& p, int32_t y) {
+        return p.first < y;
+      });
+  if (it != points.end() && it->first == year) {
+    it->second += count;
+  } else {
+    points.insert(it, {year, count});
+  }
+}
+
+void TimeSeries::MergeFrom(const TimeSeries& other) {
+  std::vector<std::pair<int32_t, uint64_t>> merged;
+  merged.reserve(points.size() + other.points.size());
+  size_t i = 0, j = 0;
+  while (i < points.size() || j < other.points.size()) {
+    if (j >= other.points.size() ||
+        (i < points.size() && points[i].first < other.points[j].first)) {
+      merged.push_back(points[i++]);
+    } else if (i >= points.size() ||
+               other.points[j].first < points[i].first) {
+      merged.push_back(other.points[j++]);
+    } else {
+      merged.emplace_back(points[i].first,
+                          points[i].second + other.points[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  points = std::move(merged);
+}
+
+uint64_t TimeSeries::Total() const {
+  uint64_t total = 0;
+  for (const auto& [year, count] : points) {
+    total += count;
+  }
+  return total;
+}
+
+uint64_t TimeSeries::At(int32_t year) const {
+  auto it = std::lower_bound(
+      points.begin(), points.end(), year,
+      [](const std::pair<int32_t, uint64_t>& p, int32_t y) {
+        return p.first < y;
+      });
+  if (it != points.end() && it->first == year) {
+    return it->second;
+  }
+  return 0;
+}
+
+std::string TimeSeries::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(points[i].first) + ":" +
+           std::to_string(points[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ngram

@@ -1,0 +1,70 @@
+// n-gram time series (Section VI-B): per-n-gram occurrence counts bucketed
+// by document publication year, the aggregation popularized by the
+// "culturomics" work of Michel et al. that the paper extends SUFFIX-sigma
+// towards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "encoding/serde.h"
+
+namespace ngram {
+
+/// Sparse yearly observation counts, sorted by year.
+struct TimeSeries {
+  std::vector<std::pair<int32_t, uint64_t>> points;
+
+  /// Adds `count` observations in `year`.
+  void Add(int32_t year, uint64_t count);
+
+  /// Merges another series into this one (the stack's lazy aggregation:
+  /// "instead of adding counts, we add time series observations").
+  void MergeFrom(const TimeSeries& other);
+
+  /// Total observations across all years — the n-gram's cf, used for the
+  /// tau threshold.
+  uint64_t Total() const;
+
+  /// Count in `year` (0 when absent).
+  uint64_t At(int32_t year) const;
+
+  bool operator==(const TimeSeries& o) const { return points == o.points; }
+
+  std::string ToString() const;
+};
+
+template <>
+struct Serde<TimeSeries> {
+  static void Encode(const TimeSeries& ts, std::string* out) {
+    PutVarint64(out, ts.points.size());
+    int32_t prev_year = 0;
+    for (const auto& [year, count] : ts.points) {
+      PutVarintSigned64(out, year - prev_year);
+      prev_year = year;
+      PutVarint64(out, count);
+    }
+  }
+  static bool Decode(Slice in, TimeSeries* ts) {
+    ts->points.clear();
+    uint64_t n = 0;
+    if (!GetVarint64(&in, &n)) {
+      return false;
+    }
+    int64_t prev_year = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      int64_t delta = 0;
+      uint64_t count = 0;
+      if (!GetVarintSigned64(&in, &delta) || !GetVarint64(&in, &count)) {
+        return false;
+      }
+      prev_year += delta;
+      ts->points.emplace_back(static_cast<int32_t>(prev_year), count);
+    }
+    return in.empty();
+  }
+};
+
+}  // namespace ngram

@@ -1,0 +1,84 @@
+#include "corpus/running_example.h"
+
+#include "util/logging.h"
+
+namespace ngram {
+
+namespace {
+
+TermSequence FromLetters(const char* letters) {
+  TermSequence seq;
+  for (const char* p = letters; *p != '\0'; ++p) {
+    if (*p == ' ') {
+      continue;
+    }
+    seq.push_back(RunningExampleTermId(*p));
+  }
+  return seq;
+}
+
+}  // namespace
+
+TermId RunningExampleTermId(char letter) {
+  switch (letter) {
+    case 'a':
+      return kTermA;
+    case 'b':
+      return kTermB;
+    case 'x':
+      return kTermX;
+    default:
+      NGRAM_CHECK(false) << "unknown running-example letter '" << letter
+                         << "'";
+      return 0;
+  }
+}
+
+Corpus RunningExampleCorpus() {
+  Corpus corpus;
+  Document d1;
+  d1.id = 1;
+  d1.sentences.push_back(FromLetters("a x b x x"));
+  Document d2;
+  d2.id = 2;
+  d2.sentences.push_back(FromLetters("b a x b x"));
+  Document d3;
+  d3.id = 3;
+  d3.sentences.push_back(FromLetters("x b a x b"));
+  corpus.docs = {d1, d2, d3};
+  return corpus;
+}
+
+std::map<TermSequence, uint64_t> RunningExampleExpectedCounts() {
+  return {
+      {FromLetters("a"), 3},     {FromLetters("b"), 5},
+      {FromLetters("x"), 7},     {FromLetters("a x"), 3},
+      {FromLetters("x b"), 4},   {FromLetters("a x b"), 3},
+  };
+}
+
+std::string RunningExampleDecode(const TermSequence& seq) {
+  std::string out;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) {
+      out += ' ';
+    }
+    switch (seq[i]) {
+      case kTermA:
+        out += 'a';
+        break;
+      case kTermB:
+        out += 'b';
+        break;
+      case kTermX:
+        out += 'x';
+        break;
+      default:
+        out += '?';
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ngram

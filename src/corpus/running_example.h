@@ -1,0 +1,37 @@
+// The paper's running example (Section III): three documents over the
+// vocabulary {a, b, x}. Used throughout the tests and the quickstart.
+//
+//   d1 = <a x b x x>     with tau = 3, sigma = 3 every method must output:
+//   d2 = <b a x b x>       <a>:3 <b>:5 <x>:7  <a x>:3 <x b>:4  <a x b>:3
+//   d3 = <x b a x b>
+//
+// Term ids follow the frequency-descending rule: cf(x)=7 -> id 1,
+// cf(b)=5 -> id 2, cf(a)=3 -> id 3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "text/corpus.h"
+
+namespace ngram {
+
+inline constexpr TermId kTermX = 1;
+inline constexpr TermId kTermB = 2;
+inline constexpr TermId kTermA = 3;
+
+/// Builds the three-document running-example corpus.
+Corpus RunningExampleCorpus();
+
+/// The expected output for tau = 3, sigma = 3, keyed by term-id sequence.
+std::map<TermSequence, uint64_t> RunningExampleExpectedCounts();
+
+/// Maps the example's letters to term ids ('a' -> 3, ...). Aborts on other
+/// input.
+TermId RunningExampleTermId(char letter);
+
+/// Renders an example term-id sequence back to letters ("a x b").
+std::string RunningExampleDecode(const TermSequence& seq);
+
+}  // namespace ngram

@@ -1,0 +1,232 @@
+#include "corpus/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "corpus/zipf.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ngram {
+
+namespace {
+
+/// Lognormal sampler parameterized by target mean / stddev of the
+/// *resulting* distribution (not of the underlying normal).
+class LognormalSampler {
+ public:
+  LognormalSampler(double mean, double stddev) {
+    const double m2 = mean * mean;
+    const double v = stddev * stddev;
+    sigma2_ = std::log(1.0 + v / m2);
+    mu_ = std::log(mean) - sigma2_ / 2.0;
+    sigma_ = std::sqrt(sigma2_);
+  }
+
+  double Sample(Rng* rng) const {
+    // Box-Muller.
+    double u1 = rng->NextDouble();
+    double u2 = rng->NextDouble();
+    if (u1 < 1e-12) {
+      u1 = 1e-12;
+    }
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return std::exp(mu_ + sigma_ * z);
+  }
+
+ private:
+  double mu_;
+  double sigma_;
+  double sigma2_;
+};
+
+uint64_t SamplePoisson(Rng* rng, double mean) {
+  // Knuth's method; means here are small (tens).
+  const double limit = std::exp(-mean);
+  uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng->NextDouble();
+  } while (p > limit && k < 10000);
+  return k - 1;
+}
+
+}  // namespace
+
+Corpus GenerateSyntheticCorpus(const SyntheticCorpusOptions& options) {
+  Rng rng(options.seed);
+  ZipfSampler term_sampler(options.vocabulary_size, options.zipf_exponent);
+  LognormalSampler sentence_length(options.sentence_length_mean,
+                                   options.sentence_length_stddev);
+
+  // Pre-generate the template phrases of each class. Phrase terms are drawn
+  // from the same Zipf distribution, so a phrase's unigrams are typically
+  // frequent and document splitting cannot break the phrase apart — exactly
+  // the property that makes long n-grams expensive for APRIORI methods.
+  struct PhrasePool {
+    const PhraseClass* cls;
+    std::vector<TermSequence> phrases;
+    ZipfSampler popularity;
+  };
+  std::vector<PhrasePool> pools;
+  for (const auto& cls : options.phrase_classes) {
+    if (cls.num_phrases == 0 || cls.per_document_probability <= 0) {
+      continue;
+    }
+    PhrasePool pool{&cls, {}, ZipfSampler(cls.num_phrases,
+                                          cls.popularity_exponent)};
+    pool.phrases.reserve(cls.num_phrases);
+    for (uint32_t i = 0; i < cls.num_phrases; ++i) {
+      const uint32_t len =
+          cls.min_length + static_cast<uint32_t>(rng.Uniform(
+                               cls.max_length - cls.min_length + 1));
+      TermSequence phrase;
+      phrase.reserve(len);
+      for (uint32_t j = 0; j < len; ++j) {
+        phrase.push_back(static_cast<TermId>(term_sampler.Sample(&rng)));
+      }
+      pool.phrases.push_back(std::move(phrase));
+    }
+    pools.push_back(std::move(pool));
+  }
+
+  Corpus corpus;
+  corpus.docs.reserve(options.num_documents);
+  for (uint64_t d = 0; d < options.num_documents; ++d) {
+    Document doc;
+    doc.id = d + 1;
+    if (options.year_min != 0 || options.year_max != 0) {
+      doc.year = options.year_min +
+                 static_cast<int32_t>(rng.Uniform(
+                     static_cast<uint64_t>(options.year_max -
+                                           options.year_min + 1)));
+    }
+    const uint64_t num_sentences =
+        1 + SamplePoisson(&rng, std::max(0.0,
+                                         options.sentences_per_doc_mean - 1));
+    doc.sentences.reserve(num_sentences);
+    for (uint64_t s = 0; s < num_sentences; ++s) {
+      const double len_d = sentence_length.Sample(&rng);
+      const uint64_t len = std::max<uint64_t>(
+          1, static_cast<uint64_t>(std::llround(len_d)));
+      TermSequence sentence;
+      sentence.reserve(len);
+      for (uint64_t i = 0; i < len; ++i) {
+        sentence.push_back(static_cast<TermId>(term_sampler.Sample(&rng)));
+      }
+      doc.sentences.push_back(std::move(sentence));
+    }
+    // Embed template phrases as additional sentences.
+    for (auto& pool : pools) {
+      if (rng.NextDouble() < pool.cls->per_document_probability) {
+        const uint64_t which = pool.popularity.Sample(&rng) - 1;
+        doc.sentences.push_back(pool.phrases[which]);
+      }
+    }
+    corpus.docs.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+SyntheticCorpusOptions NytLikeOptions(uint64_t num_documents, uint64_t seed) {
+  SyntheticCorpusOptions o;
+  o.name = "NYT-like";
+  o.num_documents = num_documents;
+  // Vocabulary scales sublinearly with collection size (Heaps' law); the
+  // real NYT has 346k distinct terms over 1.8M docs.
+  o.vocabulary_size = std::max<uint64_t>(
+      2000, static_cast<uint64_t>(1200.0 * std::pow(num_documents, 0.47)));
+  o.zipf_exponent = 1.05;
+  o.sentence_length_mean = 18.96;   // Table I.
+  o.sentence_length_stddev = 14.05; // Table I.
+  // Real NYT: ~1049M occurrences / 55.4M sentences over 1.83M docs
+  // => ~30 sentences/doc.
+  o.sentences_per_doc_mean = 30.0;
+  o.year_min = 1987;
+  o.year_max = 2007;
+  o.seed = seed;
+
+  // Long recurring n-grams observed in NYT (Section VII-C): ingredient
+  // lists of recipes and chess openings.
+  PhraseClass recipes;
+  recipes.name = "recipes";
+  recipes.num_phrases = std::max<uint32_t>(10, num_documents / 200);
+  recipes.min_length = 30;
+  recipes.max_length = 120;
+  recipes.per_document_probability = 0.04;
+  recipes.popularity_exponent = 1.3;
+  o.phrase_classes.push_back(recipes);
+
+  PhraseClass chess;
+  chess.name = "chess-openings";
+  chess.num_phrases = std::max<uint32_t>(10, num_documents / 2000);
+  chess.min_length = 10;
+  chess.max_length = 40;
+  chess.per_document_probability = 0.005;
+  chess.popularity_exponent = 1.2;
+  o.phrase_classes.push_back(chess);
+
+  PhraseClass quotes;
+  quotes.name = "quotations";
+  quotes.num_phrases = std::max<uint32_t>(50, num_documents / 200);
+  quotes.min_length = 6;
+  quotes.max_length = 20;
+  quotes.per_document_probability = 0.05;
+  quotes.popularity_exponent = 1.0;
+  o.phrase_classes.push_back(quotes);
+
+  return o;
+}
+
+SyntheticCorpusOptions ClueWebLikeOptions(uint64_t num_documents,
+                                          uint64_t seed) {
+  SyntheticCorpusOptions o;
+  o.name = "CW-like";
+  o.num_documents = num_documents;
+  // Real CW09-B: 980k distinct terms over 50M docs; web text is noisier, so
+  // a fatter Heaps curve and a slightly flatter Zipf tail.
+  o.vocabulary_size = std::max<uint64_t>(
+      4000, static_cast<uint64_t>(2500.0 * std::pow(num_documents, 0.47)));
+  o.zipf_exponent = 0.95;
+  o.sentence_length_mean = 17.02;   // Table I.
+  o.sentence_length_stddev = 17.56; // Table I.
+  // Real CW09-B: ~21404M occurrences / 1257M sentences over 50.2M docs
+  // => ~25 sentences/doc (post-boilerplate-removal).
+  o.sentences_per_doc_mean = 25.0;
+  o.seed = seed;
+
+  // Long recurring n-grams observed in CW (Section VII-C): web spam,
+  // server error messages / stack traces, duplicated boilerplate.
+  PhraseClass spam;
+  spam.name = "web-spam";
+  spam.num_phrases = std::max<uint32_t>(10, num_documents / 1000);
+  spam.min_length = 50;
+  spam.max_length = 200;
+  spam.per_document_probability = 0.04;
+  spam.popularity_exponent = 1.2;
+  o.phrase_classes.push_back(spam);
+
+  PhraseClass traces;
+  traces.name = "stack-traces";
+  traces.num_phrases = std::max<uint32_t>(20, num_documents / 1500);
+  traces.min_length = 20;
+  traces.max_length = 80;
+  traces.per_document_probability = 0.02;
+  traces.popularity_exponent = 1.0;
+  o.phrase_classes.push_back(traces);
+
+  PhraseClass boilerplate;
+  boilerplate.name = "boilerplate";
+  boilerplate.num_phrases = std::max<uint32_t>(8, num_documents / 5000);
+  boilerplate.min_length = 15;
+  boilerplate.max_length = 60;
+  boilerplate.per_document_probability = 0.10;
+  boilerplate.popularity_exponent = 1.0;
+  o.phrase_classes.push_back(boilerplate);
+
+  return o;
+}
+
+}  // namespace ngram

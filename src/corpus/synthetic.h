@@ -1,0 +1,78 @@
+// Synthetic corpus generators standing in for the paper's two datasets.
+//
+// The New York Times Annotated Corpus and ClueWeb09-B are licensed and
+// cannot ship here, so the benchmarks run on generated collections whose
+// *cost-relevant characteristics* are calibrated to Table I and Section
+// VII-C of the paper:
+//   - Zipfian unigram distribution (vocabulary size per dataset),
+//   - lognormal sentence lengths (NYT: mean 18.96 / sd 14.05;
+//     CW: mean 17.02 / sd 17.56),
+//   - long *recurring* n-grams: NYT-like corpora embed recipe-ingredient
+//     lists and chess openings; CW-like corpora embed web spam, stack
+//     traces, and duplicated boilerplate (Section VII-C observes exactly
+//     these as the sources of 100+-term frequent n-grams),
+//   - NYT documents carry 1987-2007 timestamps for the time-series
+//     extension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace ngram {
+
+/// A class of long template phrases injected into documents to create
+/// long frequent n-grams (quotations, recipes, boilerplate, spam).
+struct PhraseClass {
+  std::string name;
+  /// Number of distinct template phrases in the class.
+  uint32_t num_phrases = 0;
+  /// Phrase length range (terms).
+  uint32_t min_length = 10;
+  uint32_t max_length = 40;
+  /// Probability that a given document embeds a phrase from this class.
+  double per_document_probability = 0.0;
+  /// Zipf exponent over phrases within the class (popular quotes repeat
+  /// much more often than obscure ones).
+  double popularity_exponent = 1.0;
+};
+
+struct SyntheticCorpusOptions {
+  std::string name = "synthetic";
+  uint64_t num_documents = 10000;
+  uint64_t vocabulary_size = 50000;
+  double zipf_exponent = 1.05;
+
+  /// Sentence length distribution (lognormal, clamped to >= 1).
+  double sentence_length_mean = 18.0;
+  double sentence_length_stddev = 14.0;
+
+  /// Sentences per document: 1 + Poisson(mean - 1).
+  double sentences_per_doc_mean = 28.0;
+
+  /// Document timestamps, uniform in [year_min, year_max]; 0/0 disables.
+  int32_t year_min = 0;
+  int32_t year_max = 0;
+
+  std::vector<PhraseClass> phrase_classes;
+
+  uint64_t seed = 20130318;  // EDBT 2013 :-)
+};
+
+/// Generates a corpus; fully deterministic for fixed options.
+Corpus GenerateSyntheticCorpus(const SyntheticCorpusOptions& options);
+
+/// Calibrated options for the NYT-like collection (Section VII-B/C):
+/// clean longitudinal news corpus, 1987-2007 timestamps, recipes and chess
+/// openings as long recurring n-grams.
+SyntheticCorpusOptions NytLikeOptions(uint64_t num_documents, uint64_t seed);
+
+/// Calibrated options for the ClueWeb09-B-like collection: larger noisier
+/// vocabulary, shorter but higher-variance sentences, web spam / stack
+/// traces / duplicated boilerplate.
+SyntheticCorpusOptions ClueWebLikeOptions(uint64_t num_documents,
+                                          uint64_t seed);
+
+}  // namespace ngram

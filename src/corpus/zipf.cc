@@ -1,0 +1,26 @@
+#include "corpus/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ngram {
+
+ZipfSampler::ZipfSampler(uint64_t n, double exponent) {
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t r = 1; r <= n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r), exponent);
+    cdf_[r - 1] = total;
+  }
+  for (auto& v : cdf_) {
+    v /= total;
+  }
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace ngram

@@ -1,0 +1,31 @@
+// Zipfian term sampler. Natural-language term frequencies are famously
+// Zipf-distributed; both synthetic corpora draw their vocabulary from this
+// sampler so term ids (= frequency ranks) match the paper's
+// frequency-descending id assignment by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ngram {
+
+/// \brief Samples ranks in [1, n] with P(r) proportional to 1 / r^s.
+///
+/// Uses an exact inverse-CDF table with binary search; construction is
+/// O(n), sampling O(log n). Deterministic given the caller's Rng.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double exponent);
+
+  /// Draws one rank in [1, n].
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return static_cast<uint64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i + 1).
+};
+
+}  // namespace ngram

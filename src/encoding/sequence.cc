@@ -1,0 +1,17 @@
+#include "encoding/sequence.h"
+
+namespace ngram {
+
+std::string SequenceToDebugString(const TermSequence& seq) {
+  std::string out = "<";
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) {
+      out += ' ';
+    }
+    out += std::to_string(seq[i]);
+  }
+  out += '>';
+  return out;
+}
+
+}  // namespace ngram

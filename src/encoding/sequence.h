@@ -1,0 +1,85 @@
+// TermSequence: the library's representation of an n-gram / document as a
+// sequence of integer term identifiers, plus its wire codec.
+//
+// Term ids are assigned in descending order of collection frequency
+// (Section V, "Sequence Encoding"), which keeps frequent terms small and
+// their varbyte encodings short.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "encoding/varint.h"
+#include "util/slice.h"
+
+namespace ngram {
+
+/// Term identifier. Id 0 is reserved as invalid/padding.
+using TermId = uint32_t;
+
+/// A sequence of term ids (a document, sentence fragment, or n-gram).
+using TermSequence = std::vector<TermId>;
+
+/// Codec for term sequences: terms are appended back-to-back as varints with
+/// NO length prefix — the record framing supplies the byte extent. This
+/// makes prefix relationships between encoded sequences cheap to detect and
+/// lets raw comparators iterate terms without allocation.
+struct SequenceCodec {
+  /// Appends the varbyte encoding of `seq` to `out`.
+  static void Encode(const TermSequence& seq, std::string* out) {
+    for (TermId t : seq) {
+      PutVarint32(out, t);
+    }
+  }
+
+  /// Appends the varbyte encoding of `seq[begin..end)` to `out`.
+  static void EncodeRange(const TermSequence& seq, size_t begin, size_t end,
+                          std::string* out) {
+    for (size_t i = begin; i < end; ++i) {
+      PutVarint32(out, seq[i]);
+    }
+  }
+
+  /// Decodes an entire slice into `seq` (cleared first). Returns false on
+  /// malformed input.
+  static bool Decode(Slice in, TermSequence* seq) {
+    seq->clear();
+    while (!in.empty()) {
+      TermId t = 0;
+      if (!GetVarint32(&in, &t)) {
+        return false;
+      }
+      seq->push_back(t);
+    }
+    return true;
+  }
+
+  /// Encoded size in bytes of `seq`.
+  static size_t EncodedSize(const TermSequence& seq) {
+    size_t n = 0;
+    for (TermId t : seq) {
+      n += static_cast<size_t>(VarintLength(t));
+    }
+    return n;
+  }
+};
+
+/// Allocation-free cursor over an encoded term sequence.
+class SequenceReader {
+ public:
+  explicit SequenceReader(Slice data) : data_(data) {}
+
+  bool AtEnd() const { return data_.empty(); }
+
+  /// Reads the next term. Returns false at end or on malformed input.
+  bool Next(TermId* term) { return GetVarint32(&data_, term); }
+
+ private:
+  Slice data_;
+};
+
+/// Renders a term-id sequence like "<3 17 4>" for logs and tests.
+std::string SequenceToDebugString(const TermSequence& seq);
+
+}  // namespace ngram

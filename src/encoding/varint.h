@@ -1,0 +1,111 @@
+// LEB128 variable-byte integers ("variable-byte encoding", Witten et al.,
+// Managing Gigabytes) — the paper's Section V representation for serialized
+// term-identifier sequences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+
+namespace ngram {
+
+/// Maximum encoded size of a 64-bit varint.
+inline constexpr int kMaxVarint64Bytes = 10;
+/// Maximum encoded size of a 32-bit varint.
+inline constexpr int kMaxVarint32Bytes = 5;
+
+/// Appends `v` to `out` as a little-endian base-128 varint.
+inline void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutVarint32(std::string* out, uint32_t v) {
+  PutVarint64(out, v);
+}
+
+/// Number of bytes PutVarint64 would append for `v`.
+inline int VarintLength(uint64_t v) {
+  int len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+/// Parses a varint from the front of `in`, advancing it. Returns false on
+/// truncated or overlong input.
+inline bool GetVarint64(Slice* in, uint64_t* value) {
+  uint64_t result = 0;
+  const uint8_t* p = in->udata();
+  const uint8_t* limit = p + in->size();
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    const uint64_t byte = *p;
+    ++p;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      in->RemovePrefix(static_cast<size_t>(p - in->udata()));
+      return true;
+    }
+  }
+  return false;
+}
+
+inline bool GetVarint32(Slice* in, uint32_t* value) {
+  uint64_t v64 = 0;
+  if (!GetVarint64(in, &v64) || v64 > 0xffffffffULL) {
+    return false;
+  }
+  *value = static_cast<uint32_t>(v64);
+  return true;
+}
+
+/// ZigZag maps signed to unsigned so small-magnitude negatives stay short.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline void PutVarintSigned64(std::string* out, int64_t v) {
+  PutVarint64(out, ZigZagEncode(v));
+}
+
+inline bool GetVarintSigned64(Slice* in, int64_t* value) {
+  uint64_t u = 0;
+  if (!GetVarint64(in, &u)) {
+    return false;
+  }
+  *value = ZigZagDecode(u);
+  return true;
+}
+
+/// Fixed-width little-endian 32-bit integer (used in spill-file framing
+/// where random access matters more than size).
+inline void PutFixed32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  const uint8_t* u = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+}  // namespace ngram

@@ -1,0 +1,42 @@
+#include "index/posting.h"
+
+namespace ngram {
+
+PostingList JoinAdjacent(const PostingList& left, const PostingList& right) {
+  PostingList result;
+  size_t i = 0, j = 0;
+  while (i < left.postings.size() && j < right.postings.size()) {
+    const Posting& l = left.postings[i];
+    const Posting& r = right.postings[j];
+    if (l.doc_id < r.doc_id) {
+      ++i;
+    } else if (l.doc_id > r.doc_id) {
+      ++j;
+    } else {
+      Posting joined;
+      joined.doc_id = l.doc_id;
+      // Two-pointer scan: keep p in l.positions with p + 1 in r.positions.
+      size_t a = 0, b = 0;
+      while (a < l.positions.size() && b < r.positions.size()) {
+        const uint32_t want = l.positions[a] + 1;
+        if (r.positions[b] < want) {
+          ++b;
+        } else if (r.positions[b] > want) {
+          ++a;
+        } else {
+          joined.positions.push_back(l.positions[a]);
+          ++a;
+          ++b;
+        }
+      }
+      if (!joined.positions.empty()) {
+        result.postings.push_back(std::move(joined));
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return result;
+}
+
+}  // namespace ngram

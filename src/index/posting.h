@@ -1,0 +1,135 @@
+// Positional postings for APRIORI-INDEX: every frequent n-gram carries an
+// inverted list of (document, sorted positions). Joining the posting lists
+// of a k-gram's two constituent (k-1)-grams (offset by one position) yields
+// the k-gram's posting list — the core of Algorithm 3, Reducer #2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "encoding/serde.h"
+#include "encoding/varint.h"
+#include "util/slice.h"
+
+namespace ngram {
+
+/// Occurrences of one n-gram within one document.
+struct Posting {
+  uint64_t doc_id = 0;
+  std::vector<uint32_t> positions;  // Start offsets, strictly ascending.
+
+  bool operator==(const Posting& o) const {
+    return doc_id == o.doc_id && positions == o.positions;
+  }
+};
+
+/// A full inverted list, sorted by doc_id.
+struct PostingList {
+  std::vector<Posting> postings;
+
+  /// Collection frequency represented by this list: total number of
+  /// occurrences across documents.
+  uint64_t TotalOccurrences() const {
+    uint64_t n = 0;
+    for (const auto& p : postings) {
+      n += p.positions.size();
+    }
+    return n;
+  }
+
+  /// Document frequency: number of documents with >= 1 occurrence.
+  uint64_t DocumentFrequency() const { return postings.size(); }
+
+  bool operator==(const PostingList& o) const {
+    return postings == o.postings;
+  }
+};
+
+/// Positional merge-join: occurrences of the k-gram whose first (k-1)-gram
+/// is `left` and whose last (k-1)-gram is `right`; i.e. keeps positions p of
+/// `left` such that `right` has an occurrence at p + 1.
+PostingList JoinAdjacent(const PostingList& left, const PostingList& right);
+
+/// Wire format: doc ids delta-encoded across postings; positions
+/// delta-encoded within a posting.
+template <>
+struct Serde<Posting> {
+  static void Encode(const Posting& p, std::string* out) {
+    PutVarint64(out, p.doc_id);
+    PutVarint64(out, p.positions.size());
+    uint32_t prev = 0;
+    for (uint32_t pos : p.positions) {
+      PutVarint32(out, pos - prev);
+      prev = pos;
+    }
+  }
+  static bool Decode(Slice in, Posting* p) {
+    p->positions.clear();
+    uint64_t n = 0;
+    if (!GetVarint64(&in, &p->doc_id) || !GetVarint64(&in, &n)) {
+      return false;
+    }
+    uint32_t prev = 0;
+    p->positions.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t delta = 0;
+      if (!GetVarint32(&in, &delta)) {
+        return false;
+      }
+      prev += delta;
+      p->positions.push_back(prev);
+    }
+    return in.empty();
+  }
+};
+
+template <>
+struct Serde<PostingList> {
+  static void Encode(const PostingList& list, std::string* out) {
+    PutVarint64(out, list.postings.size());
+    uint64_t prev_doc = 0;
+    for (const auto& p : list.postings) {
+      PutVarint64(out, p.doc_id - prev_doc);
+      prev_doc = p.doc_id;
+      PutVarint64(out, p.positions.size());
+      uint32_t prev_pos = 0;
+      for (uint32_t pos : p.positions) {
+        PutVarint32(out, pos - prev_pos);
+        prev_pos = pos;
+      }
+    }
+  }
+  static bool Decode(Slice in, PostingList* list) {
+    list->postings.clear();
+    uint64_t n = 0;
+    if (!GetVarint64(&in, &n)) {
+      return false;
+    }
+    list->postings.reserve(n);
+    uint64_t prev_doc = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      Posting p;
+      uint64_t doc_delta = 0, count = 0;
+      if (!GetVarint64(&in, &doc_delta) || !GetVarint64(&in, &count)) {
+        return false;
+      }
+      prev_doc += doc_delta;
+      p.doc_id = prev_doc;
+      p.positions.reserve(count);
+      uint32_t prev_pos = 0;
+      for (uint64_t j = 0; j < count; ++j) {
+        uint32_t delta = 0;
+        if (!GetVarint32(&in, &delta)) {
+          return false;
+        }
+        prev_pos += delta;
+        p.positions.push_back(prev_pos);
+      }
+      list->postings.push_back(std::move(p));
+    }
+    return in.empty();
+  }
+};
+
+}  // namespace ngram

@@ -1,0 +1,60 @@
+#include "kvstore/block_cache.h"
+
+namespace ngram::kv {
+
+std::shared_ptr<const std::string> BlockCache::Lookup(const BlockKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  // Move to front (most recently used).
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->block;
+}
+
+void BlockCache::Insert(const BlockKey& key,
+                        std::shared_ptr<const std::string> block) {
+  if (capacity_bytes_ == 0 || block == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    charged_bytes_ -= it->second->block->size();
+    it->second->block = std::move(block);
+    charged_bytes_ += it->second->block->size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(block)});
+    index_[key] = lru_.begin();
+    charged_bytes_ += lru_.front().block->size();
+  }
+  EvictIfNeeded();
+}
+
+void BlockCache::EraseFile(uint64_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.file_id == file_id) {
+      charged_bytes_ -= it->block->size();
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockCache::EvictIfNeeded() {
+  while (charged_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    charged_bytes_ -= victim.block->size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace ngram::kv

@@ -1,0 +1,78 @@
+// LRU block cache fronting KV store segment files, in the spirit of the
+// caching layer the paper layers over Berkeley DB ("Most main memory is then
+// used for caching").
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/macros.h"
+
+namespace ngram::kv {
+
+/// Key of a cached block: (file id, block index).
+struct BlockKey {
+  uint64_t file_id;
+  uint64_t block_index;
+  bool operator==(const BlockKey& o) const {
+    return file_id == o.file_id && block_index == o.block_index;
+  }
+};
+
+struct BlockKeyHash {
+  size_t operator()(const BlockKey& k) const {
+    return std::hash<uint64_t>()(k.file_id * 0x9e3779b97f4a7c15ULL ^
+                                 k.block_index);
+  }
+};
+
+/// \brief Sharded-free LRU cache of fixed-size file blocks.
+///
+/// Thread-safe. Eviction is strict LRU by byte capacity. Blocks are
+/// immutable once inserted (segments are append-only and blocks are only
+/// cached once full or sealed).
+class BlockCache {
+ public:
+  /// `capacity_bytes` of zero disables caching entirely.
+  explicit BlockCache(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(BlockCache);
+
+  /// Returns the cached block or nullptr on miss.
+  std::shared_ptr<const std::string> Lookup(const BlockKey& key);
+
+  /// Inserts a block (no-op when capacity is zero). Replaces an existing
+  /// entry for the same key.
+  void Insert(const BlockKey& key, std::shared_ptr<const std::string> block);
+
+  /// Drops every block belonging to `file_id` (file deleted / truncated).
+  void EraseFile(uint64_t file_id);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t charged_bytes() const { return charged_bytes_; }
+
+ private:
+  struct Entry {
+    BlockKey key;
+    std::shared_ptr<const std::string> block;
+  };
+  using LruList = std::list<Entry>;
+
+  void EvictIfNeeded();  // Requires mu_ held.
+
+  const size_t capacity_bytes_;
+  std::mutex mu_;
+  LruList lru_;  // Front = most recently used.
+  std::unordered_map<BlockKey, LruList::iterator, BlockKeyHash> index_;
+  size_t charged_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ngram::kv

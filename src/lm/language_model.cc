@@ -1,0 +1,142 @@
+#include "lm/language_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ngram::lm {
+
+Result<StupidBackoffModel> StupidBackoffModel::Build(
+    NgramStatistics stats, LanguageModelOptions options,
+    uint64_t total_unigram_count) {
+  if (options.order == 0) {
+    return Status::InvalidArgument("order must be >= 1");
+  }
+  if (options.backoff_alpha <= 0.0 || options.backoff_alpha > 1.0) {
+    return Status::InvalidArgument("backoff_alpha must be in (0, 1]");
+  }
+  stats.SortCanonical();
+  uint64_t total = total_unigram_count;
+  if (total == 0) {
+    for (const auto& [seq, cf] : stats.entries) {
+      if (seq.size() == 1) {
+        total += cf;
+      }
+    }
+  }
+  if (total == 0) {
+    return Status::InvalidArgument(
+        "statistics contain no unigrams and no total was provided");
+  }
+  return StupidBackoffModel(std::move(stats), options, total);
+}
+
+double StupidBackoffModel::Score(const TermSequence& context,
+                                 TermId word) const {
+  // Clip the context to order - 1 terms.
+  const size_t max_context = options_.order - 1;
+  const size_t begin =
+      context.size() > max_context ? context.size() - max_context : 0;
+
+  double discount = 1.0;
+  TermSequence gram;
+  for (size_t from = begin; from <= context.size(); ++from) {
+    gram.assign(context.begin() + from, context.end());
+    gram.push_back(word);
+    const uint64_t numerator = stats_.FrequencyOf(gram);
+    if (numerator > 0) {
+      gram.pop_back();
+      const uint64_t denominator =
+          gram.empty() ? total_unigrams_ : stats_.FrequencyOf(gram);
+      if (denominator >= numerator) {
+        return discount * static_cast<double>(numerator) /
+               static_cast<double>(denominator);
+      }
+    }
+    discount *= options_.backoff_alpha;
+  }
+  return discount * options_.unseen_score;
+}
+
+double StupidBackoffModel::SentenceLogScore(
+    const TermSequence& sentence) const {
+  double log_score = 0.0;
+  TermSequence context;
+  for (size_t i = 0; i < sentence.size(); ++i) {
+    const size_t begin = i > options_.order - 1 ? i - (options_.order - 1)
+                                                : 0;
+    context.assign(sentence.begin() + begin, sentence.begin() + i);
+    log_score += std::log10(Score(context, sentence[i]));
+  }
+  return log_score;
+}
+
+double StupidBackoffModel::Perplexity(const Corpus& corpus) const {
+  double log_sum = 0.0;
+  uint64_t tokens = 0;
+  for (const auto& doc : corpus.docs) {
+    for (const auto& sentence : doc.sentences) {
+      log_sum += SentenceLogScore(sentence);
+      tokens += sentence.size();
+    }
+  }
+  if (tokens == 0) {
+    return 0.0;
+  }
+  return std::pow(10.0, -log_sum / static_cast<double>(tokens));
+}
+
+std::vector<std::pair<TermId, double>> StupidBackoffModel::TopContinuations(
+    const TermSequence& context, size_t k) const {
+  // Scan entries extending the clipped context at each backoff level;
+  // score every candidate continuation with the full backoff chain.
+  const size_t max_context = options_.order - 1;
+  const size_t begin =
+      context.size() > max_context ? context.size() - max_context : 0;
+
+  std::vector<TermId> candidates;
+  TermSequence prefix;
+  for (size_t from = begin; from <= context.size(); ++from) {
+    prefix.assign(context.begin() + from, context.end());
+    // Entries with this exact prefix and one extra term are contiguous in
+    // canonical order; locate the range by binary search.
+    auto it = std::lower_bound(
+        stats_.entries.begin(), stats_.entries.end(), prefix,
+        [](const NgramStatistics::Entry& e, const TermSequence& p) {
+          return e.first < p;
+        });
+    for (; it != stats_.entries.end(); ++it) {
+      const TermSequence& seq = it->first;
+      if (seq.size() < prefix.size() ||
+          !std::equal(prefix.begin(), prefix.end(), seq.begin())) {
+        break;
+      }
+      if (seq.size() == prefix.size() + 1) {
+        candidates.push_back(seq.back());
+      }
+    }
+    if (!candidates.empty()) {
+      break;  // Highest available order wins, as in Score().
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<std::pair<TermId, double>> scored;
+  scored.reserve(candidates.size());
+  for (TermId t : candidates) {
+    scored.emplace_back(t, Score(context, t));
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  if (scored.size() > k) {
+    scored.resize(k);
+  }
+  return scored;
+}
+
+}  // namespace ngram::lm

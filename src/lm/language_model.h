@@ -1,0 +1,77 @@
+// Stupid-backoff n-gram language model over computed n-gram statistics —
+// the paper's first motivating use case ("training a language model",
+// Section VII-D), and the scheme of Brants et al. (EMNLP 2007), which the
+// paper cites as the production user of NAIVE-style counting at Google.
+//
+// Score(context, w) returns the highest-order relative frequency
+// available, discounted by alpha per backed-off order:
+//
+//   S(w | c_1..c_k) = f(c_1..c_k w) / f(c_1..c_k)        if f > 0
+//                   = alpha * S(w | c_2..c_k)            otherwise
+//   S(w)            = f(w) / N                            (unigram base)
+//
+// Scores are not normalized probabilities (that is the point of stupid
+// backoff — no discounting mass bookkeeping), but they rank continuations
+// and yield usable perplexity-style comparisons.
+#pragma once
+
+#include <cstdint>
+
+#include "core/stats.h"
+#include "text/corpus.h"
+#include "util/result.h"
+
+namespace ngram::lm {
+
+struct LanguageModelOptions {
+  /// Maximum n-gram order consulted (the sigma the statistics were
+  /// computed with, typically 5).
+  uint32_t order = 5;
+  /// Backoff discount per order skipped (Brants et al. use 0.4).
+  double backoff_alpha = 0.4;
+  /// Floor score for completely unseen unigrams.
+  double unseen_score = 1e-9;
+};
+
+class StupidBackoffModel {
+ public:
+  /// Builds a model from an n-gram statistics table. The table is copied
+  /// and canonically sorted; it should contain every frequent n-gram up to
+  /// `options.order` (lower tau = better coverage). `total_unigram_count`
+  /// is the corpus size N used for the unigram base case; pass 0 to derive
+  /// it as the sum of unigram entries.
+  static Result<StupidBackoffModel> Build(NgramStatistics stats,
+                                          LanguageModelOptions options,
+                                          uint64_t total_unigram_count = 0);
+
+  /// Backoff score of `word` following `context` (last `order - 1` terms
+  /// are used). Always positive.
+  double Score(const TermSequence& context, TermId word) const;
+
+  /// Sum of log10 Score over the sentence under a sliding window.
+  double SentenceLogScore(const TermSequence& sentence) const;
+
+  /// exp10(-avg log10 score per token) over every sentence of the corpus —
+  /// a perplexity-style figure (lower = better fit).
+  double Perplexity(const Corpus& corpus) const;
+
+  /// Most probable continuations of `context`, best first, at most `k`.
+  std::vector<std::pair<TermId, double>> TopContinuations(
+      const TermSequence& context, size_t k) const;
+
+  uint64_t total_unigrams() const { return total_unigrams_; }
+  const LanguageModelOptions& options() const { return options_; }
+
+ private:
+  StupidBackoffModel(NgramStatistics stats, LanguageModelOptions options,
+                     uint64_t total_unigrams)
+      : stats_(std::move(stats)),
+        options_(options),
+        total_unigrams_(total_unigrams) {}
+
+  NgramStatistics stats_;  // Canonically sorted.
+  LanguageModelOptions options_;
+  uint64_t total_unigrams_;
+};
+
+}  // namespace ngram::lm

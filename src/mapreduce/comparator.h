@@ -1,0 +1,58 @@
+// Raw comparators: total orders over *serialized* keys. Sorting on raw
+// bytes without deserialization is one of the paper's Hadoop-specific
+// optimizations (Section V) and is how this runtime sorts the shuffle.
+#pragma once
+
+#include <cstring>
+
+#include "encoding/varint.h"
+#include "util/slice.h"
+
+namespace ngram::mr {
+
+/// Interface for key orders. Implementations must be stateless/thread-safe:
+/// one instance is shared by all sort and merge workers.
+class RawComparator {
+ public:
+  virtual ~RawComparator() = default;
+
+  /// Classic three-way compare: negative if a orders before b, zero iff the
+  /// keys are equal for grouping purposes, positive otherwise.
+  virtual int Compare(Slice a, Slice b) const = 0;
+
+  /// Human-readable name for logs.
+  virtual const char* Name() const = 0;
+};
+
+/// memcmp order; the default, equivalent to Hadoop's BytesWritable order.
+class BytewiseComparator final : public RawComparator {
+ public:
+  int Compare(Slice a, Slice b) const override { return a.compare(b); }
+  const char* Name() const override { return "bytewise"; }
+
+  static const BytewiseComparator* Instance() {
+    static const BytewiseComparator kInstance;
+    return &kInstance;
+  }
+};
+
+/// Numeric order over varint-encoded uint64 keys.
+class Varint64Comparator final : public RawComparator {
+ public:
+  int Compare(Slice a, Slice b) const override {
+    uint64_t va = 0, vb = 0;
+    GetVarint64(&a, &va);
+    GetVarint64(&b, &vb);
+    if (va < vb) return -1;
+    if (va > vb) return +1;
+    return 0;
+  }
+  const char* Name() const override { return "varint64"; }
+
+  static const Varint64Comparator* Instance() {
+    static const Varint64Comparator kInstance;
+    return &kInstance;
+  }
+};
+
+}  // namespace ngram::mr

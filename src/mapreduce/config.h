@@ -1,0 +1,75 @@
+// Job configuration: the runtime knobs a Hadoop job would set via its
+// Configuration / Job object (reducer count, slots, sort buffer size,
+// custom partitioner and comparator classes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mapreduce/comparator.h"
+#include "mapreduce/partitioner.h"
+
+namespace ngram::mr {
+
+/// Test/chaos hook: invoked before each task attempt with the phase
+/// ("map"/"reduce"), task id, and attempt number (0-based). Returning true
+/// makes that attempt fail, exercising the retry path.
+using FailureInjector =
+    std::function<bool(const char* phase, uint32_t task, uint32_t attempt)>;
+
+struct JobConfig {
+  /// Job name, used in logs and metrics.
+  std::string name = "job";
+
+  /// Number of reduce tasks (R). Partitioners map keys into [0, R).
+  uint32_t num_reducers = 4;
+
+  /// Concurrency limits: how many map / reduce tasks may run at once.
+  /// These model the paper's "map/reduce slots" (Section VII-A, VII-H).
+  uint32_t map_slots = 4;
+  uint32_t reduce_slots = 4;
+
+  /// Number of map tasks (input splits). 0 derives 2 tasks per map slot.
+  uint32_t num_map_tasks = 0;
+
+  /// Map-side sort buffer budget; exceeding it spills a sorted run to disk.
+  size_t sort_buffer_bytes = 64ULL << 20;
+
+  /// Total order for the shuffle sort (Hadoop: setSortComparatorClass).
+  const RawComparator* sort_comparator = BytewiseComparator::Instance();
+
+  /// Grouping comparator for reduce-side grouping (null: use sort
+  /// comparator; Hadoop: setGroupingComparatorClass).
+  const RawComparator* grouping_comparator = nullptr;
+
+  /// Key->reducer assignment (Hadoop: setPartitionerClass).
+  const Partitioner* partitioner = HashPartitioner::Instance();
+
+  /// Directory for spill files. Empty: a private temp dir per job.
+  std::string work_dir;
+
+  /// Fixed per-job overhead in milliseconds added to the measured
+  /// wallclock, modelling Hadoop's job launch/teardown cost ("administrative
+  /// fix cost", Section III). Zero disables. This is what makes multi-job
+  /// methods pay per-iteration overhead at simulator scale, as they do on a
+  /// real cluster.
+  double job_overhead_ms = 0.0;
+
+  /// Task fault tolerance, modelling Hadoop's re-execution of failed task
+  /// attempts. A task (map or reduce) is retried with fresh state until it
+  /// succeeds or `max_task_attempts` is exhausted; counters from failed
+  /// attempts are discarded, so results and metrics are exactly those of a
+  /// failure-free run.
+  uint32_t max_task_attempts = 1;
+
+  /// Optional failure-injection hook (tests / chaos benchmarks).
+  FailureInjector failure_injector;
+
+  const RawComparator* EffectiveGrouping() const {
+    return grouping_comparator != nullptr ? grouping_comparator
+                                          : sort_comparator;
+  }
+};
+
+}  // namespace ngram::mr

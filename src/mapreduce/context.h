@@ -1,0 +1,162 @@
+// Map/Reduce contexts and the streaming value iterator handed to reducers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "encoding/serde.h"
+#include "mapreduce/comparator.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/dataset.h"
+#include "mapreduce/merge.h"
+#include "mapreduce/partitioner.h"
+#include "mapreduce/sort_buffer.h"
+#include "util/status.h"
+
+namespace ngram::mr {
+
+/// \brief Emission context passed to mappers.
+///
+/// Emit() serializes the pair, charges MAP_OUTPUT_RECORDS/BYTES exactly as
+/// Hadoop does (key bytes + value bytes at emission time), partitions on the
+/// serialized key, and hands the record to the task's sort buffer.
+template <typename K, typename V>
+class MapContext {
+ public:
+  MapContext(const Partitioner* partitioner, uint32_t num_partitions,
+             SortBuffer* buffer, TaskCounters* counters, uint32_t task_id)
+      : partitioner_(partitioner),
+        num_partitions_(num_partitions),
+        buffer_(buffer),
+        counters_(counters),
+        task_id_(task_id) {}
+
+  Status Emit(const K& key, const V& value) {
+    key_buf_.clear();
+    value_buf_.clear();
+    Serde<K>::Encode(key, &key_buf_);
+    Serde<V>::Encode(value, &value_buf_);
+    counters_->Increment(kMapOutputRecords);
+    counters_->Increment(kMapOutputBytes, key_buf_.size() + value_buf_.size());
+    const uint32_t p =
+        partitioner_->Partition(Slice(key_buf_), num_partitions_);
+    return buffer_->Add(p, Slice(key_buf_), Slice(value_buf_));
+  }
+
+  TaskCounters* counters() { return counters_; }
+  uint32_t task_id() const { return task_id_; }
+
+ private:
+  const Partitioner* partitioner_;
+  uint32_t num_partitions_;
+  SortBuffer* buffer_;
+  TaskCounters* counters_;
+  uint32_t task_id_;
+  std::string key_buf_;
+  std::string value_buf_;
+};
+
+/// \brief Output context passed to reducers; collects typed rows.
+template <typename K, typename V>
+class ReduceContext {
+ public:
+  ReduceContext(MemoryTable<K, V>* output, TaskCounters* counters,
+                uint32_t reducer_id)
+      : output_(output), counters_(counters), reducer_id_(reducer_id) {}
+
+  Status Emit(K key, V value) {
+    output_->Add(std::move(key), std::move(value));
+    counters_->Increment(kReduceOutputRecords);
+    return Status::OK();
+  }
+
+  TaskCounters* counters() { return counters_; }
+  uint32_t reducer_id() const { return reducer_id_; }
+
+ private:
+  MemoryTable<K, V>* output_;
+  TaskCounters* counters_;
+  uint32_t reducer_id_;
+};
+
+/// \brief Lazily deserializing iterator over the values of one key group.
+///
+/// The driver positions the merger at the first record of a group;
+/// Next() streams values until the key changes (under the job's grouping
+/// comparator) or the merge is exhausted. Values are decoded on demand, so
+/// a reducer that only needs |l| (like SUFFIX-sigma's) can use Count().
+template <typename V>
+class ValueStream {
+ public:
+  ValueStream(KWayMerger* merger, const RawComparator* grouping,
+              Slice group_key)
+      : merger_(merger),
+        grouping_(grouping),
+        group_key_(group_key),
+        pending_(true) {}
+
+  /// Decodes the next value of the group into `*out`.
+  bool Next(V* out) {
+    if (!Advance()) {
+      return false;
+    }
+    pending_ = false;
+    ++consumed_;
+    if (!Serde<V>::Decode(merger_->value(), out)) {
+      decode_error_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Skips and counts every remaining value (no deserialization).
+  uint64_t Count() {
+    while (Advance()) {
+      pending_ = false;
+      ++consumed_;
+    }
+    return consumed_;
+  }
+
+  /// Consumes any unread values so the driver can move to the next group.
+  void SkipRemaining() { Count(); }
+
+  uint64_t consumed() const { return consumed_; }
+  bool group_exhausted() const { return group_done_; }
+  bool next_group_ready() const { return next_group_ready_; }
+  bool decode_error() const { return decode_error_; }
+
+ private:
+  // Moves the merger onto the next record of this group. Returns false when
+  // the group (or the whole merge) is finished.
+  bool Advance() {
+    if (group_done_ || decode_error_) {
+      return false;
+    }
+    if (pending_) {
+      return true;  // Current merger record not yet consumed.
+    }
+    if (!merger_->Next()) {
+      group_done_ = true;
+      return false;
+    }
+    if (grouping_->Compare(merger_->key(), group_key_) != 0) {
+      group_done_ = true;
+      next_group_ready_ = true;  // Record belongs to the following group.
+      return false;
+    }
+    pending_ = true;
+    return true;
+  }
+
+  KWayMerger* merger_;
+  const RawComparator* grouping_;
+  Slice group_key_;
+  bool pending_;
+  bool group_done_ = false;
+  bool next_group_ready_ = false;
+  bool decode_error_ = false;
+  uint64_t consumed_ = 0;
+};
+
+}  // namespace ngram::mr

@@ -1,0 +1,114 @@
+// Job counters mirroring Hadoop's, including the two the paper reports:
+// MAP_OUTPUT_BYTES and MAP_OUTPUT_RECORDS (Section VII-A, measures (b), (c)).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ngram::mr {
+
+/// Well-known counter names (kept string-typed so user jobs can add theirs).
+inline constexpr const char* kMapInputRecords = "MAP_INPUT_RECORDS";
+inline constexpr const char* kMapOutputRecords = "MAP_OUTPUT_RECORDS";
+inline constexpr const char* kMapOutputBytes = "MAP_OUTPUT_BYTES";
+inline constexpr const char* kCombineInputRecords = "COMBINE_INPUT_RECORDS";
+inline constexpr const char* kCombineOutputRecords = "COMBINE_OUTPUT_RECORDS";
+inline constexpr const char* kReduceInputGroups = "REDUCE_INPUT_GROUPS";
+inline constexpr const char* kReduceInputRecords = "REDUCE_INPUT_RECORDS";
+inline constexpr const char* kReduceOutputRecords = "REDUCE_OUTPUT_RECORDS";
+inline constexpr const char* kSpilledRecords = "SPILLED_RECORDS";
+inline constexpr const char* kSpillFiles = "SPILL_FILES";
+inline constexpr const char* kTaskRetries = "TASK_RETRIES";
+/// Maximum records any single reduce task consumed (partition skew).
+inline constexpr const char* kReduceInputRecordsMax =
+    "REDUCE_INPUT_RECORDS_MAX";
+/// Peak number of simultaneously tracked n-grams in a reducer's
+/// bookkeeping structure (max over reduce tasks) — the paper's Section IV
+/// memory-footprint argument.
+inline constexpr const char* kBookkeepingPeakEntries =
+    "BOOKKEEPING_PEAK_ENTRIES";
+
+/// \brief Thread-safe named 64-bit counters.
+///
+/// Tasks running on different slots increment concurrently; Snapshot() is
+/// taken after phase barriers for reporting.
+class Counters {
+ public:
+  void Increment(const std::string& name, uint64_t delta = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_[name] += delta;
+  }
+
+  uint64_t Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  /// Raises `name` to `value` if it is currently lower (used for
+  /// max-semantics counters like per-reducer skew and peak memory).
+  void UpdateMax(const std::string& name, uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t& slot = values_[name];
+    if (value > slot) {
+      slot = value;
+    }
+  }
+
+  std::map<std::string, uint64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return values_;
+  }
+
+  /// Adds every counter of `other` into this.
+  void MergeFrom(const Counters& other) {
+    const auto snap = other.Snapshot();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, value] : snap) {
+      values_[name] += value;
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> values_;
+};
+
+/// \brief A task-local, lock-free counter block flushed into the shared
+/// Counters at task end — avoids contention on the hot Emit path.
+class TaskCounters {
+ public:
+  explicit TaskCounters(Counters* shared) : shared_(shared) {}
+  ~TaskCounters() { Flush(); }
+
+  void Increment(const char* name, uint64_t delta = 1) {
+    local_[name] += delta;
+  }
+
+  /// Forwards a max-semantics update straight to the shared counters.
+  void UpdateSharedMax(const char* name, uint64_t value) {
+    shared_->UpdateMax(name, value);
+  }
+
+  void Flush() {
+    for (const auto& [name, value] : local_) {
+      if (value > 0) {
+        shared_->Increment(name, value);
+      }
+    }
+    local_.clear();
+  }
+
+  /// Drops pending increments without publishing them — used for failed
+  /// task attempts, whose counters Hadoop likewise discards.
+  void DiscardPending() { local_.clear(); }
+
+ private:
+  Counters* shared_;
+  std::map<std::string, uint64_t> local_;
+};
+
+}  // namespace ngram::mr

@@ -1,0 +1,27 @@
+// MemoryTable: a typed in-memory dataset of (key, value) rows, used as job
+// input and output. Multi-job pipelines (the APRIORI methods, the
+// maximality post-filter) chain tables from one job into the next.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ngram::mr {
+
+template <typename K, typename V>
+struct MemoryTable {
+  using Row = std::pair<K, V>;
+
+  std::vector<Row> rows;
+
+  void Add(K key, V value) {
+    rows.emplace_back(std::move(key), std::move(value));
+  }
+
+  uint64_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+  void Clear() { rows.clear(); }
+};
+
+}  // namespace ngram::mr

@@ -1,0 +1,350 @@
+// The typed MapReduce job driver.
+//
+// Execution model (mirroring Hadoop's local semantics):
+//   1. The input table is split into contiguous row ranges, one per map
+//      task. Map tasks run on up to `map_slots` threads; each owns a
+//      SortBuffer that sorts by (partition, key) and spills past its budget.
+//   2. Reduce task r k-way-merges partition r of every map run under the
+//      job's sort comparator, groups records with the grouping comparator,
+//      and streams each group's values to the reducer.
+//   3. Reducer outputs are concatenated in reducer order into the output
+//      table; counters and phase wallclocks land in JobMetrics.
+//
+// Map and reduce phases are barrier-separated, and equal keys preserve map
+// emission order (stable sort + stable merge), so job output is fully
+// deterministic for a fixed input — regardless of slot count.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "encoding/serde.h"
+#include "mapreduce/config.h"
+#include "mapreduce/context.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/dataset.h"
+#include "mapreduce/merge.h"
+#include "mapreduce/metrics.h"
+#include "mapreduce/sort_buffer.h"
+#include "util/logging.h"
+#include "util/result.h"
+#include "util/stopwatch.h"
+#include "util/temp_dir.h"
+#include "util/thread_pool.h"
+
+namespace ngram::mr {
+
+/// \brief Base class for mappers: map(k1, v1) -> list<(k2, v2)>.
+template <typename KIn, typename VIn, typename KOut, typename VOut>
+class Mapper {
+ public:
+  using KeyIn = KIn;
+  using ValueIn = VIn;
+  using KeyOut = KOut;
+  using ValueOut = VOut;
+  using Context = MapContext<KOut, VOut>;
+
+  virtual ~Mapper() = default;
+  virtual Status Setup(Context* ctx) { return Status::OK(); }
+  virtual Status Map(const KIn& key, const VIn& value, Context* ctx) = 0;
+  virtual Status Cleanup(Context* ctx) { return Status::OK(); }
+};
+
+/// \brief Base class for reducers: reduce(k2, list<v2>) -> list<(k3, v3)>.
+template <typename KIn, typename VIn, typename KOut, typename VOut>
+class Reducer {
+ public:
+  using KeyIn = KIn;
+  using ValueIn = VIn;
+  using KeyOut = KOut;
+  using ValueOut = VOut;
+  using Context = ReduceContext<KOut, VOut>;
+  using Values = ValueStream<VIn>;
+
+  virtual ~Reducer() = default;
+  virtual Status Setup(Context* ctx) { return Status::OK(); }
+  virtual Status Reduce(const KIn& key, Values* values, Context* ctx) = 0;
+  /// Invoked once after the last group — SUFFIX-sigma flushes its stacks
+  /// here, like the paper's cleanup() hook.
+  virtual Status Cleanup(Context* ctx) { return Status::OK(); }
+};
+
+/// Combiner that sums varint-encoded uint64 values per key (the classic
+/// word-count local aggregation from Section V).
+inline RawCombineFn SumCombiner() {
+  return [](Slice key, const std::vector<Slice>& values,
+            RecordSink* sink) -> Status {
+    uint64_t total = 0;
+    for (Slice v : values) {
+      uint64_t x = 0;
+      if (!Serde<uint64_t>::Decode(v, &x)) {
+        return Status::Corruption("SumCombiner: bad value");
+      }
+      total += x;
+    }
+    std::string out;
+    Serde<uint64_t>::Encode(total, &out);
+    return sink->Append(key, Slice(out));
+  };
+}
+
+namespace internal {
+
+inline uint32_t DeriveNumMapTasks(const JobConfig& config,
+                                  uint64_t input_rows) {
+  uint32_t n = config.num_map_tasks != 0 ? config.num_map_tasks
+                                         : config.map_slots * 2;
+  if (input_rows == 0) {
+    return 1;
+  }
+  if (n > input_rows) {
+    n = static_cast<uint32_t>(input_rows);
+  }
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace internal
+
+/// Runs one MapReduce job.
+///
+/// \param config    runtime knobs (slots, reducers, comparator, ...).
+/// \param input     typed input rows; map task i sees a contiguous range.
+/// \param make_mapper / make_reducer  factories, invoked once per task, so
+///        user code can capture parameters (tau, sigma, dictionaries).
+/// \param output    filled with reducer emissions, reducer order.
+/// \param combiner  optional local aggregation run during every spill.
+template <typename M, typename R>
+Result<JobMetrics> RunJob(
+    const JobConfig& config,
+    const MemoryTable<typename M::KeyIn, typename M::ValueIn>& input,
+    const std::function<std::unique_ptr<M>()>& make_mapper,
+    const std::function<std::unique_ptr<R>()>& make_reducer,
+    MemoryTable<typename R::KeyOut, typename R::ValueOut>* output,
+    RawCombineFn combiner = nullptr) {
+  static_assert(std::is_same_v<typename M::KeyOut, typename R::KeyIn>,
+                "mapper key-out must equal reducer key-in");
+  static_assert(std::is_same_v<typename M::ValueOut, typename R::ValueIn>,
+                "mapper value-out must equal reducer value-in");
+
+  Stopwatch job_clock;
+  Counters counters;
+  JobMetrics metrics;
+  metrics.job_name = config.name;
+
+  // Resolve the spill directory.
+  std::string work_dir = config.work_dir;
+  std::unique_ptr<TempDir> auto_dir;
+  if (work_dir.empty()) {
+    auto created = TempDir::Create("ngram-mr");
+    if (!created.ok()) {
+      return created.status();
+    }
+    auto_dir = std::make_unique<TempDir>(std::move(created).ValueOrDie());
+    work_dir = auto_dir->path().string();
+  }
+
+  const uint32_t num_map_tasks =
+      internal::DeriveNumMapTasks(config, input.size());
+  const uint32_t num_reducers = config.num_reducers == 0 ? 1
+                                                         : config.num_reducers;
+
+  // ---------------------------------------------------------------- map --
+  Stopwatch map_clock;
+  std::vector<std::vector<SpillRun>> task_runs(num_map_tasks);
+  std::vector<Status> map_status(num_map_tasks);
+  {
+    ThreadPool pool(config.map_slots);
+    const uint64_t rows = input.size();
+    const uint32_t max_attempts = std::max(1u, config.max_task_attempts);
+    for (uint32_t t = 0; t < num_map_tasks; ++t) {
+      const uint64_t lo = rows * t / num_map_tasks;
+      const uint64_t hi = rows * (t + 1) / num_map_tasks;
+      pool.Submit([&, t, lo, hi] {
+        Status st;
+        for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+          // Each attempt starts from scratch: fresh mapper, fresh buffer,
+          // fresh counters; previous partial output is discarded.
+          task_runs[t].clear();
+          TaskCounters tc(&counters);
+          SortBuffer::Options opts;
+          opts.num_partitions = num_reducers;
+          opts.budget_bytes = config.sort_buffer_bytes;
+          opts.comparator = config.sort_comparator;
+          opts.combiner = combiner;
+          opts.work_dir = work_dir;
+          opts.spill_name_prefix = "map-" + std::to_string(t);
+          SortBuffer buffer(opts, &tc);
+          typename M::Context ctx(config.partitioner, num_reducers, &buffer,
+                                  &tc, t);
+          std::unique_ptr<M> mapper = make_mapper();
+          st = mapper->Setup(&ctx);
+          for (uint64_t i = lo; st.ok() && i < hi; ++i) {
+            tc.Increment(kMapInputRecords);
+            st = mapper->Map(input.rows[i].first, input.rows[i].second,
+                             &ctx);
+          }
+          if (st.ok()) {
+            st = mapper->Cleanup(&ctx);
+          }
+          if (st.ok()) {
+            st = buffer.Finish(&task_runs[t]);
+          }
+          // The injector simulates a crash after the work but before the
+          // task commits — the strongest point to lose an attempt.
+          if (st.ok() && config.failure_injector &&
+              config.failure_injector("map", t, attempt)) {
+            st = Status::Internal("injected map task failure");
+          }
+          if (st.ok()) {
+            break;
+          }
+          tc.DiscardPending();
+          task_runs[t].clear();
+          if (attempt + 1 < max_attempts) {
+            counters.Increment(kTaskRetries);
+            NGRAM_LOG_WARN << config.name << " map task " << t
+                           << " attempt " << attempt
+                           << " failed: " << st.ToString() << "; retrying";
+          }
+        }
+        map_status[t] = std::move(st);
+      });
+    }
+    pool.Wait();
+  }
+  for (uint32_t t = 0; t < num_map_tasks; ++t) {
+    if (!map_status[t].ok()) {
+      return map_status[t].WithContext(config.name + " map task " +
+                                       std::to_string(t));
+    }
+  }
+  metrics.map_phase_ms = map_clock.ElapsedMillis();
+
+  // Flatten runs (order fixed by task id for determinism).
+  std::vector<const SpillRun*> all_runs;
+  for (const auto& runs : task_runs) {
+    for (const auto& run : runs) {
+      all_runs.push_back(&run);
+    }
+  }
+
+  // ------------------------------------------------------------- reduce --
+  Stopwatch reduce_clock;
+  using KOut = typename R::KeyOut;
+  using VOut = typename R::ValueOut;
+  std::vector<MemoryTable<KOut, VOut>> reducer_outputs(num_reducers);
+  std::vector<Status> reduce_status(num_reducers);
+  {
+    ThreadPool pool(config.reduce_slots);
+    const uint32_t max_attempts = std::max(1u, config.max_task_attempts);
+    for (uint32_t r = 0; r < num_reducers; ++r) {
+      pool.Submit([&, r] {
+        Status st;
+        for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+          reducer_outputs[r].Clear();
+          TaskCounters tc(&counters);
+          std::vector<std::unique_ptr<RecordReader>> sources;
+          sources.reserve(all_runs.size());
+          for (const SpillRun* run : all_runs) {
+            auto reader = OpenRunPartition(*run, r);
+            if (reader != nullptr) {
+              sources.push_back(std::move(reader));
+            }
+          }
+          KWayMerger merger(std::move(sources), config.sort_comparator);
+          const RawComparator* grouping = config.EffectiveGrouping();
+
+          typename R::Context rctx(&reducer_outputs[r], &tc, r);
+          std::unique_ptr<R> reducer = make_reducer();
+          st = reducer->Setup(&rctx);
+
+          uint64_t task_input_records = 0;
+          bool have_record = st.ok() && merger.Next();
+          std::string group_key_bytes;
+          typename R::KeyIn group_key;
+          while (st.ok() && have_record) {
+            group_key_bytes.assign(merger.key().data(),
+                                   merger.key().size());
+            if (!Serde<typename R::KeyIn>::Decode(Slice(group_key_bytes),
+                                                  &group_key)) {
+              st = Status::Corruption("undecodable reduce key");
+              break;
+            }
+            typename R::Values values(&merger, grouping,
+                                      Slice(group_key_bytes));
+            tc.Increment(kReduceInputGroups);
+            st = reducer->Reduce(group_key, &values, &rctx);
+            if (st.ok()) {
+              values.SkipRemaining();
+              if (values.decode_error()) {
+                st = Status::Corruption("undecodable reduce value");
+              }
+            }
+            tc.Increment(kReduceInputRecords, values.consumed());
+            task_input_records += values.consumed();
+            have_record = values.next_group_ready();
+          }
+          if (st.ok() && !merger.status().ok()) {
+            st = merger.status();
+          }
+          if (st.ok()) {
+            st = reducer->Cleanup(&rctx);
+          }
+          if (st.ok() && config.failure_injector &&
+              config.failure_injector("reduce", r, attempt)) {
+            st = Status::Internal("injected reduce task failure");
+          }
+          if (st.ok()) {
+            // Partition-skew visibility: the heaviest reduce task.
+            tc.UpdateSharedMax(kReduceInputRecordsMax, task_input_records);
+            break;
+          }
+          tc.DiscardPending();
+          reducer_outputs[r].Clear();
+          if (attempt + 1 < max_attempts) {
+            counters.Increment(kTaskRetries);
+            NGRAM_LOG_WARN << config.name << " reduce task " << r
+                           << " attempt " << attempt
+                           << " failed: " << st.ToString() << "; retrying";
+          }
+        }
+        reduce_status[r] = std::move(st);
+      });
+    }
+    pool.Wait();
+  }
+  for (uint32_t r = 0; r < num_reducers; ++r) {
+    if (!reduce_status[r].ok()) {
+      return reduce_status[r].WithContext(config.name + " reduce task " +
+                                          std::to_string(r));
+    }
+  }
+  metrics.reduce_phase_ms = reduce_clock.ElapsedMillis();
+
+  // Concatenate reducer outputs in reducer order.
+  output->Clear();
+  uint64_t total_rows = 0;
+  for (const auto& part : reducer_outputs) {
+    total_rows += part.size();
+  }
+  output->rows.reserve(total_rows);
+  for (auto& part : reducer_outputs) {
+    for (auto& row : part.rows) {
+      output->rows.push_back(std::move(row));
+    }
+  }
+
+  metrics.counters = counters.Snapshot();
+  metrics.wallclock_ms = job_clock.ElapsedMillis() + config.job_overhead_ms;
+  NGRAM_LOG_INFO << "job '" << config.name << "' done in "
+                 << metrics.wallclock_ms << " ms: "
+                 << metrics.Counter(kMapOutputRecords) << " map records, "
+                 << metrics.Counter(kMapOutputBytes) << " map bytes, "
+                 << output->size() << " output rows";
+  return metrics;
+}
+
+}  // namespace ngram::mr

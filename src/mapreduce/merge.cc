@@ -1,0 +1,112 @@
+#include "mapreduce/merge.h"
+
+namespace ngram::mr {
+
+std::unique_ptr<RecordReader> OpenRunPartition(const SpillRun& run,
+                                               uint32_t partition) {
+  const RunSegment& seg = run.segments[partition];
+  if (seg.num_records == 0) {
+    return nullptr;
+  }
+  if (run.in_memory()) {
+    return std::make_unique<MemoryRecordReader>(
+        Slice(run.memory_data.data() + seg.offset, seg.length));
+  }
+  return std::make_unique<FileRecordReader>(run.file_path, seg.offset,
+                                            seg.length);
+}
+
+KWayMerger::KWayMerger(std::vector<std::unique_ptr<RecordReader>> sources,
+                       const RawComparator* comparator)
+    : sources_(std::move(sources)), comparator_(comparator) {}
+
+bool KWayMerger::Less(size_t a, size_t b) const {
+  const int c = comparator_->Compare(sources_[a]->key(), sources_[b]->key());
+  if (c != 0) {
+    return c < 0;
+  }
+  return a < b;  // Stable tie-break by source index.
+}
+
+void KWayMerger::SiftUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!Less(heap_[i], heap_[parent])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void KWayMerger::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  for (;;) {
+    const size_t left = 2 * i + 1;
+    const size_t right = 2 * i + 2;
+    size_t smallest = i;
+    if (left < n && Less(heap_[left], heap_[smallest])) {
+      smallest = left;
+    }
+    if (right < n && Less(heap_[right], heap_[smallest])) {
+      smallest = right;
+    }
+    if (smallest == i) {
+      return;
+    }
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+void KWayMerger::PushSource(size_t source) {
+  heap_.push_back(source);
+  SiftUp(heap_.size() - 1);
+}
+
+bool KWayMerger::Next() {
+  if (!status_.ok()) {
+    return false;
+  }
+  if (!started_) {
+    started_ = true;
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      if (sources_[i] == nullptr) {
+        continue;
+      }
+      if (sources_[i]->Next()) {
+        PushSource(i);
+      } else if (!sources_[i]->status().ok()) {
+        status_ = sources_[i]->status();
+        return false;
+      }
+    }
+  } else if (current_source_ != SIZE_MAX) {
+    // Advance the source we last surfaced, then restore heap order.
+    RecordReader* src = sources_[current_source_].get();
+    if (src->Next()) {
+      SiftDown(0);
+      SiftUp(0);  // Key changed; re-establish both directions.
+    } else {
+      if (!src->status().ok()) {
+        status_ = src->status();
+        return false;
+      }
+      std::swap(heap_.front(), heap_.back());
+      heap_.pop_back();
+      if (!heap_.empty()) {
+        SiftDown(0);
+      }
+    }
+  }
+  if (heap_.empty()) {
+    current_source_ = SIZE_MAX;
+    return false;
+  }
+  current_source_ = heap_.front();
+  current_key_ = sources_[current_source_]->key();
+  current_value_ = sources_[current_source_]->value();
+  return true;
+}
+
+}  // namespace ngram::mr

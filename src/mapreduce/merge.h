@@ -1,0 +1,60 @@
+// Reduce-side k-way merge over sorted run segments, preserving the map
+// task emission order for equal keys (stable by source index) so reducer
+// input is deterministic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapreduce/comparator.h"
+#include "mapreduce/record.h"
+#include "mapreduce/sort_buffer.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace ngram::mr {
+
+/// \brief Merges N sorted record streams under a RawComparator.
+///
+/// Usage: while (merger.Next()) { use merger.key()/merger.value(); }.
+/// The exposed slices remain valid until the next call to Next().
+class KWayMerger {
+ public:
+  KWayMerger(std::vector<std::unique_ptr<RecordReader>> sources,
+             const RawComparator* comparator);
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(KWayMerger);
+
+  /// Advances to the next record in merged order.
+  bool Next();
+
+  Slice key() const { return current_key_; }
+  Slice value() const { return current_value_; }
+  const Status& status() const { return status_; }
+
+ private:
+  struct HeapEntry {
+    size_t source;
+  };
+
+  bool Less(size_t a, size_t b) const;
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  void PushSource(size_t source);
+
+  std::vector<std::unique_ptr<RecordReader>> sources_;
+  const RawComparator* comparator_;
+  std::vector<size_t> heap_;  // Indices into sources_, min-heap by key.
+  Slice current_key_;
+  Slice current_value_;
+  size_t current_source_ = SIZE_MAX;
+  bool started_ = false;
+  Status status_;
+};
+
+/// Builds a RecordReader for partition `partition` of `run` (memory or
+/// file). Returns nullptr for empty segments.
+std::unique_ptr<RecordReader> OpenRunPartition(const SpillRun& run,
+                                               uint32_t partition);
+
+}  // namespace ngram::mr

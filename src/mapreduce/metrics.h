@@ -1,0 +1,61 @@
+// Per-job and per-run measurements: wallclock plus Hadoop-style counters.
+// These back the paper's three reported measures (Section VII-A): wallclock
+// time, bytes transferred (MAP_OUTPUT_BYTES), and number of records
+// (MAP_OUTPUT_RECORDS), aggregated over all jobs of a method run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mapreduce/counters.h"
+
+namespace ngram::mr {
+
+/// Measurements for one MapReduce job.
+struct JobMetrics {
+  std::string job_name;
+  double wallclock_ms = 0;
+  double map_phase_ms = 0;
+  double reduce_phase_ms = 0;
+  std::map<std::string, uint64_t> counters;
+
+  uint64_t Counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+/// Aggregate over every job a method launched (the paper's measures sum
+/// over all Hadoop jobs of APRIORI methods).
+struct RunMetrics {
+  std::vector<JobMetrics> jobs;
+
+  void Add(JobMetrics m) { jobs.push_back(std::move(m)); }
+
+  int num_jobs() const { return static_cast<int>(jobs.size()); }
+
+  double total_wallclock_ms() const {
+    double total = 0;
+    for (const auto& j : jobs) {
+      total += j.wallclock_ms;
+    }
+    return total;
+  }
+
+  uint64_t TotalCounter(const std::string& name) const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) {
+      total += j.Counter(name);
+    }
+    return total;
+  }
+
+  uint64_t map_output_records() const {
+    return TotalCounter(kMapOutputRecords);
+  }
+  uint64_t map_output_bytes() const { return TotalCounter(kMapOutputBytes); }
+};
+
+}  // namespace ngram::mr

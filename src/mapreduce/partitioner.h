@@ -1,0 +1,47 @@
+// Partitioners: assign serialized keys to reducers. SUFFIX-sigma's
+// first-term partitioner lives in core/ (it is algorithm knowledge); this
+// header provides the interface and the default hash partitioner.
+#pragma once
+
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace ngram::mr {
+
+/// Interface for key->reducer assignment. Implementations must be
+/// stateless/thread-safe.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Returns the reducer index in [0, num_partitions) for `key`.
+  virtual uint32_t Partition(Slice key, uint32_t num_partitions) const = 0;
+
+  virtual const char* Name() const = 0;
+};
+
+/// FNV-1a hash over all key bytes — Hadoop's HashPartitioner analog.
+class HashPartitioner final : public Partitioner {
+ public:
+  uint32_t Partition(Slice key, uint32_t num_partitions) const override {
+    return Hash(key) % num_partitions;
+  }
+  const char* Name() const override { return "hash"; }
+
+  static uint64_t Hash(Slice key) {
+    uint64_t h = 1469598103934665603ULL;
+    for (size_t i = 0; i < key.size(); ++i) {
+      h ^= static_cast<uint8_t>(key[i]);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  static const HashPartitioner* Instance() {
+    static const HashPartitioner kInstance;
+    return &kInstance;
+  }
+};
+
+}  // namespace ngram::mr

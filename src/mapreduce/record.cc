@@ -1,0 +1,101 @@
+#include "mapreduce/record.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace ngram::mr {
+
+FileRecordReader::FileRecordReader(const std::string& path, uint64_t offset,
+                                   uint64_t length, size_t buffer_size)
+    : remaining_file_bytes_(length), buffer_capacity_(buffer_size) {
+  file_ = fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    status_ = Status::IOError("open spill " + path + ": " + strerror(errno));
+    remaining_file_bytes_ = 0;
+    return;
+  }
+  if (fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
+    status_ = Status::IOError("seek spill " + path + ": " + strerror(errno));
+    remaining_file_bytes_ = 0;
+  }
+  buffer_.reserve(buffer_capacity_);
+}
+
+FileRecordReader::~FileRecordReader() {
+  if (file_ != nullptr) {
+    fclose(file_);
+  }
+}
+
+bool FileRecordReader::FillAtLeast(size_t n) {
+  const size_t available = limit_ - pos_;
+  if (available >= n) {
+    return true;
+  }
+  // Compact the unread tail to the front, then refill.
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    limit_ -= pos_;
+    pos_ = 0;
+  }
+  if (n > buffer_capacity_) {
+    buffer_capacity_ = n;  // Oversized record: grow permanently.
+  }
+  buffer_.resize(buffer_capacity_);
+  while (limit_ < n && remaining_file_bytes_ > 0) {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(buffer_capacity_ - limit_, remaining_file_bytes_));
+    const size_t got = fread(buffer_.data() + limit_, 1, want, file_);
+    if (got == 0) {
+      status_ = Status::Corruption("unexpected EOF in spill file");
+      return false;
+    }
+    limit_ += got;
+    remaining_file_bytes_ -= got;
+  }
+  return limit_ - pos_ >= n;
+}
+
+bool FileRecordReader::Next() {
+  if (!status_.ok()) {
+    return false;
+  }
+  const uint64_t total_left = (limit_ - pos_) + remaining_file_bytes_;
+  if (total_left == 0) {
+    return false;  // Clean end of segment.
+  }
+  // Varints are at most 10 bytes; make both headers available (or as much
+  // as the segment still holds, for the final record).
+  const size_t header_want = static_cast<size_t>(
+      std::min<uint64_t>(2 * kMaxVarint64Bytes, total_left));
+  if (!FillAtLeast(header_want)) {
+    if (status_.ok()) {
+      status_ = Status::Corruption("truncated record header in spill file");
+    }
+    return false;
+  }
+  Slice header(buffer_.data() + pos_, limit_ - pos_);
+  const char* header_start = header.data();
+  uint64_t klen = 0, vlen = 0;
+  if (!GetVarint64(&header, &klen) || !GetVarint64(&header, &vlen)) {
+    status_ = Status::Corruption("malformed record header in spill file");
+    return false;
+  }
+  const size_t header_bytes = static_cast<size_t>(header.data() - header_start);
+  pos_ += header_bytes;
+  const size_t body = static_cast<size_t>(klen + vlen);
+  if (!FillAtLeast(body)) {
+    if (status_.ok()) {
+      status_ = Status::Corruption("truncated record body in spill file");
+    }
+    return false;
+  }
+  record_buf_.assign(buffer_.data() + pos_, body);
+  pos_ += body;
+  key_ = Slice(record_buf_.data(), klen);
+  value_ = Slice(record_buf_.data() + klen, vlen);
+  return true;
+}
+
+}  // namespace ngram::mr

@@ -1,0 +1,109 @@
+// Framed shuffle records and readers over them.
+//
+// Wire format of one record: [klen varint][vlen varint][key][value].
+// Spill runs and in-memory runs share this framing, so merge sources are
+// uniform over both.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "encoding/varint.h"
+#include "util/macros.h"
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace ngram::mr {
+
+/// Appends one framed record to `out`. Returns the framed size in bytes.
+inline size_t AppendRecord(std::string* out, Slice key, Slice value) {
+  const size_t before = out->size();
+  PutVarint64(out, key.size());
+  PutVarint64(out, value.size());
+  out->append(key.data(), key.size());
+  out->append(value.data(), value.size());
+  return out->size() - before;
+}
+
+/// Abstract sequential reader over framed records.
+class RecordReader {
+ public:
+  virtual ~RecordReader() = default;
+
+  /// Advances to the next record. Returns true and sets key()/value() on
+  /// success, false at end. Corrupt input aborts via status().
+  virtual bool Next() = 0;
+
+  Slice key() const { return key_; }
+  Slice value() const { return value_; }
+  const Status& status() const { return status_; }
+
+ protected:
+  Slice key_;
+  Slice value_;
+  Status status_;
+};
+
+/// Zero-copy reader over records resident in memory.
+class MemoryRecordReader final : public RecordReader {
+ public:
+  explicit MemoryRecordReader(Slice data) : data_(data) {}
+
+  bool Next() override {
+    if (data_.empty()) {
+      return false;
+    }
+    uint64_t klen = 0, vlen = 0;
+    if (!GetVarint64(&data_, &klen) || !GetVarint64(&data_, &vlen) ||
+        klen + vlen > data_.size()) {
+      status_ = Status::Corruption("malformed in-memory record");
+      return false;
+    }
+    key_ = Slice(data_.data(), klen);
+    value_ = Slice(data_.data() + klen, vlen);
+    data_.RemovePrefix(klen + vlen);
+    return true;
+  }
+
+ private:
+  Slice data_;
+};
+
+/// Buffered reader over a byte extent of a spill file.
+///
+/// Each record is copied once into an owned buffer so the key()/value()
+/// slices stay valid until the following Next() call.
+class FileRecordReader final : public RecordReader {
+ public:
+  /// Reads `length` bytes starting at `offset` of `path`.
+  FileRecordReader(const std::string& path, uint64_t offset, uint64_t length,
+                   size_t buffer_size = 256 * 1024);
+  ~FileRecordReader() override;
+
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(FileRecordReader);
+
+  bool Next() override;
+
+ private:
+  bool FillAtLeast(size_t n);  // Ensures n readable bytes at pos_ or EOF.
+
+  FILE* file_ = nullptr;
+  uint64_t remaining_file_bytes_;
+  std::string buffer_;
+  size_t pos_ = 0;
+  size_t limit_ = 0;
+  std::string record_buf_;
+  size_t buffer_capacity_;
+};
+
+/// Destination for framed records (used by combiners and run writers).
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual Status Append(Slice key, Slice value) = 0;
+};
+
+}  // namespace ngram::mr

@@ -1,0 +1,173 @@
+#include "mapreduce/sort_buffer.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace ngram::mr {
+
+SortBuffer::SortBuffer(Options options, TaskCounters* counters)
+    : options_(std::move(options)), counters_(counters) {
+  arena_.reserve(std::min<size_t>(options_.budget_bytes, 1 << 20));
+}
+
+Status SortBuffer::Add(uint32_t partition, Slice key, Slice value) {
+  if (partition >= options_.num_partitions) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  RecordRef ref;
+  ref.partition = partition;
+  ref.key_offset = static_cast<uint32_t>(arena_.size());
+  ref.key_len = static_cast<uint32_t>(key.size());
+  arena_.append(key.data(), key.size());
+  ref.value_offset = static_cast<uint32_t>(arena_.size());
+  ref.value_len = static_cast<uint32_t>(value.size());
+  arena_.append(value.data(), value.size());
+  refs_.push_back(ref);
+
+  const size_t footprint = arena_.size() + refs_.size() * sizeof(RecordRef);
+  if (footprint >= options_.budget_bytes) {
+    NGRAM_RETURN_NOT_OK(SpillSorted(/*final_flush=*/false));
+  }
+  return Status::OK();
+}
+
+void SortBuffer::SortRefs() {
+  const RawComparator* cmp = options_.comparator;
+  const char* arena = arena_.data();
+  std::stable_sort(refs_.begin(), refs_.end(),
+                   [cmp, arena](const RecordRef& a, const RecordRef& b) {
+                     if (a.partition != b.partition) {
+                       return a.partition < b.partition;
+                     }
+                     return cmp->Compare(
+                                Slice(arena + a.key_offset, a.key_len),
+                                Slice(arena + b.key_offset, b.key_len)) < 0;
+                   });
+}
+
+namespace {
+
+/// Sink that appends framed records to a string and tracks record count.
+class StringRunSink final : public RecordSink {
+ public:
+  explicit StringRunSink(std::string* out) : out_(out) {}
+  Status Append(Slice key, Slice value) override {
+    AppendRecord(out_, key, value);
+    ++num_records_;
+    return Status::OK();
+  }
+  uint64_t num_records() const { return num_records_; }
+  void ResetCount() { num_records_ = 0; }
+
+ private:
+  std::string* out_;
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace
+
+Status SortBuffer::WriteRun(bool to_memory, SpillRun* run) {
+  run->segments.assign(options_.num_partitions, RunSegment{});
+  std::string& data = run->memory_data;
+  StringRunSink sink(&data);
+
+  const char* arena = arena_.data();
+  size_t i = 0;
+  for (uint32_t p = 0; p < options_.num_partitions; ++p) {
+    RunSegment& seg = run->segments[p];
+    seg.offset = data.size();
+    sink.ResetCount();
+    while (i < refs_.size() && refs_[i].partition == p) {
+      if (options_.combiner) {
+        // Collect the group of equal keys for this partition.
+        const size_t group_start = i;
+        const Slice group_key(arena + refs_[i].key_offset, refs_[i].key_len);
+        std::vector<Slice> values;
+        while (i < refs_.size() && refs_[i].partition == p &&
+               options_.comparator->Compare(
+                   Slice(arena + refs_[i].key_offset, refs_[i].key_len),
+                   group_key) == 0) {
+          values.emplace_back(arena + refs_[i].value_offset,
+                              refs_[i].value_len);
+          ++i;
+        }
+        counters_->Increment(kCombineInputRecords, i - group_start);
+        const uint64_t before = sink.num_records();
+        NGRAM_RETURN_NOT_OK(options_.combiner(group_key, values, &sink));
+        counters_->Increment(kCombineOutputRecords,
+                             sink.num_records() - before);
+      } else {
+        const RecordRef& r = refs_[i];
+        NGRAM_RETURN_NOT_OK(
+            sink.Append(Slice(arena + r.key_offset, r.key_len),
+                        Slice(arena + r.value_offset, r.value_len)));
+        ++i;
+      }
+    }
+    seg.length = data.size() - seg.offset;
+    seg.num_records = sink.num_records();
+  }
+
+  if (!to_memory) {
+    // Persist to a spill file and drop the in-memory copy.
+    char name[64];
+    snprintf(name, sizeof(name), "/%s-%06llu.run",
+             options_.spill_name_prefix.c_str(),
+             static_cast<unsigned long long>(spill_file_seq_++));
+    run->file_path = options_.work_dir + name;
+    FILE* f = fopen(run->file_path.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::IOError("create spill " + run->file_path + ": " +
+                             strerror(errno));
+    }
+    const size_t written = fwrite(data.data(), 1, data.size(), f);
+    const int close_rc = fclose(f);
+    if (written != data.size() || close_rc != 0) {
+      return Status::IOError("write spill " + run->file_path);
+    }
+    uint64_t total_records = 0;
+    for (const auto& seg : run->segments) {
+      total_records += seg.num_records;
+    }
+    counters_->Increment(kSpilledRecords, total_records);
+    counters_->Increment(kSpillFiles, 1);
+    run->memory_data.clear();
+    run->memory_data.shrink_to_fit();
+  }
+  return Status::OK();
+}
+
+Status SortBuffer::SpillSorted(bool final_flush) {
+  if (refs_.empty()) {
+    return Status::OK();
+  }
+  SortRefs();
+  // Keep the final flush in memory only if nothing was spilled before —
+  // otherwise all runs go to disk so memory stays bounded.
+  const bool to_memory = final_flush && runs_.empty();
+  if (!to_memory && options_.work_dir.empty()) {
+    return Status::InvalidArgument(
+        "SortBuffer budget exceeded but no work_dir configured");
+  }
+  SpillRun run;
+  NGRAM_RETURN_NOT_OK(WriteRun(to_memory, &run));
+  runs_.push_back(std::move(run));
+  if (!to_memory) {
+    ++spill_count_;
+  }
+  arena_.clear();
+  refs_.clear();
+  return Status::OK();
+}
+
+Status SortBuffer::Finish(std::vector<SpillRun>* runs) {
+  NGRAM_RETURN_NOT_OK(SpillSorted(/*final_flush=*/true));
+  *runs = std::move(runs_);
+  runs_.clear();
+  return Status::OK();
+}
+
+}  // namespace ngram::mr

@@ -1,0 +1,93 @@
+// Map-side sort buffer: accumulates emitted records, sorts them by
+// (partition, key) under the job's raw comparator, optionally runs the
+// combiner, and spills sorted runs to disk when a byte budget is exceeded —
+// the same mechanics as Hadoop's MapOutputBuffer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapreduce/comparator.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/record.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace ngram::mr {
+
+/// Byte extent of one partition inside a run.
+struct RunSegment {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint64_t num_records = 0;
+};
+
+/// One sorted run: per-partition contiguous record groups, either in memory
+/// (small map outputs) or in a spill file.
+struct SpillRun {
+  std::string file_path;        // Empty when in-memory.
+  std::string memory_data;      // Used when file_path is empty.
+  std::vector<RunSegment> segments;  // Indexed by partition.
+
+  bool in_memory() const { return file_path.empty(); }
+};
+
+/// Raw (serialized) view of a combiner: receives one key group and appends
+/// combined records to the sink. Implemented by the typed glue in job.h.
+using RawCombineFn = std::function<Status(
+    Slice key, const std::vector<Slice>& values, RecordSink* sink)>;
+
+/// \brief Collects map output for one task and produces sorted runs.
+///
+/// Add() appends records tagged with their partition; when the accumulated
+/// bytes exceed `budget_bytes` the buffer sorts and spills to a file in
+/// `work_dir`. Finish() flushes the remainder (kept in memory if nothing
+/// was ever spilled) and returns all runs.
+class SortBuffer {
+ public:
+  struct Options {
+    uint32_t num_partitions = 1;
+    size_t budget_bytes = 64 * 1024 * 1024;
+    const RawComparator* comparator = BytewiseComparator::Instance();
+    RawCombineFn combiner;        // Optional.
+    std::string work_dir;         // Required if spills can happen.
+    std::string spill_name_prefix = "spill";
+  };
+
+  SortBuffer(Options options, TaskCounters* counters);
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(SortBuffer);
+
+  /// Appends one record destined for `partition`.
+  Status Add(uint32_t partition, Slice key, Slice value);
+
+  /// Sorts/flushes the tail and moves all runs to `*runs`.
+  Status Finish(std::vector<SpillRun>* runs);
+
+  uint64_t spill_count() const { return spill_count_; }
+
+ private:
+  struct RecordRef {
+    uint32_t partition;
+    uint32_t key_offset;   // Into arena_.
+    uint32_t key_len;
+    uint32_t value_offset;
+    uint32_t value_len;
+  };
+
+  Status SpillSorted(bool final_flush);
+  void SortRefs();
+  Status WriteRun(bool to_memory, SpillRun* run);
+
+  const Options options_;
+  TaskCounters* counters_;
+  std::string arena_;
+  std::vector<RecordRef> refs_;
+  std::vector<SpillRun> runs_;
+  uint64_t spill_count_ = 0;
+  uint64_t spill_file_seq_ = 0;
+};
+
+}  // namespace ngram::mr

@@ -1,0 +1,113 @@
+#include "text/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace ngram {
+
+std::string CorpusStats::ToString(const std::string& name) const {
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "%-28s %18s\n"
+           "# documents                  %18llu\n"
+           "# term occurrences           %18llu\n"
+           "# distinct terms             %18llu\n"
+           "# sentences                  %18llu\n"
+           "sentence length (mean)       %18.2f\n"
+           "sentence length (stddev)     %18.2f\n",
+           "", name.c_str(), static_cast<unsigned long long>(num_documents),
+           static_cast<unsigned long long>(term_occurrences),
+           static_cast<unsigned long long>(distinct_terms),
+           static_cast<unsigned long long>(num_sentences),
+           sentence_length_mean, sentence_length_stddev);
+  return buf;
+}
+
+CorpusStats Corpus::ComputeStats() const {
+  CorpusStats stats;
+  stats.num_documents = docs.size();
+  std::vector<uint8_t> seen;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& doc : docs) {
+    for (const auto& sentence : doc.sentences) {
+      ++stats.num_sentences;
+      stats.term_occurrences += sentence.size();
+      const double len = static_cast<double>(sentence.size());
+      sum += len;
+      sum_sq += len * len;
+      for (TermId t : sentence) {
+        if (t >= seen.size()) {
+          seen.resize(static_cast<size_t>(t) + 1, 0);
+        }
+        seen[t] = 1;
+      }
+    }
+  }
+  stats.distinct_terms =
+      static_cast<uint64_t>(std::count(seen.begin(), seen.end(), 1));
+  if (stats.num_sentences > 0) {
+    const double n = static_cast<double>(stats.num_sentences);
+    stats.sentence_length_mean = sum / n;
+    const double var =
+        std::max(0.0, sum_sq / n - stats.sentence_length_mean *
+                                       stats.sentence_length_mean);
+    stats.sentence_length_stddev = std::sqrt(var);
+  }
+  return stats;
+}
+
+TermId Corpus::MaxTermId() const {
+  TermId max_id = 0;
+  for (const auto& doc : docs) {
+    for (const auto& sentence : doc.sentences) {
+      for (TermId t : sentence) {
+        max_id = std::max(max_id, t);
+      }
+    }
+  }
+  return max_id + 1;
+}
+
+Corpus Corpus::Sample(int percent, uint64_t seed) const {
+  Corpus out;
+  if (percent >= 100) {
+    out.docs = docs;
+    return out;
+  }
+  // Fisher-Yates prefix of a deterministic permutation, then restore the
+  // original document order for locality.
+  std::vector<uint64_t> idx(docs.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng rng(seed);
+  const size_t want =
+      static_cast<size_t>(docs.size() * static_cast<uint64_t>(percent) / 100);
+  for (size_t i = 0; i < want && i + 1 < idx.size(); ++i) {
+    const size_t j = i + static_cast<size_t>(rng.Uniform(idx.size() - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(want);
+  std::sort(idx.begin(), idx.end());
+  out.docs.reserve(want);
+  for (uint64_t i : idx) {
+    out.docs.push_back(docs[i]);
+  }
+  return out;
+}
+
+UnigramFrequencies ComputeUnigramFrequencies(const Corpus& corpus) {
+  UnigramFrequencies freq(corpus.MaxTermId(), 0);
+  for (const auto& doc : corpus.docs) {
+    for (const auto& sentence : doc.sentences) {
+      for (TermId t : sentence) {
+        ++freq[t];
+      }
+    }
+  }
+  return freq;
+}
+
+}  // namespace ngram

@@ -1,0 +1,74 @@
+// Document and Corpus: the integer-encoded collection every method consumes.
+//
+// Mirroring the paper's preprocessing (Section V "Sequence Encoding" and
+// Section VII-B): documents are sentence-split, terms are mapped to integer
+// ids assigned in descending collection-frequency order, and from there on
+// everything operates on arrays of integers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "encoding/sequence.h"
+
+namespace ngram {
+
+/// One document: an id, an optional publication year (used by the n-gram
+/// time-series extension), and its sentences as term-id sequences.
+/// Sentence boundaries act as n-gram barriers (Section VII-B).
+struct Document {
+  uint64_t id = 0;
+  int32_t year = 0;  // 0 = no timestamp.
+  std::vector<TermSequence> sentences;
+
+  uint64_t TermOccurrences() const {
+    uint64_t n = 0;
+    for (const auto& s : sentences) {
+      n += s.size();
+    }
+    return n;
+  }
+};
+
+/// Aggregate collection statistics — the rows of the paper's Table I.
+struct CorpusStats {
+  uint64_t num_documents = 0;
+  uint64_t term_occurrences = 0;
+  uint64_t distinct_terms = 0;
+  uint64_t num_sentences = 0;
+  double sentence_length_mean = 0.0;
+  double sentence_length_stddev = 0.0;
+
+  /// Renders a Table-I-style block.
+  std::string ToString(const std::string& name) const;
+};
+
+/// A document collection.
+struct Corpus {
+  std::vector<Document> docs;
+
+  uint64_t num_documents() const { return docs.size(); }
+
+  /// Scans the collection and computes Table-I statistics.
+  CorpusStats ComputeStats() const;
+
+  /// Largest term id present plus one (term-frequency vectors are indexed
+  /// by id).
+  TermId MaxTermId() const;
+
+  /// Returns a new corpus containing the first `percent`% of documents of a
+  /// deterministic pseudo-random permutation — the paper's Figure 6 subsets
+  /// ("random 25%, 50%, or 75% subset of the documents").
+  Corpus Sample(int percent, uint64_t seed) const;
+};
+
+/// Per-term collection frequencies indexed by term id, shared read-only by
+/// mappers (document splitting, APRIORI-SCAN k=1 shortcut).
+using UnigramFrequencies = std::vector<uint64_t>;
+
+/// Counts every unigram in the corpus. (This equals what the paper's
+/// one-time dictionary/encoding preprocessing already knows.)
+UnigramFrequencies ComputeUnigramFrequencies(const Corpus& corpus);
+
+}  // namespace ngram

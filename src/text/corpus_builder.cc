@@ -1,0 +1,41 @@
+#include "text/corpus_builder.h"
+
+namespace ngram {
+
+void TextCorpusBuilder::Add(uint64_t doc_id, std::string_view text,
+                            int32_t year) {
+  RawDocument doc;
+  doc.id = doc_id;
+  doc.year = year;
+  doc.sentences = tokenizer_.SplitSentences(text);
+  for (const auto& sentence : doc.sentences) {
+    for (const auto& token : sentence) {
+      ++counts_[token];
+    }
+  }
+  raw_docs_.push_back(std::move(doc));
+}
+
+TextCorpusBuilder::Built TextCorpusBuilder::Finalize() {
+  Built built;
+  built.vocabulary = std::make_shared<Vocabulary>(Vocabulary::Build(counts_));
+  built.corpus.docs.reserve(raw_docs_.size());
+  for (auto& raw : raw_docs_) {
+    Document doc;
+    doc.id = raw.id;
+    doc.year = raw.year;
+    doc.sentences.reserve(raw.sentences.size());
+    for (const auto& sentence : raw.sentences) {
+      TermSequence encoded = built.vocabulary->Encode(sentence);
+      if (!encoded.empty()) {
+        doc.sentences.push_back(std::move(encoded));
+      }
+    }
+    built.corpus.docs.push_back(std::move(doc));
+  }
+  raw_docs_.clear();
+  counts_.clear();
+  return built;
+}
+
+}  // namespace ngram

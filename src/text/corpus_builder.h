@@ -1,0 +1,51 @@
+// TextCorpusBuilder: turns raw-text documents into an integer-encoded
+// Corpus + Vocabulary, reproducing the paper's one-time preprocessing
+// (tokenize, sentence-split, count, assign frequency-descending ids,
+// re-encode).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace ngram {
+
+class TextCorpusBuilder {
+ public:
+  explicit TextCorpusBuilder(TokenizerOptions options = {})
+      : tokenizer_(options) {}
+
+  /// Adds one raw document. `year` feeds the time-series extension (0 = no
+  /// timestamp).
+  void Add(uint64_t doc_id, std::string_view text, int32_t year = 0);
+
+  /// Result of Finalize(): the encoded corpus plus its vocabulary.
+  struct Built {
+    Corpus corpus;
+    std::shared_ptr<Vocabulary> vocabulary;
+  };
+
+  /// Builds the vocabulary from accumulated counts and encodes all added
+  /// documents. The builder is left empty.
+  Built Finalize();
+
+ private:
+  struct RawDocument {
+    uint64_t id;
+    int32_t year;
+    std::vector<std::vector<std::string>> sentences;
+  };
+
+  Tokenizer tokenizer_;
+  std::vector<RawDocument> raw_docs_;
+  std::unordered_map<std::string, uint64_t> counts_;
+};
+
+}  // namespace ngram

@@ -1,0 +1,176 @@
+#include "text/corpus_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "encoding/sequence.h"
+#include "encoding/varint.h"
+#include "util/macros.h"
+
+namespace ngram {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'G', 'C', '1'};
+
+struct FileCloser {
+  void operator()(FILE* f) const {
+    if (f != nullptr) {
+      fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<FILE, FileCloser>;
+
+}  // namespace
+
+Status WriteCorpusBinary(const Corpus& corpus, const std::string& path) {
+  FilePtr f(fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  std::string buf(kMagic, sizeof(kMagic));
+  PutVarint64(&buf, corpus.docs.size());
+  for (const auto& doc : corpus.docs) {
+    PutVarint64(&buf, doc.id);
+    PutVarintSigned64(&buf, doc.year);
+    PutVarint64(&buf, doc.sentences.size());
+    for (const auto& sentence : doc.sentences) {
+      PutVarint64(&buf, sentence.size());
+      for (TermId t : sentence) {
+        PutVarint32(&buf, t);
+      }
+    }
+    if (buf.size() > (1 << 20)) {
+      if (fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+        return Status::IOError("short write to " + path);
+      }
+      buf.clear();
+    }
+  }
+  if (fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  if (fflush(f.get()) != 0) {
+    return Status::IOError("flush " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadCorpusBinary(const std::string& path, Corpus* corpus) {
+  corpus->docs.clear();
+  FilePtr f(fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  std::string content;
+  char chunk[64 * 1024];
+  size_t got = 0;
+  while ((got = fread(chunk, 1, sizeof(chunk), f.get())) > 0) {
+    content.append(chunk, got);
+  }
+  if (ferror(f.get())) {
+    return Status::IOError("read " + path);
+  }
+  Slice in(content);
+  if (in.size() < sizeof(kMagic) ||
+      memcmp(in.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": not an NGC1 corpus file");
+  }
+  in.RemovePrefix(sizeof(kMagic));
+  uint64_t num_docs = 0;
+  if (!GetVarint64(&in, &num_docs)) {
+    return Status::Corruption(path + ": bad document count");
+  }
+  corpus->docs.reserve(num_docs);
+  for (uint64_t d = 0; d < num_docs; ++d) {
+    Document doc;
+    int64_t year = 0;
+    uint64_t num_sentences = 0;
+    if (!GetVarint64(&in, &doc.id) || !GetVarintSigned64(&in, &year) ||
+        !GetVarint64(&in, &num_sentences)) {
+      return Status::Corruption(path + ": truncated document header");
+    }
+    doc.year = static_cast<int32_t>(year);
+    doc.sentences.reserve(num_sentences);
+    for (uint64_t s = 0; s < num_sentences; ++s) {
+      uint64_t len = 0;
+      if (!GetVarint64(&in, &len)) {
+        return Status::Corruption(path + ": truncated sentence header");
+      }
+      TermSequence sentence;
+      sentence.reserve(len);
+      for (uint64_t i = 0; i < len; ++i) {
+        TermId t = 0;
+        if (!GetVarint32(&in, &t)) {
+          return Status::Corruption(path + ": truncated sentence");
+        }
+        sentence.push_back(t);
+      }
+      doc.sentences.push_back(std::move(sentence));
+    }
+    corpus->docs.push_back(std::move(doc));
+  }
+  if (!in.empty()) {
+    return Status::Corruption(path + ": trailing bytes");
+  }
+  return Status::OK();
+}
+
+
+Status WriteCorpusSharded(const Corpus& corpus, const std::string& dir,
+                          uint32_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create " + dir + ": " + ec.message());
+  }
+  std::vector<Corpus> shards(num_shards);
+  for (const auto& doc : corpus.docs) {
+    shards[doc.id % num_shards].docs.push_back(doc);
+  }
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    char name[32];
+    snprintf(name, sizeof(name), "/part-%05u", i);
+    NGRAM_RETURN_NOT_OK(WriteCorpusBinary(shards[i], dir + name));
+  }
+  return Status::OK();
+}
+
+Status ReadCorpusSharded(const std::string& dir, Corpus* corpus) {
+  corpus->docs.clear();
+  std::error_code ec;
+  std::vector<std::filesystem::path> parts;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() &&
+        entry.path().filename().string().rfind("part-", 0) == 0) {
+      parts.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return Status::IOError("cannot list " + dir + ": " + ec.message());
+  }
+  if (parts.empty()) {
+    return Status::NotFound("no part-* files under " + dir);
+  }
+  std::sort(parts.begin(), parts.end());
+  for (const auto& part : parts) {
+    Corpus shard;
+    NGRAM_RETURN_NOT_OK(ReadCorpusBinary(part.string(), &shard));
+    corpus->docs.insert(corpus->docs.end(),
+                        std::make_move_iterator(shard.docs.begin()),
+                        std::make_move_iterator(shard.docs.end()));
+  }
+  std::sort(corpus->docs.begin(), corpus->docs.end(),
+            [](const Document& a, const Document& b) { return a.id < b.id; });
+  return Status::OK();
+}
+}  // namespace ngram

@@ -1,0 +1,30 @@
+// Binary persistence for encoded corpora, mirroring the paper's
+// preprocessing output ("documents are spread as key-value pairs of
+// document identifier and content integer array over binary files",
+// Section VII-B): integer term-id sequences, varbyte-compressed.
+#pragma once
+
+#include <string>
+
+#include "text/corpus.h"
+#include "util/status.h"
+
+namespace ngram {
+
+/// Writes `corpus` to `path` in the NGC1 binary format.
+Status WriteCorpusBinary(const Corpus& corpus, const std::string& path);
+
+/// Reads a corpus written by WriteCorpusBinary.
+Status ReadCorpusBinary(const std::string& path, Corpus* corpus);
+
+/// Writes the corpus spread over `num_shards` part files
+/// (`dir/part-00000` ...), documents assigned by doc id modulo shard —
+/// the paper's layout ("spread ... over a total of 256 binary files").
+Status WriteCorpusSharded(const Corpus& corpus, const std::string& dir,
+                          uint32_t num_shards);
+
+/// Reads every `part-*` file under `dir`; documents are returned sorted by
+/// id, so the result is independent of the shard count.
+Status ReadCorpusSharded(const std::string& dir, Corpus* corpus);
+
+}  // namespace ngram

@@ -1,0 +1,25 @@
+#include "text/doc_split.h"
+
+namespace ngram {
+
+std::vector<TermSequence> SplitAtInfrequentTerms(
+    const TermSequence& fragment, const UnigramFrequencies& unigram_cf,
+    uint64_t tau) {
+  std::vector<TermSequence> pieces;
+  TermSequence current;
+  for (TermId t : fragment) {
+    const uint64_t cf = t < unigram_cf.size() ? unigram_cf[t] : 0;
+    if (cf >= tau) {
+      current.push_back(t);
+    } else if (!current.empty()) {
+      pieces.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    pieces.push_back(std::move(current));
+  }
+  return pieces;
+}
+
+}  // namespace ngram

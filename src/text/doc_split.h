@@ -1,0 +1,23 @@
+// Document splitting at infrequent terms (Section V, "Document Splits"):
+// given unigram collection frequencies and the run's tau, a fragment like
+// <c b a z b a c> with cf(z) < tau splits into <c b a> and <b a c>. Safe by
+// the APRIORI principle — no frequent n-gram can contain an infrequent term.
+// All methods profit, for large sigma in particular.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/sequence.h"
+#include "text/corpus.h"
+
+namespace ngram {
+
+/// Splits `fragment` at terms whose collection frequency is below `tau`.
+/// Infrequent terms themselves are dropped (they cannot appear in any
+/// frequent n-gram). Empty pieces are not produced.
+std::vector<TermSequence> SplitAtInfrequentTerms(
+    const TermSequence& fragment, const UnigramFrequencies& unigram_cf,
+    uint64_t tau);
+
+}  // namespace ngram

@@ -1,0 +1,106 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace ngram {
+
+namespace {
+
+bool IsWordChar(char c, bool keep_numbers) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  if (std::isalpha(u)) {
+    return true;
+  }
+  if (keep_numbers && std::isdigit(u)) {
+    return true;
+  }
+  return false;
+}
+
+const char* const kAbbreviations[] = {"mr",  "mrs", "ms",  "dr", "prof",
+                                      "st",  "jr",  "sr",  "vs", "etc",
+                                      "inc", "co",  "corp"};
+
+}  // namespace
+
+bool Tokenizer::IsSentenceTerminator(char c) const {
+  return c == '.' || c == '!' || c == '?' || c == ';';
+}
+
+bool Tokenizer::LooksLikeAbbreviation(const std::string& token) const {
+  if (token.size() == 1) {
+    return true;  // Initials: "J. Smith".
+  }
+  for (const char* abbr : kAbbreviations) {
+    if (token == abbr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<std::string>> Tokenizer::SplitSentences(
+    std::string_view text) const {
+  std::vector<std::vector<std::string>> sentences;
+  std::vector<std::string> current;
+  std::string token;
+
+  auto flush_token = [&] {
+    if (!token.empty()) {
+      current.push_back(token);
+      token.clear();
+    }
+  };
+  auto flush_sentence = [&] {
+    flush_token();
+    if (!current.empty()) {
+      sentences.push_back(std::move(current));
+      current.clear();
+    }
+  };
+
+  int consecutive_newlines = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++consecutive_newlines;
+      if (consecutive_newlines >= 2) {
+        flush_sentence();  // Blank line = paragraph boundary.
+        consecutive_newlines = 0;
+      }
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      consecutive_newlines = 0;
+    }
+
+    if (IsWordChar(c, options_.keep_numbers)) {
+      token.push_back(options_.lowercase
+                          ? static_cast<char>(
+                                std::tolower(static_cast<unsigned char>(c)))
+                          : c);
+    } else if (options_.keep_apostrophes && c == '\'' && !token.empty() &&
+               i + 1 < text.size() &&
+               IsWordChar(text[i + 1], options_.keep_numbers)) {
+      token.push_back('\'');
+    } else if (c == '.' && LooksLikeAbbreviation(token)) {
+      flush_token();  // Abbreviation period: token boundary, not sentence.
+    } else if (IsSentenceTerminator(c)) {
+      flush_sentence();
+    } else {
+      flush_token();
+    }
+  }
+  flush_sentence();
+  return sentences;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  for (auto& sentence : SplitSentences(text)) {
+    for (auto& t : sentence) {
+      tokens.push_back(std::move(t));
+    }
+  }
+  return tokens;
+}
+
+}  // namespace ngram

@@ -1,0 +1,46 @@
+// Tokenization and sentence splitting for raw text input.
+//
+// The paper preprocesses with OpenNLP sentence detection; this rule-based
+// splitter provides the same downstream semantics (sentences as n-gram
+// barriers) for the text-facing examples and tests.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ngram {
+
+struct TokenizerOptions {
+  /// Lowercase all tokens.
+  bool lowercase = true;
+  /// Keep intra-word apostrophes ("don't" stays one token).
+  bool keep_apostrophes = true;
+  /// Keep digit runs as tokens ("42" survives).
+  bool keep_numbers = true;
+};
+
+/// Splits raw text into sentences of word tokens.
+///
+/// Sentence boundaries: '.', '!', '?', ';' and blank lines. Abbreviation
+/// handling is intentionally simple (single-letter and common title
+/// abbreviations do not split); good enough to act as n-gram barriers.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  /// Tokenizes `text` into sentences; empty sentences are dropped.
+  std::vector<std::vector<std::string>> SplitSentences(
+      std::string_view text) const;
+
+  /// Tokenizes `text` into one flat token list (no sentence structure).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  bool IsSentenceTerminator(char c) const;
+  bool LooksLikeAbbreviation(const std::string& token) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace ngram

@@ -1,0 +1,72 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+
+namespace ngram {
+
+Vocabulary Vocabulary::Build(
+    const std::unordered_map<std::string, uint64_t>& counts) {
+  std::vector<std::pair<std::string, uint64_t>> sorted(counts.begin(),
+                                                       counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;  // Descending frequency.
+    }
+    return a.first < b.first;  // Lexicographic tie-break.
+  });
+  Vocabulary vocab;
+  vocab.id_to_term_.reserve(sorted.size() + 1);
+  vocab.frequencies_.reserve(sorted.size() + 1);
+  for (const auto& [term, freq] : sorted) {
+    const TermId id = static_cast<TermId>(vocab.id_to_term_.size());
+    vocab.term_to_id_[term] = id;
+    vocab.id_to_term_.push_back(term);
+    vocab.frequencies_.push_back(freq);
+  }
+  return vocab;
+}
+
+TermId Vocabulary::Lookup(const std::string& term) const {
+  auto it = term_to_id_.find(term);
+  return it == term_to_id_.end() ? 0 : it->second;
+}
+
+const std::string& Vocabulary::TermOf(TermId id) const {
+  static const std::string kUnknown = "<unk>";
+  if (id == 0 || id >= id_to_term_.size()) {
+    return kUnknown;
+  }
+  return id_to_term_[id];
+}
+
+TermSequence Vocabulary::Encode(const std::vector<std::string>& tokens) const {
+  TermSequence seq;
+  seq.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    const TermId id = Lookup(token);
+    if (id != 0) {
+      seq.push_back(id);
+    }
+  }
+  return seq;
+}
+
+std::string Vocabulary::Decode(const TermSequence& seq) const {
+  std::string out;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) {
+      out += ' ';
+    }
+    out += TermOf(seq[i]);
+  }
+  return out;
+}
+
+uint64_t Vocabulary::FrequencyOf(TermId id) const {
+  if (id >= frequencies_.size()) {
+    return 0;
+  }
+  return frequencies_[id];
+}
+
+}  // namespace ngram

@@ -1,0 +1,49 @@
+// Vocabulary: term <-> id mapping with ids assigned in descending
+// collection-frequency order (Section V, "Sequence Encoding": "We assign
+// identifiers to terms in descending order of their collection frequency to
+// optimize compression").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "encoding/sequence.h"
+#include "util/result.h"
+
+namespace ngram {
+
+class Vocabulary {
+ public:
+  /// Builds a vocabulary from (term, collection frequency) counts. Ids start
+  /// at 1 (0 is reserved); ties broken lexicographically for determinism.
+  static Vocabulary Build(
+      const std::unordered_map<std::string, uint64_t>& counts);
+
+  /// Id for `term`, or 0 when unknown.
+  TermId Lookup(const std::string& term) const;
+
+  /// Term string for `id`; "<unk:id>" when out of range.
+  const std::string& TermOf(TermId id) const;
+
+  /// Encodes a token sequence (unknown tokens are dropped).
+  TermSequence Encode(const std::vector<std::string>& tokens) const;
+
+  /// Decodes a term-id sequence to a space-joined string.
+  std::string Decode(const TermSequence& seq) const;
+
+  /// Collection frequency recorded for `id` at build time.
+  uint64_t FrequencyOf(TermId id) const;
+
+  size_t size() const { return id_to_term_.size() - 1; }
+
+ private:
+  Vocabulary() { id_to_term_.push_back("<pad>"); frequencies_.push_back(0); }
+
+  std::unordered_map<std::string, TermId> term_to_id_;
+  std::vector<std::string> id_to_term_;   // Indexed by id; [0] reserved.
+  std::vector<uint64_t> frequencies_;     // Indexed by id.
+};
+
+}  // namespace ngram

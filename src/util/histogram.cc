@@ -1,0 +1,70 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ngram {
+
+int Log10Histogram2D::Log10Bucket(uint64_t v) {
+  int bucket = 0;
+  while (v >= 10) {
+    v /= 10;
+    ++bucket;
+  }
+  return bucket;
+}
+
+void Log10Histogram2D::Add(uint64_t x, uint64_t y, uint64_t weight) {
+  if (x == 0 || y == 0 || weight == 0) {
+    return;
+  }
+  const int i = Log10Bucket(x);
+  const int j = Log10Bucket(y);
+  buckets_[{i, j}] += weight;
+  max_x_ = std::max(max_x_, i);
+  max_y_ = std::max(max_y_, j);
+  total_ += weight;
+}
+
+uint64_t Log10Histogram2D::BucketCount(int i, int j) const {
+  auto it = buckets_.find({i, j});
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::pair<int, int>, uint64_t>>
+Log10Histogram2D::Buckets() const {
+  return {buckets_.begin(), buckets_.end()};
+}
+
+std::string Log10Histogram2D::ToTable(const std::string& x_label,
+                                      const std::string& y_label) const {
+  std::string out;
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%18s \\ %s\n", y_label.c_str(), x_label.c_str());
+  out += buf;
+  snprintf(buf, sizeof(buf), "%10s", "");
+  out += buf;
+  for (int i = 0; i <= max_x_; ++i) {
+    snprintf(buf, sizeof(buf), " 10^%-9d", i);
+    out += buf;
+  }
+  out += "\n";
+  for (int j = max_y_; j >= 0; --j) {
+    snprintf(buf, sizeof(buf), "10^%-7d", j);
+    out += buf;
+    for (int i = 0; i <= max_x_; ++i) {
+      const uint64_t c = BucketCount(i, j);
+      if (c == 0) {
+        snprintf(buf, sizeof(buf), " %12s", ".");
+      } else {
+        snprintf(buf, sizeof(buf), " %12llu",
+                 static_cast<unsigned long long>(c));
+      }
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ngram

@@ -1,0 +1,50 @@
+// Log-bucketed 2-D histogram used to reproduce the paper's Figure 2
+// ("number of n-grams per (log10 length, log10 cf) bucket").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ngram {
+
+/// \brief Counts items in 2-D buckets of exponential width.
+///
+/// An item with coordinates (x, y) lands in bucket
+/// (floor(log10 x), floor(log10 y)), exactly as in the paper: "the n-gram s
+/// with collection frequency cf(s) goes into bucket (i, j) where
+/// i = blog10 |s|c and j = blog10 cf(s)c".
+class Log10Histogram2D {
+ public:
+  /// Adds `weight` items at coordinates (x, y); x and y must be >= 1.
+  void Add(uint64_t x, uint64_t y, uint64_t weight = 1);
+
+  /// Returns the count in bucket (i, j), 0 if absent.
+  uint64_t BucketCount(int i, int j) const;
+
+  /// Maximum bucket indices present (-1 when empty).
+  int max_x_bucket() const { return max_x_; }
+  int max_y_bucket() const { return max_y_; }
+
+  uint64_t total() const { return total_; }
+
+  /// Renders the histogram as an aligned text matrix (rows = y buckets
+  /// descending, columns = x buckets ascending) for console output.
+  std::string ToTable(const std::string& x_label,
+                      const std::string& y_label) const;
+
+  /// Flat (i, j, count) listing, sorted by (i, j).
+  std::vector<std::pair<std::pair<int, int>, uint64_t>> Buckets() const;
+
+ private:
+  static int Log10Bucket(uint64_t v);
+
+  std::map<std::pair<int, int>, uint64_t> buckets_;
+  int max_x_ = -1;
+  int max_y_ = -1;
+  uint64_t total_ = 0;
+};
+
+}  // namespace ngram

@@ -1,0 +1,93 @@
+// Minimal leveled logger. Thread-safe; writes to stderr. Level is settable
+// globally so benchmarks can silence job chatter.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "util/macros.h"
+
+namespace ngram {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with timestamp, level, and
+/// source location) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it; used when a level is disabled.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define NGRAM_LOG_ENABLED(level) (::ngram::GetLogLevel() <= (level))
+
+#define NGRAM_LOG(level)                                      \
+  if (!NGRAM_LOG_ENABLED(::ngram::LogLevel::level)) {         \
+  } else                                                      \
+    ::ngram::internal::LogMessage(::ngram::LogLevel::level, __FILE__, __LINE__)
+
+#define NGRAM_LOG_DEBUG NGRAM_LOG(kDebug)
+#define NGRAM_LOG_INFO NGRAM_LOG(kInfo)
+#define NGRAM_LOG_WARN NGRAM_LOG(kWarning)
+#define NGRAM_LOG_ERROR NGRAM_LOG(kError)
+
+/// Fatal check: always on, aborts with a message on failure.
+#define NGRAM_CHECK(cond)                                              \
+  if (NGRAM_PREDICT_TRUE(cond)) {                                      \
+  } else                                                               \
+    ::ngram::internal::FatalMessage(__FILE__, __LINE__, #cond)
+
+namespace internal {
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ngram

@@ -1,0 +1,34 @@
+// Common macros used across the library.
+#pragma once
+
+#define NGRAM_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;            \
+  TypeName& operator=(const TypeName&) = delete
+
+#define NGRAM_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#define NGRAM_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+
+/// Propagates a non-OK Status from an expression, RocksDB/Arrow style.
+#define NGRAM_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::ngram::Status _st = (expr);              \
+    if (NGRAM_PREDICT_FALSE(!_st.ok())) {      \
+      return _st;                              \
+    }                                          \
+  } while (false)
+
+/// Assigns the value of a Result<T> expression to `lhs`, or propagates the
+/// error Status.
+#define NGRAM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (NGRAM_PREDICT_FALSE(!tmp.ok())) {              \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define NGRAM_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define NGRAM_ASSIGN_OR_RETURN_NAME(x, y) NGRAM_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define NGRAM_ASSIGN_OR_RETURN(lhs, rexpr) \
+  NGRAM_ASSIGN_OR_RETURN_IMPL(             \
+      NGRAM_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, rexpr)

@@ -1,0 +1,36 @@
+// Wallclock measurement helpers used by the runtime's job metrics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ngram {
+
+/// \brief Measures elapsed wallclock time with steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart(), in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ngram

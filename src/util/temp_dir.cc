@@ -1,0 +1,43 @@
+#include "util/temp_dir.h"
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <system_error>
+
+namespace ngram {
+
+namespace {
+std::atomic<uint64_t> g_tempdir_counter{0};
+}  // namespace
+
+Result<TempDir> TempDir::Create(const std::string& prefix) {
+  std::error_code ec;
+  const std::filesystem::path base = std::filesystem::temp_directory_path(ec);
+  if (ec) {
+    return Status::IOError("cannot resolve temp directory: " + ec.message());
+  }
+  std::random_device rd;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const uint64_t token =
+        (static_cast<uint64_t>(rd()) << 20) ^
+        g_tempdir_counter.fetch_add(1, std::memory_order_relaxed);
+    const std::filesystem::path candidate =
+        base / (prefix + "-" + std::to_string(token));
+    if (std::filesystem::create_directory(candidate, ec)) {
+      return TempDir(candidate);
+    }
+  }
+  return Status::IOError("failed to create unique temp directory under " +
+                         base.string());
+}
+
+void TempDir::Remove() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // Best effort.
+    path_.clear();
+  }
+}
+
+}  // namespace ngram

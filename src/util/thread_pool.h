@@ -1,0 +1,49 @@
+// Fixed-size thread pool with a bounded notion of "slots", used by the
+// MapReduce runtime to emulate Hadoop's map/reduce slot scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace ngram {
+
+/// \brief Executes submitted tasks on up to `num_threads` worker threads.
+///
+/// Tasks are run FIFO. Wait() blocks until every submitted task has
+/// completed, enabling barrier-style phase execution (all map tasks, then
+/// all reduce tasks).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all previously submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace ngram

@@ -1,0 +1,132 @@
+#include "core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/running_example.h"
+#include "testing/test_util.h"
+
+namespace ngram {
+namespace {
+
+using testing::Seq;
+
+TEST(BruteForceTest, RunningExampleCounts) {
+  const NgramStatistics stats =
+      BruteForceCounts(RunningExampleCorpus(), 3, 3);
+  EXPECT_EQ(stats.size(), 6u);
+  EXPECT_EQ(stats.FrequencyOf(Seq({kTermA})), 3u);
+  EXPECT_EQ(stats.FrequencyOf(Seq({kTermB})), 5u);
+  EXPECT_EQ(stats.FrequencyOf(Seq({kTermX})), 7u);
+  EXPECT_EQ(stats.FrequencyOf(Seq({kTermA, kTermX})), 3u);
+  EXPECT_EQ(stats.FrequencyOf(Seq({kTermX, kTermB})), 4u);
+  EXPECT_EQ(stats.FrequencyOf(Seq({kTermA, kTermX, kTermB})), 3u);
+}
+
+TEST(BruteForceTest, SigmaLimitsLength) {
+  const NgramStatistics stats =
+      BruteForceCounts(RunningExampleCorpus(), 3, 2);
+  EXPECT_EQ(stats.size(), 5u);
+  EXPECT_EQ(stats.FrequencyOf(Seq({kTermA, kTermX, kTermB})), 0u);
+}
+
+TEST(BruteForceTest, SigmaZeroIsUnbounded) {
+  const NgramStatistics stats =
+      BruteForceCounts(RunningExampleCorpus(), 1, 0);
+  EXPECT_EQ(stats.MaxLength(), 5u);  // Whole documents.
+}
+
+TEST(BruteForceTest, OverlappingOccurrencesCounted) {
+  Corpus corpus;
+  Document d;
+  d.id = 1;
+  d.sentences = {{1, 1, 1, 1}};
+  corpus.docs = {d};
+  const NgramStatistics stats = BruteForceCounts(corpus, 1, 0);
+  EXPECT_EQ(stats.FrequencyOf(Seq({1})), 4u);
+  EXPECT_EQ(stats.FrequencyOf(Seq({1, 1})), 3u);
+  EXPECT_EQ(stats.FrequencyOf(Seq({1, 1, 1})), 2u);
+  EXPECT_EQ(stats.FrequencyOf(Seq({1, 1, 1, 1})), 1u);
+}
+
+TEST(BruteForceTest, SentencesAreBarriers) {
+  Corpus corpus;
+  Document d;
+  d.id = 1;
+  d.sentences = {{1, 2}, {3, 4}};
+  corpus.docs = {d};
+  const NgramStatistics stats = BruteForceCounts(corpus, 1, 0);
+  EXPECT_EQ(stats.FrequencyOf(Seq({2, 3})), 0u);  // Crosses the barrier.
+  EXPECT_EQ(stats.FrequencyOf(Seq({1, 2})), 1u);
+}
+
+TEST(BruteForceTest, DocumentFrequencyDiffersFromCollection) {
+  Corpus corpus;
+  Document d1;
+  d1.id = 1;
+  d1.sentences = {{9, 9, 9}};  // cf(<9>)=3 in one doc.
+  Document d2;
+  d2.id = 2;
+  d2.sentences = {{9}};
+  corpus.docs = {d1, d2};
+  const NgramStatistics cf = BruteForceCounts(corpus, 1, 1);
+  const NgramStatistics df = BruteForceDocumentFrequencies(corpus, 1, 1);
+  EXPECT_EQ(cf.FrequencyOf(Seq({9})), 4u);
+  EXPECT_EQ(df.FrequencyOf(Seq({9})), 2u);
+}
+
+TEST(BruteForceTest, MaximalOnRunningExample) {
+  // Frequent set (tau=3, sigma=3): a, b, x, "a x", "x b", "a x b".
+  // "a x b" subsumes a, x, b?? b and x also occur outside "a x b":
+  // maximality only requires ONE frequent supersequence, so a, x, b,
+  // "a x", "x b" are all non-maximal (each is a subsequence of "a x b").
+  const NgramStatistics maximal =
+      BruteForceMaximal(RunningExampleCorpus(), 3, 3);
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal.FrequencyOf(Seq({kTermA, kTermX, kTermB})), 3u);
+}
+
+TEST(BruteForceTest, ClosedOnRunningExample) {
+  // Closed: "a x b" (3); x (7) and b (5) and "x b" (4) have no equal-cf
+  // supersequence; a (3) and "a x" (3) are subsumed by "a x b" with cf 3.
+  const NgramStatistics closed =
+      BruteForceClosed(RunningExampleCorpus(), 3, 3);
+  EXPECT_EQ(closed.size(), 4u);
+  EXPECT_EQ(closed.FrequencyOf(Seq({kTermA, kTermX, kTermB})), 3u);
+  EXPECT_EQ(closed.FrequencyOf(Seq({kTermX, kTermB})), 4u);
+  EXPECT_EQ(closed.FrequencyOf(Seq({kTermX})), 7u);
+  EXPECT_EQ(closed.FrequencyOf(Seq({kTermB})), 5u);
+  EXPECT_EQ(closed.FrequencyOf(Seq({kTermA})), 0u);
+  EXPECT_EQ(closed.FrequencyOf(Seq({kTermA, kTermX})), 0u);
+}
+
+TEST(BruteForceTest, MaximalSubsetOfClosedSubsetOfFrequent) {
+  const Corpus corpus = testing::RandomCorpus(3, 30);
+  const auto frequent = BruteForceCounts(corpus, 3, 4).ToMap();
+  const auto closed = BruteForceClosed(corpus, 3, 4).ToMap();
+  const auto maximal = BruteForceMaximal(corpus, 3, 4).ToMap();
+  EXPECT_LE(maximal.size(), closed.size());
+  EXPECT_LE(closed.size(), frequent.size());
+  for (const auto& [seq, cf] : maximal) {
+    EXPECT_TRUE(closed.count(seq)) << SequenceToDebugString(seq);
+  }
+  for (const auto& [seq, cf] : closed) {
+    auto it = frequent.find(seq);
+    ASSERT_TRUE(it != frequent.end());
+    EXPECT_EQ(it->second, cf);
+  }
+}
+
+TEST(BruteForceTest, TimeSeriesSumsToCount) {
+  const Corpus corpus =
+      testing::RandomCorpus(4, 20, 5, 3, 8, /*year_min=*/1990,
+                            /*year_max=*/1995);
+  const auto series = BruteForceTimeSeries(corpus, 2, 3);
+  const auto counts = BruteForceCounts(corpus, 2, 3);
+  ASSERT_EQ(series.size(), counts.size());
+  for (const auto& [seq, ts] : series) {
+    EXPECT_EQ(ts.Total(), counts.FrequencyOf(seq));
+  }
+}
+
+}  // namespace
+}  // namespace ngram

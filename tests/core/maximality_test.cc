@@ -1,0 +1,120 @@
+#include "core/maximality.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/runner.h"
+#include "corpus/running_example.h"
+#include "testing/test_util.h"
+
+namespace ngram {
+namespace {
+
+using testing::Seq;
+
+TEST(MaximalityTest, RunningExampleMaximal) {
+  // Section VI-A: only <a x b> survives both filter phases.
+  const CorpusContext ctx = BuildCorpusContext(RunningExampleCorpus());
+  auto run = RunSuffixSigmaMaximal(
+      ctx, testing::TestOptions(Method::kSuffixSigma, 3, 3));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->stats.size(), 1u);
+  run->stats.SortCanonical();
+  EXPECT_EQ(run->stats.FrequencyOf(Seq({kTermA, kTermX, kTermB})), 3u);
+  EXPECT_EQ(run->metrics.num_jobs(), 2);  // SUFFIX-sigma + post-filter.
+}
+
+TEST(MaximalityTest, RunningExampleClosed) {
+  const CorpusContext ctx = BuildCorpusContext(RunningExampleCorpus());
+  auto run = RunSuffixSigmaClosed(
+      ctx, testing::TestOptions(Method::kSuffixSigma, 3, 3));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  NgramStatistics expected = BruteForceClosed(RunningExampleCorpus(), 3, 3);
+  EXPECT_TRUE(run->stats.SameAs(expected))
+      << ::testing::PrintToString(run->stats.DiffAgainst(expected));
+}
+
+struct ModeCase {
+  uint64_t tau;
+  uint32_t sigma;
+  uint64_t seed;
+};
+
+class MaximalSweepTest : public ::testing::TestWithParam<ModeCase> {};
+
+TEST_P(MaximalSweepTest, MatchesBruteForceMaximal) {
+  const auto& c = GetParam();
+  const Corpus corpus = testing::RandomCorpus(c.seed, 30, 5, 3, 10);
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+  auto run = RunSuffixSigmaMaximal(
+      ctx, testing::TestOptions(Method::kSuffixSigma, c.tau, c.sigma));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  NgramStatistics expected = BruteForceMaximal(corpus, c.tau, c.sigma);
+  EXPECT_TRUE(run->stats.SameAs(expected))
+      << ::testing::PrintToString(run->stats.DiffAgainst(expected));
+}
+
+class ClosedSweepTest : public ::testing::TestWithParam<ModeCase> {};
+
+TEST_P(ClosedSweepTest, MatchesBruteForceClosed) {
+  const auto& c = GetParam();
+  const Corpus corpus = testing::RandomCorpus(c.seed, 30, 5, 3, 10);
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+  auto run = RunSuffixSigmaClosed(
+      ctx, testing::TestOptions(Method::kSuffixSigma, c.tau, c.sigma));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  NgramStatistics expected = BruteForceClosed(corpus, c.tau, c.sigma);
+  EXPECT_TRUE(run->stats.SameAs(expected))
+      << ::testing::PrintToString(run->stats.DiffAgainst(expected));
+}
+
+std::string ModeCaseName(const ::testing::TestParamInfo<ModeCase>& info) {
+  return "tau" + std::to_string(info.param.tau) + "_sigma" +
+         std::to_string(info.param.sigma) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+const ModeCase kModeCases[] = {
+    {1, 3, 201}, {2, 3, 202}, {2, 4, 203}, {3, 5, 204},
+    {2, 0, 205}, {4, 2, 206}, {1, 0, 207}, {5, 4, 208},
+};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MaximalSweepTest,
+                         ::testing::ValuesIn(kModeCases), ModeCaseName);
+INSTANTIATE_TEST_SUITE_P(Sweep, ClosedSweepTest,
+                         ::testing::ValuesIn(kModeCases), ModeCaseName);
+
+TEST(MaximalityTest, OutputsShrinkMonotonically) {
+  // |maximal| <= |closed| <= |frequent| (Section VI-A's point: a much more
+  // compact result).
+  const Corpus corpus = testing::RandomCorpus(210, 80, 8, 4, 14);
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+  const NgramJobOptions options =
+      testing::TestOptions(Method::kSuffixSigma, 3, 5);
+  auto all = ComputeNgramStatistics(ctx, options);
+  auto closed = RunSuffixSigmaClosed(ctx, options);
+  auto maximal = RunSuffixSigmaMaximal(ctx, options);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(closed.ok());
+  ASSERT_TRUE(maximal.ok());
+  EXPECT_LE(maximal->stats.size(), closed->stats.size());
+  EXPECT_LE(closed->stats.size(), all->stats.size());
+  EXPECT_GT(maximal->stats.size(), 0u);
+}
+
+TEST(MaximalityTest, ClosedFrequenciesAreAccurate) {
+  // Closedness preserves reconstructability: every closed n-gram carries
+  // its exact cf.
+  const Corpus corpus = testing::RandomCorpus(211, 40, 6, 3, 10);
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+  auto closed = RunSuffixSigmaClosed(
+      ctx, testing::TestOptions(Method::kSuffixSigma, 2, 4));
+  ASSERT_TRUE(closed.ok());
+  const NgramStatistics all = BruteForceCounts(corpus, 2, 4);
+  for (const auto& [seq, cf] : closed->stats.entries) {
+    EXPECT_EQ(cf, all.FrequencyOf(seq)) << SequenceToDebugString(seq);
+  }
+}
+
+}  // namespace
+}  // namespace ngram

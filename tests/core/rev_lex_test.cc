@@ -1,0 +1,165 @@
+#include "core/rev_lex.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "encoding/serde.h"
+#include "util/random.h"
+
+namespace ngram {
+namespace {
+
+int CompareSeqs(const TermSequence& a, const TermSequence& b) {
+  const std::string ea = SerializeToString(a);
+  const std::string eb = SerializeToString(b);
+  return ReverseLexSequenceComparator::Instance()->Compare(Slice(ea),
+                                                           Slice(eb));
+}
+
+/// Reference implementation of the paper's definition on decoded
+/// sequences:
+///   r < s <=> (|r| > |s| and s is a prefix of r) or
+///             exists i: r[i] > s[i], r[j] = s[j] for j < i.
+int ReferenceCompare(const TermSequence& r, const TermSequence& s) {
+  const size_t n = std::min(r.size(), s.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (r[i] != s[i]) {
+      return r[i] > s[i] ? -1 : +1;
+    }
+  }
+  if (r.size() == s.size()) {
+    return 0;
+  }
+  return r.size() > s.size() ? -1 : +1;
+}
+
+TEST(ReverseLexTest, ExtensionsBeforePrefixes) {
+  EXPECT_LT(CompareSeqs({2, 1, 1}, {2, 1}), 0);
+  EXPECT_GT(CompareSeqs({2, 1}, {2, 1, 1}), 0);
+  EXPECT_LT(CompareSeqs({2, 1}, {2}), 0);
+}
+
+TEST(ReverseLexTest, LargerTermsFirst) {
+  EXPECT_LT(CompareSeqs({5}, {3}), 0);
+  EXPECT_GT(CompareSeqs({3}, {5}), 0);
+  EXPECT_LT(CompareSeqs({2, 9}, {2, 1}), 0);
+}
+
+TEST(ReverseLexTest, EqualSequences) {
+  EXPECT_EQ(CompareSeqs({1, 2, 3}, {1, 2, 3}), 0);
+  EXPECT_EQ(CompareSeqs({}, {}), 0);
+}
+
+TEST(ReverseLexTest, EmptySequenceSortsLast) {
+  EXPECT_LT(CompareSeqs({1}, {}), 0);
+  EXPECT_GT(CompareSeqs({}, {7}), 0);
+}
+
+TEST(ReverseLexTest, PaperReducerOrderForTermB) {
+  // Section IV, reducer for suffixes starting with b, with ids assigned
+  // alphabetically (a=1, b=2, x=3) so the paper's letter order is the id
+  // order: <b x x> , <b x> , <b a x> , <b>.
+  std::vector<TermSequence> suffixes = {
+      {2}, {2, 1, 3}, {2, 3}, {2, 3, 3}};
+  std::sort(suffixes.begin(), suffixes.end(),
+            [](const TermSequence& a, const TermSequence& b) {
+              return CompareSeqs(a, b) < 0;
+            });
+  EXPECT_EQ(suffixes[0], (TermSequence{2, 3, 3}));  // b x x
+  EXPECT_EQ(suffixes[1], (TermSequence{2, 3}));     // b x
+  EXPECT_EQ(suffixes[2], (TermSequence{2, 1, 3}));  // b a x
+  EXPECT_EQ(suffixes[3], (TermSequence{2}));        // b
+}
+
+TEST(ReverseLexTest, MatchesReferenceOnRandomPairs) {
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    TermSequence a, b;
+    const uint64_t la = rng.Uniform(6);
+    const uint64_t lb = rng.Uniform(6);
+    for (uint64_t j = 0; j < la; ++j) {
+      a.push_back(1 + static_cast<TermId>(rng.Uniform(4)));
+    }
+    for (uint64_t j = 0; j < lb; ++j) {
+      b.push_back(1 + static_cast<TermId>(rng.Uniform(4)));
+    }
+    const int got = CompareSeqs(a, b);
+    const int want = ReferenceCompare(a, b);
+    ASSERT_EQ(got < 0 ? -1 : (got > 0 ? 1 : 0), want)
+        << SequenceToDebugString(a) << " vs " << SequenceToDebugString(b);
+  }
+}
+
+TEST(ReverseLexTest, IsATotalOrder) {
+  // Antisymmetry and transitivity on a fixed universe.
+  std::vector<TermSequence> universe;
+  for (TermId a = 1; a <= 3; ++a) {
+    universe.push_back({a});
+    for (TermId b = 1; b <= 3; ++b) {
+      universe.push_back({a, b});
+      for (TermId c = 1; c <= 3; ++c) {
+        universe.push_back({a, b, c});
+      }
+    }
+  }
+  for (const auto& x : universe) {
+    EXPECT_EQ(CompareSeqs(x, x), 0);
+    for (const auto& y : universe) {
+      const int xy = CompareSeqs(x, y);
+      const int yx = CompareSeqs(y, x);
+      EXPECT_EQ(xy < 0, yx > 0);
+      EXPECT_EQ(xy == 0, x == y);
+      for (const auto& z : universe) {
+        if (xy < 0 && CompareSeqs(y, z) < 0) {
+          EXPECT_LT(CompareSeqs(x, z), 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ReverseLexTest, MultiByteVarintTermsCompareNumerically) {
+  // Term ids above 127 encode to multiple bytes; order must follow ids,
+  // not raw bytes.
+  EXPECT_LT(CompareSeqs({300}, {200}), 0);
+  EXPECT_GT(CompareSeqs({127}, {128}), 0);
+  EXPECT_LT(CompareSeqs({1, 70000}, {1, 69999}), 0);
+}
+
+TEST(FirstTermPartitionerTest, DependsOnlyOnFirstTerm) {
+  const auto* partitioner = FirstTermPartitioner::Instance();
+  for (TermId first : {1u, 2u, 77u, 70000u}) {
+    const uint32_t expected = partitioner->Partition(
+        Slice(SerializeToString(TermSequence{first})), 13);
+    for (TermId second : {1u, 9u, 1234u}) {
+      const std::string key =
+          SerializeToString(TermSequence{first, second, second + 1});
+      EXPECT_EQ(partitioner->Partition(Slice(key), 13), expected);
+    }
+  }
+}
+
+TEST(FirstTermPartitionerTest, SpreadsAcrossPartitions) {
+  const auto* partitioner = FirstTermPartitioner::Instance();
+  std::vector<int> hits(8, 0);
+  for (TermId t = 1; t <= 800; ++t) {
+    ++hits[partitioner->Partition(
+        Slice(SerializeToString(TermSequence{t})), 8)];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 50);  // No empty or wildly skewed partition.
+  }
+}
+
+TEST(FirstTermPartitionerTest, StaysInRange) {
+  const auto* partitioner = FirstTermPartitioner::Instance();
+  for (TermId t = 1; t < 100; ++t) {
+    const std::string key = SerializeToString(TermSequence{t});
+    EXPECT_LT(partitioner->Partition(Slice(key), 3), 3u);
+    EXPECT_EQ(partitioner->Partition(Slice(key), 1), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ngram

@@ -1,0 +1,110 @@
+#include "core/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/running_example.h"
+#include "testing/test_util.h"
+
+namespace ngram {
+namespace {
+
+TEST(RunnerTest, ValidatesTau) {
+  NgramJobOptions options = testing::TestOptions(Method::kSuffixSigma, 1, 3);
+  options.tau = 0;
+  EXPECT_TRUE(ValidateOptions(options).IsInvalidArgument());
+  auto run = ComputeNgramStatistics(RunningExampleCorpus(), options);
+  EXPECT_FALSE(run.ok());
+}
+
+TEST(RunnerTest, ValidatesReducersAndSlots) {
+  NgramJobOptions options = testing::TestOptions(Method::kNaive, 1, 3);
+  options.num_reducers = 0;
+  EXPECT_TRUE(ValidateOptions(options).IsInvalidArgument());
+  options = testing::TestOptions(Method::kNaive, 1, 3);
+  options.map_slots = 0;
+  EXPECT_TRUE(ValidateOptions(options).IsInvalidArgument());
+  options = testing::TestOptions(Method::kNaive, 1, 3);
+  options.sort_buffer_bytes = 16;
+  EXPECT_TRUE(ValidateOptions(options).IsInvalidArgument());
+}
+
+TEST(RunnerTest, ValidatesAprioriIndexK) {
+  NgramJobOptions options =
+      testing::TestOptions(Method::kAprioriIndex, 1, 3);
+  options.apriori_index_k = 0;
+  EXPECT_TRUE(ValidateOptions(options).IsInvalidArgument());
+}
+
+TEST(RunnerTest, MethodNames) {
+  EXPECT_STREQ(MethodName(Method::kNaive), "Naive");
+  EXPECT_STREQ(MethodName(Method::kAprioriScan), "Apriori-Scan");
+  EXPECT_STREQ(MethodName(Method::kAprioriIndex), "Apriori-Index");
+  EXPECT_STREQ(MethodName(Method::kSuffixSigma), "Suffix-sigma");
+}
+
+TEST(RunnerTest, CorpusOverloadBuildsContext) {
+  auto run = ComputeNgramStatistics(
+      RunningExampleCorpus(), testing::TestOptions(Method::kSuffixSigma, 3,
+                                                   3));
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->stats.size(), 6u);
+}
+
+TEST(RunnerTest, MetricsPopulated) {
+  auto run = ComputeNgramStatistics(
+      RunningExampleCorpus(),
+      testing::TestOptions(Method::kAprioriScan, 3, 3));
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->metrics.num_jobs(), 1);
+  EXPECT_GT(run->metrics.total_wallclock_ms(), 0.0);
+  EXPECT_GT(run->metrics.map_output_bytes(), 0u);
+  EXPECT_GT(run->metrics.map_output_records(), 0u);
+}
+
+TEST(RunnerTest, SigmaOrMaxSemantics) {
+  NgramJobOptions options;
+  options.sigma = 0;
+  EXPECT_EQ(options.sigma_or_max(), UINT32_MAX);
+  options.sigma = 7;
+  EXPECT_EQ(options.sigma_or_max(), 7u);
+}
+
+TEST(NgramStatisticsTest, FrequencyOfRequiresCanonicalOrder) {
+  NgramStatistics stats;
+  stats.Add({3, 1}, 5);
+  stats.Add({1}, 9);
+  stats.SortCanonical();
+  EXPECT_EQ(stats.FrequencyOf({1}), 9u);
+  EXPECT_EQ(stats.FrequencyOf({3, 1}), 5u);
+  EXPECT_EQ(stats.FrequencyOf({2}), 0u);
+}
+
+TEST(NgramStatisticsTest, DiffReportsBothSides) {
+  NgramStatistics a, b;
+  a.Add({1}, 1);
+  a.Add({2}, 2);
+  b.Add({2}, 3);
+  b.Add({3}, 1);
+  a.SortCanonical();
+  b.SortCanonical();
+  const auto diffs = a.DiffAgainst(b);
+  ASSERT_EQ(diffs.size(), 3u);
+}
+
+TEST(NgramStatisticsTest, OutputCharacteristicsBuckets) {
+  NgramStatistics stats;
+  stats.Add({1}, 5);         // (0, 0)
+  stats.Add({1, 2}, 50);     // (0, 1)
+  TermSequence long_seq;
+  for (TermId i = 0; i < 12; ++i) {
+    long_seq.push_back(i + 1);
+  }
+  stats.Add(long_seq, 500);  // (1, 2)
+  const Log10Histogram2D hist = stats.OutputCharacteristics();
+  EXPECT_EQ(hist.BucketCount(0, 0), 1u);
+  EXPECT_EQ(hist.BucketCount(0, 1), 1u);
+  EXPECT_EQ(hist.BucketCount(1, 2), 1u);
+}
+
+}  // namespace
+}  // namespace ngram

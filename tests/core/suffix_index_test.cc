@@ -1,0 +1,111 @@
+#include "core/suffix_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "corpus/running_example.h"
+#include "testing/test_util.h"
+
+namespace ngram {
+namespace {
+
+std::map<TermSequence, PostingList> ToMap(const PositionalIndex& index) {
+  std::map<TermSequence, PostingList> out;
+  for (const auto& [seq, list] : index.rows) {
+    out[seq] = list;
+  }
+  return out;
+}
+
+TEST(SuffixIndexTest, RunningExamplePostings) {
+  const CorpusContext ctx = BuildCorpusContext(RunningExampleCorpus());
+  auto run = RunSuffixSigmaIndex(
+      ctx, testing::TestOptions(Method::kSuffixSigma, 3, 3));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const auto index = ToMap(run->index);
+  ASSERT_EQ(index.size(), 6u);
+
+  // <a x b> : d1:[0], d2:[1], d3:[2] (Section III-B).
+  const auto axb = index.find({kTermA, kTermX, kTermB});
+  ASSERT_TRUE(axb != index.end());
+  ASSERT_EQ(axb->second.postings.size(), 3u);
+  EXPECT_EQ(axb->second.postings[0].doc_id, 1u);
+  EXPECT_EQ(axb->second.postings[0].positions,
+            (std::vector<uint32_t>{0}));
+  EXPECT_EQ(axb->second.postings[1].positions,
+            (std::vector<uint32_t>{1}));
+  EXPECT_EQ(axb->second.postings[2].positions,
+            (std::vector<uint32_t>{2}));
+
+  // <x> occurs 7 times: d1:[1,3,4], d2:[2,4], d3:[0,3].
+  const auto x = index.find({kTermX});
+  ASSERT_TRUE(x != index.end());
+  EXPECT_EQ(x->second.TotalOccurrences(), 7u);
+  EXPECT_EQ(x->second.postings[0].positions,
+            (std::vector<uint32_t>{1, 3, 4}));
+}
+
+class SuffixIndexAgreementTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(SuffixIndexAgreementTest, MatchesAprioriIndex) {
+  // The single-job SUFFIX-sigma index must equal APRIORI-INDEX's multi-job
+  // index, posting for posting.
+  const Corpus corpus = testing::RandomCorpus(GetParam(), 25, 5, 3, 10);
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+  NgramJobOptions options = testing::TestOptions(Method::kSuffixSigma, 2, 4);
+  auto suffix_run = RunSuffixSigmaIndex(ctx, options);
+  ASSERT_TRUE(suffix_run.ok()) << suffix_run.status().ToString();
+
+  options.method = Method::kAprioriIndex;
+  options.apriori_index_k = 2;
+  auto apriori_run = RunAprioriIndexWithIndex(ctx, options);
+  ASSERT_TRUE(apriori_run.ok()) << apriori_run.status().ToString();
+
+  const auto got = ToMap(suffix_run->index);
+  const auto want = ToMap(apriori_run->index);
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [seq, list] : want) {
+    auto it = got.find(seq);
+    ASSERT_TRUE(it != got.end()) << SequenceToDebugString(seq);
+    EXPECT_EQ(it->second, list) << SequenceToDebugString(seq);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuffixIndexAgreementTest,
+                         ::testing::Values(601, 602, 603, 604));
+
+TEST(SuffixIndexTest, DocumentFrequencyModeThresholdsOnDocs) {
+  // One doc with <9 9 9>: cf(<9>) = 3 but df = 1.
+  Corpus corpus;
+  Document d;
+  d.id = 1;
+  d.sentences = {{9, 9, 9}};
+  corpus.docs = {d};
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+  NgramJobOptions options = testing::TestOptions(Method::kSuffixSigma, 2, 2);
+  options.frequency_mode = FrequencyMode::kDocument;
+  options.document_splits = false;
+  auto run = RunSuffixSigmaIndex(ctx, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->index.empty());  // df(<9>) = 1 < tau = 2.
+
+  options.frequency_mode = FrequencyMode::kCollection;
+  auto cf_run = RunSuffixSigmaIndex(ctx, options);
+  ASSERT_TRUE(cf_run.ok());
+  EXPECT_EQ(cf_run->index.size(), 2u);  // <9> and <9 9>.
+}
+
+TEST(SuffixIndexTest, SingleJobAndSuffixRecordVolume) {
+  const CorpusContext ctx = BuildCorpusContext(RunningExampleCorpus());
+  NgramJobOptions options = testing::TestOptions(Method::kSuffixSigma, 3, 3);
+  options.document_splits = false;
+  auto run = RunSuffixSigmaIndex(ctx, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->metrics.num_jobs(), 1);
+  EXPECT_EQ(run->metrics.map_output_records(), 15u);  // One per position.
+}
+
+}  // namespace
+}  // namespace ngram

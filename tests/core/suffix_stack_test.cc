@@ -1,0 +1,242 @@
+#include "core/suffix_stack.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ngram {
+namespace {
+
+// Letter ids matching the paper's alphabetical order: a=1, b=2, x=3.
+constexpr TermId A = 1, B = 2, X = 3;
+
+using Emitted = std::map<TermSequence, uint64_t>;
+
+SuffixStack<CountAggregate>::EmitFn Collect(Emitted* out) {
+  return [out](const TermSequence& ngram, const CountAggregate& agg) {
+    (*out)[ngram] = agg.count;
+    return Status::OK();
+  };
+}
+
+TEST(SuffixStackTest, Figure1TraceStates) {
+  // The paper's Figure 1: reducer for term b receives
+  //   <b x x>:|l|=1, <b x>:|l|=1, <b a x>:|l|=2, <b>:|l|=1  (tau = 3).
+  Emitted emitted;
+  SuffixStack<CountAggregate> stack(3, EmitMode::kAll, Collect(&emitted));
+
+  ASSERT_TRUE(stack.Push({B, X, X}, {1}).ok());
+  EXPECT_EQ(stack.FrameSnapshot(),
+            (std::vector<std::pair<TermId, uint64_t>>{{B, 0}, {X, 0},
+                                                      {X, 1}}));
+
+  ASSERT_TRUE(stack.Push({B, X}, {1}).ok());
+  EXPECT_EQ(stack.FrameSnapshot(),
+            (std::vector<std::pair<TermId, uint64_t>>{{B, 0}, {X, 2}}));
+
+  ASSERT_TRUE(stack.Push({B, A, X}, {2}).ok());
+  EXPECT_EQ(stack.FrameSnapshot(),
+            (std::vector<std::pair<TermId, uint64_t>>{{B, 2}, {A, 0},
+                                                      {X, 2}}));
+
+  // Figure 1's last column shows [b 4] just before |l| of <b> is added;
+  // after the complete push the b frame holds 5.
+  ASSERT_TRUE(stack.Push({B}, {1}).ok());
+  EXPECT_EQ(stack.FrameSnapshot(),
+            (std::vector<std::pair<TermId, uint64_t>>{{B, 5}}));
+
+  ASSERT_TRUE(stack.Flush().ok());
+  // Only <b> reaches tau = 3 on this reducer.
+  EXPECT_EQ(emitted, (Emitted{{{B}, 5}}));
+}
+
+TEST(SuffixStackTest, RunningExampleReducerX) {
+  // Reducer for x: suffixes <x x>:1, <x b x x>:1, <x b x>... — derive from
+  // the documents directly: suffixes starting with x, truncated to 3.
+  //   d1 = a x b x x -> <x b x>, <x x>, <x>
+  //   d2 = b a x b x -> <x b x>, <x>
+  //   d3 = x b a x b -> <x b a>, <x b>
+  // Grouped (reverse-lex, ids a=1,b=2,x=3): <x x>:1, <x b x>:2, <x b a>:1,
+  // <x b>:1, <x>:2.
+  Emitted emitted;
+  SuffixStack<CountAggregate> stack(3, EmitMode::kAll, Collect(&emitted));
+  ASSERT_TRUE(stack.Push({X, X}, {1}).ok());
+  ASSERT_TRUE(stack.Push({X, B, X}, {2}).ok());
+  ASSERT_TRUE(stack.Push({X, B, A}, {1}).ok());
+  ASSERT_TRUE(stack.Push({X, B}, {1}).ok());
+  ASSERT_TRUE(stack.Push({X}, {2}).ok());
+  ASSERT_TRUE(stack.Flush().ok());
+  EXPECT_EQ(emitted, (Emitted{{{X, B}, 4}, {{X}, 7}}));
+}
+
+TEST(SuffixStackTest, SingleSuffixEmitsAllPrefixes) {
+  Emitted emitted;
+  SuffixStack<CountAggregate> stack(1, EmitMode::kAll, Collect(&emitted));
+  ASSERT_TRUE(stack.Push({5, 4, 3}, {2}).ok());
+  ASSERT_TRUE(stack.Flush().ok());
+  EXPECT_EQ(emitted,
+            (Emitted{{{5}, 2}, {{5, 4}, 2}, {{5, 4, 3}, 2}}));
+}
+
+TEST(SuffixStackTest, RejectsOutOfOrderInput) {
+  Emitted emitted;
+  SuffixStack<CountAggregate> stack(1, EmitMode::kAll, Collect(&emitted));
+  ASSERT_TRUE(stack.Push({2, 1}, {1}).ok());
+  // An extension after its prefix violates reverse-lex order.
+  EXPECT_TRUE(stack.Push({2, 1, 5}, {1}).IsInvalidArgument());
+
+  SuffixStack<CountAggregate> stack2(1, EmitMode::kAll, Collect(&emitted));
+  ASSERT_TRUE(stack2.Push({2, 1}, {1}).ok());
+  // Diverging upward (larger term after smaller) is also out of order.
+  EXPECT_TRUE(stack2.Push({2, 3}, {1}).IsInvalidArgument());
+}
+
+TEST(SuffixStackTest, FlushOnEmptyStackIsOk) {
+  Emitted emitted;
+  SuffixStack<CountAggregate> stack(1, EmitMode::kAll, Collect(&emitted));
+  EXPECT_TRUE(stack.Flush().ok());
+  EXPECT_TRUE(emitted.empty());
+}
+
+TEST(SuffixStackTest, PrefixMaximalSuppresssExtendedNgrams) {
+  // <5 4>:3 and <5>:3+1. tau=3: <5> has a frequent extension -> only
+  // <5 4> is prefix-maximal.
+  Emitted emitted;
+  SuffixStack<CountAggregate> stack(3, EmitMode::kPrefixMaximal,
+                                    Collect(&emitted));
+  ASSERT_TRUE(stack.Push({5, 4}, {3}).ok());
+  ASSERT_TRUE(stack.Push({5}, {1}).ok());
+  ASSERT_TRUE(stack.Flush().ok());
+  EXPECT_EQ(emitted, (Emitted{{{5, 4}, 3}}));
+}
+
+TEST(SuffixStackTest, PrefixMaximalKeepsPrefixWithInfrequentChildren) {
+  // Children below tau do not block maximality.
+  Emitted emitted;
+  SuffixStack<CountAggregate> stack(3, EmitMode::kPrefixMaximal,
+                                    Collect(&emitted));
+  ASSERT_TRUE(stack.Push({5, 4}, {2}).ok());  // cf 2 < tau.
+  ASSERT_TRUE(stack.Push({5}, {2}).ok());     // cf 4 >= tau.
+  ASSERT_TRUE(stack.Flush().ok());
+  EXPECT_EQ(emitted, (Emitted{{{5}, 4}}));
+}
+
+TEST(SuffixStackTest, PrefixClosedSuppressesEqualFrequencyPrefix) {
+  Emitted emitted;
+  SuffixStack<CountAggregate> stack(2, EmitMode::kPrefixClosed,
+                                    Collect(&emitted));
+  ASSERT_TRUE(stack.Push({5, 4}, {3}).ok());
+  ASSERT_TRUE(stack.Push({5}, {0}).ok());  // cf(<5>) == cf(<5 4>) == 3.
+  ASSERT_TRUE(stack.Flush().ok());
+  EXPECT_EQ(emitted, (Emitted{{{5, 4}, 3}}));
+}
+
+TEST(SuffixStackTest, PrefixClosedKeepsHigherFrequencyPrefix) {
+  Emitted emitted;
+  SuffixStack<CountAggregate> stack(2, EmitMode::kPrefixClosed,
+                                    Collect(&emitted));
+  ASSERT_TRUE(stack.Push({5, 4}, {3}).ok());
+  ASSERT_TRUE(stack.Push({5}, {2}).ok());  // cf(<5>) = 5 != 3.
+  ASSERT_TRUE(stack.Flush().ok());
+  EXPECT_EQ(emitted, (Emitted{{{5, 4}, 3}, {{5}, 5}}));
+}
+
+TEST(SuffixStackTest, PrefixClosedTracksMaxChildNotLastChild) {
+  // The subtle case: children <5 9> (cf 5) and <5 4> (cf 3); <5> has cf 8.
+  // Last-popped child has cf 3 != 8, but closedness must consider the MAX
+  // child. Here max child cf is 5 != 8, so <5> IS prefix-closed. But if
+  // <5> had cf 5 (only the two children, no own occurrences: 5 = 5 + 0
+  // impossible)... exercise the max tracking with equal-to-max case:
+  // children cf 5 and cf 3, parent cf 5 (only possible if parent count
+  // comes entirely from the cf-5 child) -> not closed.
+  Emitted emitted;
+  SuffixStack<CountAggregate> stack(1, EmitMode::kPrefixClosed,
+                                    Collect(&emitted));
+  ASSERT_TRUE(stack.Push({5, 9}, {5}).ok());
+  ASSERT_TRUE(stack.Push({5, 4}, {0}).ok());
+  ASSERT_TRUE(stack.Flush().ok());
+  // <5 9> closed (no children); <5 4> cf 0 below tau=1; <5> cf 5 equals
+  // max child 5 -> suppressed.
+  EXPECT_EQ(emitted, (Emitted{{{5, 9}, 5}}));
+}
+
+TEST(SuffixStackTest, DocSetAggregateCountsDistinctDocs) {
+  std::map<TermSequence, uint64_t> emitted;
+  SuffixStack<DocSetAggregate> stack(
+      1, EmitMode::kAll,
+      [&emitted](const TermSequence& ngram, const DocSetAggregate& agg) {
+        emitted[ngram] = agg.Total();
+        return Status::OK();
+      });
+  DocSetAggregate d12;
+  d12.docs = {1, 2};
+  DocSetAggregate d23;
+  d23.docs = {2, 3};
+  ASSERT_TRUE(stack.Push({7, 6}, d12).ok());
+  ASSERT_TRUE(stack.Push({7}, d23).ok());
+  ASSERT_TRUE(stack.Flush().ok());
+  EXPECT_EQ(emitted[(TermSequence{7, 6})], 2u);
+  EXPECT_EQ(emitted[(TermSequence{7})], 3u);  // Union {1,2,3}, not 4.
+}
+
+TEST(PrefixFilterStackTest, MaximalKeepsOnlyUnextendedItems) {
+  std::map<TermSequence, uint64_t> kept;
+  PrefixFilterStack stack(EmitMode::kPrefixMaximal,
+                          [&kept](const TermSequence& seq, uint64_t cf) {
+                            kept[seq] = cf;
+                            return Status::OK();
+                          });
+  // Reverse-lex order with ids 3 > 2 > 1: <2 3 1>, <2 3>, <2 1>, <2>.
+  ASSERT_TRUE(stack.Push({2, 3, 1}, 3).ok());
+  ASSERT_TRUE(stack.Push({2, 3}, 4).ok());
+  ASSERT_TRUE(stack.Push({2, 1}, 5).ok());
+  ASSERT_TRUE(stack.Push({2}, 9).ok());
+  ASSERT_TRUE(stack.Flush().ok());
+  // <2 3> is a prefix of <2 3 1>; <2> is a prefix of everything.
+  EXPECT_EQ(kept, (std::map<TermSequence, uint64_t>{{{2, 3, 1}, 3},
+                                                    {{2, 1}, 5}}));
+}
+
+TEST(PrefixFilterStackTest, ClosedUsesMaxDescendantCf) {
+  // The counterexample to naive "compare with last emitted": items
+  // <2 3> cf 5, <2 1> cf 3, <2> cf 5. The immediate predecessor of <2> is
+  // <2 1> with different cf, but <2 3> has equal cf -> <2> is NOT closed.
+  std::map<TermSequence, uint64_t> kept;
+  PrefixFilterStack stack(EmitMode::kPrefixClosed,
+                          [&kept](const TermSequence& seq, uint64_t cf) {
+                            kept[seq] = cf;
+                            return Status::OK();
+                          });
+  ASSERT_TRUE(stack.Push({2, 3}, 5).ok());
+  ASSERT_TRUE(stack.Push({2, 1}, 3).ok());
+  ASSERT_TRUE(stack.Push({2}, 5).ok());
+  ASSERT_TRUE(stack.Flush().ok());
+  EXPECT_EQ(kept, (std::map<TermSequence, uint64_t>{{{2, 3}, 5},
+                                                    {{2, 1}, 3}}));
+}
+
+TEST(PrefixFilterStackTest, InteriorFramesAreNotItems) {
+  // Input <2 3 1> only: frames for <2> and <2 3> exist on the stack but
+  // must not be emitted.
+  std::map<TermSequence, uint64_t> kept;
+  PrefixFilterStack stack(EmitMode::kPrefixMaximal,
+                          [&kept](const TermSequence& seq, uint64_t cf) {
+                            kept[seq] = cf;
+                            return Status::OK();
+                          });
+  ASSERT_TRUE(stack.Push({2, 3, 1}, 7).ok());
+  ASSERT_TRUE(stack.Flush().ok());
+  EXPECT_EQ(kept, (std::map<TermSequence, uint64_t>{{{2, 3, 1}, 7}}));
+}
+
+TEST(PrefixFilterStackTest, RejectsOutOfOrder) {
+  PrefixFilterStack stack(EmitMode::kPrefixMaximal,
+                          [](const TermSequence&, uint64_t) {
+                            return Status::OK();
+                          });
+  ASSERT_TRUE(stack.Push({2}, 1).ok());
+  EXPECT_TRUE(stack.Push({2, 1}, 1).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ngram

@@ -1,0 +1,114 @@
+#include "core/suffix_timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/brute_force.h"
+#include "core/timeseries.h"
+#include "testing/test_util.h"
+
+namespace ngram {
+namespace {
+
+TEST(TimeSeriesTypeTest, AddAndAt) {
+  TimeSeries ts;
+  ts.Add(2000, 2);
+  ts.Add(1990, 1);
+  ts.Add(2000, 3);
+  EXPECT_EQ(ts.At(2000), 5u);
+  EXPECT_EQ(ts.At(1990), 1u);
+  EXPECT_EQ(ts.At(1980), 0u);
+  EXPECT_EQ(ts.Total(), 6u);
+  // Points stay sorted by year.
+  ASSERT_EQ(ts.points.size(), 2u);
+  EXPECT_EQ(ts.points[0].first, 1990);
+}
+
+TEST(TimeSeriesTypeTest, AddZeroIsNoop) {
+  TimeSeries ts;
+  ts.Add(2000, 0);
+  EXPECT_TRUE(ts.points.empty());
+}
+
+TEST(TimeSeriesTypeTest, MergeFromUnionsYears) {
+  TimeSeries a, b;
+  a.Add(1990, 1);
+  a.Add(1995, 2);
+  b.Add(1995, 3);
+  b.Add(2000, 4);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.At(1990), 1u);
+  EXPECT_EQ(a.At(1995), 5u);
+  EXPECT_EQ(a.At(2000), 4u);
+  EXPECT_EQ(a.Total(), 10u);
+}
+
+TEST(TimeSeriesTypeTest, ToStringRendering) {
+  TimeSeries ts;
+  ts.Add(1999, 7);
+  EXPECT_EQ(ts.ToString(), "{1999:7}");
+}
+
+class TimeSeriesRunTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TimeSeriesRunTest, MatchesBruteForce) {
+  const Corpus corpus = testing::RandomCorpus(GetParam(), 25, 5, 3, 10,
+                                              /*year_min=*/1987,
+                                              /*year_max=*/2007);
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+  NgramJobOptions options = testing::TestOptions(Method::kSuffixSigma, 2, 3);
+  auto run = RunSuffixSigmaTimeSeries(ctx, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  const auto expected = BruteForceTimeSeries(corpus, 2, 3);
+  std::map<TermSequence, TimeSeries> got;
+  for (const auto& [seq, ts] : run->series.rows) {
+    got[seq] = ts;
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [seq, ts] : expected) {
+    auto it = got.find(seq);
+    ASSERT_TRUE(it != got.end()) << SequenceToDebugString(seq);
+    EXPECT_EQ(it->second, ts)
+        << SequenceToDebugString(seq) << " got " << it->second.ToString()
+        << " want " << ts.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeSeriesRunTest,
+                         ::testing::Values(301, 302, 303));
+
+TEST(TimeSeriesRunTest, TotalsMatchPlainCounts) {
+  const Corpus corpus = testing::RandomCorpus(310, 30, 6, 3, 10, 1990,
+                                              2000);
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+  NgramJobOptions options = testing::TestOptions(Method::kSuffixSigma, 3, 4);
+  auto series = RunSuffixSigmaTimeSeries(ctx, options);
+  ASSERT_TRUE(series.ok());
+  const NgramStatistics counts = BruteForceCounts(corpus, 3, 4);
+  ASSERT_EQ(series->series.size(), counts.size());
+  for (const auto& [seq, ts] : series->series.rows) {
+    EXPECT_EQ(ts.Total(), counts.FrequencyOf(seq));
+  }
+}
+
+TEST(TimeSeriesRunTest, DocsWithoutYearLandInBucketZero) {
+  Corpus corpus;
+  Document d;
+  d.id = 1;
+  d.year = 0;
+  d.sentences = {{4, 4, 4}};
+  corpus.docs = {d};
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+  auto run = RunSuffixSigmaTimeSeries(
+      ctx, testing::TestOptions(Method::kSuffixSigma, 1, 2));
+  ASSERT_TRUE(run.ok());
+  for (const auto& [seq, ts] : run->series.rows) {
+    ASSERT_EQ(ts.points.size(), 1u);
+    EXPECT_EQ(ts.points[0].first, 0);
+  }
+}
+
+}  // namespace
+}  // namespace ngram

@@ -1,0 +1,52 @@
+#include "corpus/running_example.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+
+namespace ngram {
+namespace {
+
+TEST(RunningExampleTest, CorpusMatchesPaper) {
+  const Corpus corpus = RunningExampleCorpus();
+  ASSERT_EQ(corpus.docs.size(), 3u);
+  // d1 = <a x b x x>
+  EXPECT_EQ(corpus.docs[0].sentences[0],
+            (TermSequence{kTermA, kTermX, kTermB, kTermX, kTermX}));
+  // d2 = <b a x b x>
+  EXPECT_EQ(corpus.docs[1].sentences[0],
+            (TermSequence{kTermB, kTermA, kTermX, kTermB, kTermX}));
+  // d3 = <x b a x b>
+  EXPECT_EQ(corpus.docs[2].sentences[0],
+            (TermSequence{kTermX, kTermB, kTermA, kTermX, kTermB}));
+}
+
+TEST(RunningExampleTest, TermIdsFollowFrequencyRule) {
+  // cf(x)=7 > cf(b)=5 > cf(a)=3, so ids must ascend as frequency descends.
+  const UnigramFrequencies freq =
+      ComputeUnigramFrequencies(RunningExampleCorpus());
+  EXPECT_EQ(freq[kTermX], 7u);
+  EXPECT_EQ(freq[kTermB], 5u);
+  EXPECT_EQ(freq[kTermA], 3u);
+  EXPECT_LT(kTermX, kTermB);
+  EXPECT_LT(kTermB, kTermA);
+}
+
+TEST(RunningExampleTest, ExpectedCountsMatchBruteForce) {
+  // The paper's Section III expected output for tau = 3, sigma = 3.
+  const NgramStatistics brute =
+      BruteForceCounts(RunningExampleCorpus(), 3, 3);
+  const auto expected = RunningExampleExpectedCounts();
+  ASSERT_EQ(brute.size(), expected.size());
+  for (const auto& [seq, cf] : expected) {
+    EXPECT_EQ(brute.FrequencyOf(seq), cf) << RunningExampleDecode(seq);
+  }
+}
+
+TEST(RunningExampleTest, DecodeHelper) {
+  EXPECT_EQ(RunningExampleDecode({kTermA, kTermX, kTermB}), "a x b");
+  EXPECT_EQ(RunningExampleDecode({}), "");
+}
+
+}  // namespace
+}  // namespace ngram

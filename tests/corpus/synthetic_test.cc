@@ -1,0 +1,99 @@
+#include "corpus/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace ngram {
+namespace {
+
+TEST(SyntheticCorpusTest, DeterministicForFixedSeed) {
+  const auto options = NytLikeOptions(50, 42);
+  const Corpus a = GenerateSyntheticCorpus(options);
+  const Corpus b = GenerateSyntheticCorpus(options);
+  ASSERT_EQ(a.docs.size(), b.docs.size());
+  for (size_t i = 0; i < a.docs.size(); ++i) {
+    ASSERT_EQ(a.docs[i].sentences.size(), b.docs[i].sentences.size());
+    EXPECT_EQ(a.docs[i].sentences, b.docs[i].sentences);
+    EXPECT_EQ(a.docs[i].year, b.docs[i].year);
+  }
+}
+
+TEST(SyntheticCorpusTest, DifferentSeedsDiffer) {
+  const Corpus a = GenerateSyntheticCorpus(NytLikeOptions(20, 1));
+  const Corpus b = GenerateSyntheticCorpus(NytLikeOptions(20, 2));
+  bool any_diff = false;
+  for (size_t i = 0; i < a.docs.size() && !any_diff; ++i) {
+    any_diff = a.docs[i].sentences != b.docs[i].sentences;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticCorpusTest, DocumentCountAndIds) {
+  const Corpus corpus = GenerateSyntheticCorpus(NytLikeOptions(123, 7));
+  ASSERT_EQ(corpus.docs.size(), 123u);
+  EXPECT_EQ(corpus.docs.front().id, 1u);
+  EXPECT_EQ(corpus.docs.back().id, 123u);
+}
+
+TEST(SyntheticCorpusTest, NytSentenceLengthsCalibrated) {
+  // Table I: NYT mean 18.96, stddev 14.05. Accept sampling tolerance.
+  const Corpus corpus = GenerateSyntheticCorpus(NytLikeOptions(800, 3));
+  const CorpusStats stats = corpus.ComputeStats();
+  EXPECT_NEAR(stats.sentence_length_mean, 18.96, 2.5);
+  EXPECT_NEAR(stats.sentence_length_stddev, 14.05, 5.0);
+}
+
+TEST(SyntheticCorpusTest, NytHasTimestampsInRange) {
+  const Corpus corpus = GenerateSyntheticCorpus(NytLikeOptions(100, 4));
+  for (const auto& doc : corpus.docs) {
+    EXPECT_GE(doc.year, 1987);
+    EXPECT_LE(doc.year, 2007);
+  }
+}
+
+TEST(SyntheticCorpusTest, ClueWebHasNoTimestamps) {
+  const Corpus corpus = GenerateSyntheticCorpus(ClueWebLikeOptions(50, 4));
+  for (const auto& doc : corpus.docs) {
+    EXPECT_EQ(doc.year, 0);
+  }
+}
+
+TEST(SyntheticCorpusTest, PhraseInjectionCreatesLongRepeats) {
+  // With phrase classes enabled, some long n-gram must recur across
+  // documents — the Section VII-C phenomenon the generators exist for.
+  // CW-like boilerplate is the densest class (p = 0.08 over ~10 phrases).
+  auto options = ClueWebLikeOptions(1000, 5);
+  const Corpus corpus = GenerateSyntheticCorpus(options);
+  // Count identical sentences of length >= 20 appearing in >= 3 docs.
+  std::map<TermSequence, int> long_sentence_docs;
+  for (const auto& doc : corpus.docs) {
+    std::set<TermSequence> seen_in_doc;
+    for (const auto& s : doc.sentences) {
+      if (s.size() >= 20 && seen_in_doc.insert(s).second) {
+        ++long_sentence_docs[s];
+      }
+    }
+  }
+  int recurring = 0;
+  for (const auto& [s, n] : long_sentence_docs) {
+    if (n >= 3) {
+      ++recurring;
+    }
+  }
+  EXPECT_GT(recurring, 0);
+}
+
+TEST(SyntheticCorpusTest, PhraseClassesCanBeDisabled) {
+  auto options = NytLikeOptions(30, 6);
+  options.phrase_classes.clear();
+  const Corpus corpus = GenerateSyntheticCorpus(options);
+  EXPECT_EQ(corpus.docs.size(), 30u);
+}
+
+TEST(SyntheticCorpusTest, VocabularyGrowsWithCorpus) {
+  const auto small = NytLikeOptions(100, 1);
+  const auto large = NytLikeOptions(10000, 1);
+  EXPECT_LT(small.vocabulary_size, large.vocabulary_size);
+}
+
+}  // namespace
+}  // namespace ngram

@@ -1,0 +1,68 @@
+#include "corpus/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ngram {
+namespace {
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfSampler sampler(100, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t r = sampler.Sample(&rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+  }
+}
+
+TEST(ZipfTest, RankOneIsMostFrequent) {
+  ZipfSampler sampler(1000, 1.0);
+  Rng rng(2);
+  std::vector<int> counts(1001, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[sampler.Sample(&rng)];
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfTest, FrequencyRatioTracksExponent) {
+  // For s = 1, P(1)/P(10) = 10; accept generous sampling noise.
+  ZipfSampler sampler(10000, 1.0);
+  Rng rng(3);
+  int c1 = 0, c10 = 0;
+  for (int i = 0; i < 400000; ++i) {
+    const uint64_t r = sampler.Sample(&rng);
+    if (r == 1) {
+      ++c1;
+    } else if (r == 10) {
+      ++c10;
+    }
+  }
+  ASSERT_GT(c10, 0);
+  const double ratio = static_cast<double>(c1) / c10;
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+TEST(ZipfTest, DeterministicWithSameRng) {
+  ZipfSampler sampler(50, 1.2);
+  Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.Sample(&a), sampler.Sample(&b));
+  }
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  ZipfSampler sampler(1, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sampler.Sample(&rng), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ngram

@@ -1,0 +1,94 @@
+#include "encoding/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ngram {
+namespace {
+
+TEST(SequenceCodecTest, RoundTrip) {
+  const TermSequence seq = {1, 128, 300, 70000, 1};
+  std::string buf;
+  SequenceCodec::Encode(seq, &buf);
+  EXPECT_EQ(buf.size(), SequenceCodec::EncodedSize(seq));
+  TermSequence out;
+  ASSERT_TRUE(SequenceCodec::Decode(Slice(buf), &out));
+  EXPECT_EQ(out, seq);
+}
+
+TEST(SequenceCodecTest, EmptySequence) {
+  TermSequence seq;
+  std::string buf;
+  SequenceCodec::Encode(seq, &buf);
+  EXPECT_TRUE(buf.empty());
+  TermSequence out = {9};
+  ASSERT_TRUE(SequenceCodec::Decode(Slice(buf), &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SequenceCodecTest, EncodeRange) {
+  const TermSequence seq = {10, 20, 30, 40, 50};
+  std::string full_range;
+  SequenceCodec::EncodeRange(seq, 1, 4, &full_range);
+  std::string expected;
+  SequenceCodec::Encode({20, 30, 40}, &expected);
+  EXPECT_EQ(full_range, expected);
+}
+
+TEST(SequenceCodecTest, PrefixEncodingsShareBytes) {
+  // No length prefix => the encoding of a prefix is a byte prefix of the
+  // encoding of its extension; this is what makes raw suffix comparison
+  // cheap.
+  std::string shorter, longer;
+  SequenceCodec::Encode({5, 1000}, &shorter);
+  SequenceCodec::Encode({5, 1000, 3}, &longer);
+  EXPECT_TRUE(Slice(longer).starts_with(Slice(shorter)));
+}
+
+TEST(SequenceCodecTest, MalformedInputRejected) {
+  std::string buf;
+  PutVarint32(&buf, 300);
+  buf.pop_back();  // Truncate the continuation byte.
+  TermSequence out;
+  EXPECT_FALSE(SequenceCodec::Decode(Slice(buf), &out));
+}
+
+TEST(SequenceReaderTest, IteratesTerms) {
+  const TermSequence seq = {7, 77, 777, 7777};
+  std::string buf;
+  SequenceCodec::Encode(seq, &buf);
+  SequenceReader reader((Slice(buf)));
+  TermId t = 0;
+  for (TermId expected : seq) {
+    ASSERT_FALSE(reader.AtEnd());
+    ASSERT_TRUE(reader.Next(&t));
+    EXPECT_EQ(t, expected);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_FALSE(reader.Next(&t));
+}
+
+TEST(SequenceCodecTest, RandomizedRoundTrip) {
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    TermSequence seq;
+    const uint64_t len = rng.Uniform(30);
+    for (uint64_t j = 0; j < len; ++j) {
+      seq.push_back(1 + static_cast<TermId>(rng.Uniform(1 << 20)));
+    }
+    std::string buf;
+    SequenceCodec::Encode(seq, &buf);
+    TermSequence out;
+    ASSERT_TRUE(SequenceCodec::Decode(Slice(buf), &out));
+    ASSERT_EQ(out, seq);
+  }
+}
+
+TEST(SequenceDebugStringTest, Formats) {
+  EXPECT_EQ(SequenceToDebugString({1, 2, 3}), "<1 2 3>");
+  EXPECT_EQ(SequenceToDebugString({}), "<>");
+}
+
+}  // namespace
+}  // namespace ngram

@@ -1,0 +1,134 @@
+#include "encoding/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ngram {
+namespace {
+
+TEST(VarintTest, RoundTripSmallValues) {
+  for (uint64_t v = 0; v < 1000; ++v) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    Slice in(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(VarintTest, RoundTripBoundaryValues) {
+  const std::vector<uint64_t> values = {
+      0,
+      127,
+      128,
+      16383,
+      16384,
+      (1ULL << 32) - 1,
+      1ULL << 32,
+      std::numeric_limits<uint64_t>::max(),
+  };
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+    Slice in(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(VarintTest, EncodedLengths) {
+  EXPECT_EQ(VarintLength(0), 1);
+  EXPECT_EQ(VarintLength(127), 1);
+  EXPECT_EQ(VarintLength(128), 2);
+  EXPECT_EQ(VarintLength(16383), 2);
+  EXPECT_EQ(VarintLength(16384), 3);
+  EXPECT_EQ(VarintLength(std::numeric_limits<uint64_t>::max()), 10);
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    Slice in(buf.data(), cut);
+    uint64_t out = 0;
+    EXPECT_FALSE(GetVarint64(&in, &out)) << "cut=" << cut;
+  }
+}
+
+TEST(VarintTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 33);
+  Slice in(buf);
+  uint32_t out = 0;
+  EXPECT_FALSE(GetVarint32(&in, &out));
+}
+
+TEST(VarintTest, SequentialDecodeAdvances) {
+  std::string buf;
+  for (uint32_t v = 0; v < 100; v += 7) {
+    PutVarint32(&buf, v);
+  }
+  Slice in(buf);
+  for (uint32_t v = 0; v < 100; v += 7) {
+    uint32_t out = 0;
+    ASSERT_TRUE(GetVarint32(&in, &out));
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(ZigZagTest, RoundTripSigned) {
+  const std::vector<int64_t> values = {0,  -1, 1,  -2, 2,
+                                       63, 64, -64, -65,
+                                       std::numeric_limits<int64_t>::min(),
+                                       std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+    std::string buf;
+    PutVarintSigned64(&buf, v);
+    Slice in(buf);
+    int64_t out = 0;
+    ASSERT_TRUE(GetVarintSigned64(&in, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(ZigZagTest, SmallMagnitudeStaysShort) {
+  std::string buf;
+  PutVarintSigned64(&buf, -3);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(Fixed32Test, RoundTrip) {
+  for (uint32_t v : {0u, 1u, 255u, 65536u, 0xdeadbeefu, 0xffffffffu}) {
+    std::string buf;
+    PutFixed32(&buf, v);
+    ASSERT_EQ(buf.size(), 4u);
+    EXPECT_EQ(DecodeFixed32(buf.data()), v);
+  }
+}
+
+TEST(VarintTest, RandomizedRoundTrip) {
+  Rng rng(123);
+  for (int i = 0; i < 5000; ++i) {
+    const int bits = 1 + static_cast<int>(rng.Uniform(64));
+    const uint64_t v = rng() >> (64 - bits);
+    std::string buf;
+    PutVarint64(&buf, v);
+    Slice in(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out));
+    ASSERT_EQ(out, v);
+  }
+}
+
+}  // namespace
+}  // namespace ngram

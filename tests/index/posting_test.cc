@@ -1,0 +1,69 @@
+#include "index/posting.h"
+
+#include <gtest/gtest.h>
+
+namespace ngram {
+namespace {
+
+PostingList MakeList(
+    std::initializer_list<std::pair<uint64_t, std::vector<uint32_t>>> items) {
+  PostingList list;
+  for (const auto& [doc, positions] : items) {
+    list.postings.push_back({doc, positions});
+  }
+  return list;
+}
+
+TEST(PostingJoinTest, PaperExample) {
+  // Section III-B: <a x> : <d1:[0], d2:[1], d3:[2]> joined with
+  // <x b> : <d1:[1], d2:[2], d3:[0,3]> yields
+  // <a x b> : <d1:[0], d2:[1], d3:[2]>.
+  const PostingList ax = MakeList({{1, {0}}, {2, {1}}, {3, {2}}});
+  const PostingList xb = MakeList({{1, {1}}, {2, {2}}, {3, {0, 3}}});
+  const PostingList joined = JoinAdjacent(ax, xb);
+  EXPECT_EQ(joined, MakeList({{1, {0}}, {2, {1}}, {3, {2}}}));
+  EXPECT_EQ(joined.TotalOccurrences(), 3u);
+}
+
+TEST(PostingJoinTest, NoCommonDocuments) {
+  const PostingList a = MakeList({{1, {0}}, {3, {5}}});
+  const PostingList b = MakeList({{2, {1}}, {4, {6}}});
+  EXPECT_TRUE(JoinAdjacent(a, b).postings.empty());
+}
+
+TEST(PostingJoinTest, CommonDocNoAdjacentPositions) {
+  const PostingList a = MakeList({{1, {0, 10}}});
+  const PostingList b = MakeList({{1, {5, 20}}});
+  EXPECT_TRUE(JoinAdjacent(a, b).postings.empty());
+}
+
+TEST(PostingJoinTest, OverlappingOccurrences) {
+  // "aaa" within "aaaa": positions of "aa" are {0,1,2}; joining "aa" with
+  // "aa" gives "aaa" at {0,1}.
+  const PostingList aa = MakeList({{7, {0, 1, 2}}});
+  const PostingList joined = JoinAdjacent(aa, aa);
+  EXPECT_EQ(joined, MakeList({{7, {0, 1}}}));
+}
+
+TEST(PostingJoinTest, MixedDocsPartialMatches) {
+  const PostingList left = MakeList({{1, {0}}, {2, {3, 7}}, {5, {1}}});
+  const PostingList right = MakeList({{2, {4, 9}}, {5, {3}}, {9, {0}}});
+  const PostingList joined = JoinAdjacent(left, right);
+  EXPECT_EQ(joined, MakeList({{2, {3}}}));
+}
+
+TEST(PostingJoinTest, EmptyInputs) {
+  const PostingList empty;
+  const PostingList a = MakeList({{1, {0}}});
+  EXPECT_TRUE(JoinAdjacent(empty, a).postings.empty());
+  EXPECT_TRUE(JoinAdjacent(a, empty).postings.empty());
+}
+
+TEST(PostingListTest, FrequencyHelpers) {
+  const PostingList list = MakeList({{1, {0, 2}}, {4, {1}}});
+  EXPECT_EQ(list.TotalOccurrences(), 3u);
+  EXPECT_EQ(list.DocumentFrequency(), 2u);
+}
+
+}  // namespace
+}  // namespace ngram

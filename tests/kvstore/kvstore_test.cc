@@ -1,0 +1,197 @@
+#include "kvstore/kvstore.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "util/random.h"
+#include "util/temp_dir.h"
+
+namespace ngram::kv {
+namespace {
+
+class KVStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Create("kvstore-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(dir).ValueOrDie());
+  }
+
+  std::string StorePath() const { return dir_->File("store"); }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(KVStoreTest, PutGetRoundTrip) {
+  auto store = KVStore::Open(StorePath());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("key1", "value1").ok());
+  std::string value;
+  ASSERT_TRUE((*store)->Get("key1", &value).ok());
+  EXPECT_EQ(value, "value1");
+  EXPECT_EQ((*store)->size(), 1u);
+}
+
+TEST_F(KVStoreTest, GetMissingIsNotFound) {
+  auto store = KVStore::Open(StorePath());
+  ASSERT_TRUE(store.ok());
+  std::string value;
+  EXPECT_TRUE((*store)->Get("absent", &value).IsNotFound());
+  EXPECT_FALSE((*store)->Contains("absent"));
+}
+
+TEST_F(KVStoreTest, OverwriteReturnsLatest) {
+  auto store = KVStore::Open(StorePath());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", "v1").ok());
+  ASSERT_TRUE((*store)->Put("k", "v2").ok());
+  std::string value;
+  ASSERT_TRUE((*store)->Get("k", &value).ok());
+  EXPECT_EQ(value, "v2");
+  EXPECT_EQ((*store)->size(), 1u);
+}
+
+TEST_F(KVStoreTest, DeleteRemovesKey) {
+  auto store = KVStore::Open(StorePath());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", "v").ok());
+  ASSERT_TRUE((*store)->Delete("k").ok());
+  EXPECT_FALSE((*store)->Contains("k"));
+  EXPECT_TRUE((*store)->Delete("k").ok());  // Idempotent.
+}
+
+TEST_F(KVStoreTest, EmptyValueAndBinaryKeys) {
+  auto store = KVStore::Open(StorePath());
+  ASSERT_TRUE(store.ok());
+  const std::string binary_key("\x00\x01\xff", 3);
+  ASSERT_TRUE((*store)->Put(binary_key, "").ok());
+  std::string value = "sentinel";
+  ASSERT_TRUE((*store)->Get(binary_key, &value).ok());
+  EXPECT_TRUE(value.empty());
+}
+
+TEST_F(KVStoreTest, LargeValuesSpanBlocks) {
+  KVStoreOptions options;
+  options.block_size = 1024;  // Values below will span many blocks.
+  auto store = KVStore::Open(StorePath(), options);
+  ASSERT_TRUE(store.ok());
+  const std::string large(10000, 'z');
+  ASSERT_TRUE((*store)->Put("big", large).ok());
+  std::string value;
+  ASSERT_TRUE((*store)->Get("big", &value).ok());
+  EXPECT_EQ(value, large);
+}
+
+TEST_F(KVStoreTest, ReopenRecoversIndex) {
+  {
+    auto store = KVStore::Open(StorePath());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("persist1", "a").ok());
+    ASSERT_TRUE((*store)->Put("persist2", "b").ok());
+    ASSERT_TRUE((*store)->Put("doomed", "c").ok());
+    ASSERT_TRUE((*store)->Delete("doomed").ok());
+    ASSERT_TRUE((*store)->Put("persist1", "a2").ok());
+  }
+  auto reopened = KVStore::Open(StorePath());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 2u);
+  std::string value;
+  ASSERT_TRUE((*reopened)->Get("persist1", &value).ok());
+  EXPECT_EQ(value, "a2");
+  ASSERT_TRUE((*reopened)->Get("persist2", &value).ok());
+  EXPECT_EQ(value, "b");
+  EXPECT_FALSE((*reopened)->Contains("doomed"));
+}
+
+TEST_F(KVStoreTest, SegmentRollOver) {
+  KVStoreOptions options;
+  options.max_segment_bytes = 512;  // Force several segments.
+  auto store = KVStore::Open(StorePath(), options);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        (*store)
+            ->Put("key" + std::to_string(i), std::string(64, 'v'))
+            .ok());
+  }
+  std::string value;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*store)->Get("key" + std::to_string(i), &value).ok());
+    EXPECT_EQ(value, std::string(64, 'v'));
+  }
+}
+
+TEST_F(KVStoreTest, ScanVisitsAllLiveEntries) {
+  auto store = KVStore::Open(StorePath());
+  ASSERT_TRUE(store.ok());
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 50; ++i) {
+    const std::string k = "k" + std::to_string(i);
+    const std::string v = "v" + std::to_string(i * i);
+    ASSERT_TRUE((*store)->Put(k, v).ok());
+    expected[k] = v;
+  }
+  ASSERT_TRUE((*store)->Delete("k7").ok());
+  expected.erase("k7");
+
+  std::map<std::string, std::string> seen;
+  ASSERT_TRUE((*store)
+                  ->Scan([&](Slice k, Slice v) {
+                    seen[k.ToString()] = v.ToString();
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST_F(KVStoreTest, CacheHitsOnRepeatedReads) {
+  KVStoreOptions options;
+  options.block_size = 256;
+  auto store = KVStore::Open(StorePath(), options);
+  ASSERT_TRUE(store.ok());
+  // Fill beyond one block, then read a sealed (non-final) block repeatedly.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put("k" + std::to_string(i), std::string(32, 'a')).ok());
+  }
+  std::string value;
+  ASSERT_TRUE((*store)->Get("k0", &value).ok());
+  ASSERT_TRUE((*store)->Get("k0", &value).ok());
+  ASSERT_TRUE((*store)->Get("k0", &value).ok());
+  EXPECT_GT((*store)->stats().cache_hits, 0u);
+}
+
+TEST_F(KVStoreTest, RandomizedAgainstStdMap) {
+  auto store = KVStore::Open(StorePath());
+  ASSERT_TRUE(store.ok());
+  std::map<std::string, std::string> model;
+  Rng rng(99);
+  for (int op = 0; op < 2000; ++op) {
+    const std::string key = "key" + std::to_string(rng.Uniform(200));
+    const int action = static_cast<int>(rng.Uniform(3));
+    if (action == 0) {
+      const std::string value = "v" + std::to_string(rng());
+      ASSERT_TRUE((*store)->Put(key, value).ok());
+      model[key] = value;
+    } else if (action == 1) {
+      ASSERT_TRUE((*store)->Delete(key).ok());
+      model.erase(key);
+    } else {
+      std::string value;
+      Status st = (*store)->Get(key, &value);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_TRUE(st.IsNotFound());
+      } else {
+        ASSERT_TRUE(st.ok());
+        EXPECT_EQ(value, it->second);
+      }
+    }
+  }
+  EXPECT_EQ((*store)->size(), model.size());
+}
+
+}  // namespace
+}  // namespace ngram::kv

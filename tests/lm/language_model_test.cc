@@ -1,0 +1,145 @@
+#include "lm/language_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/runner.h"
+#include "testing/test_util.h"
+
+namespace ngram::lm {
+namespace {
+
+/// Tiny corpus: "1 2 3" twice, "1 2 4" once => f(1 2)=3, f(1 2 3)=2,
+/// f(1 2 4)=1, N = 9.
+Corpus TinyCorpus() {
+  Corpus corpus;
+  Document d1;
+  d1.id = 1;
+  d1.sentences = {{1, 2, 3}, {1, 2, 3}};
+  Document d2;
+  d2.id = 2;
+  d2.sentences = {{1, 2, 4}};
+  corpus.docs = {d1, d2};
+  return corpus;
+}
+
+StupidBackoffModel BuildTinyModel(double alpha = 0.4) {
+  NgramStatistics stats = BruteForceCounts(TinyCorpus(), 1, 3);
+  LanguageModelOptions options;
+  options.order = 3;
+  options.backoff_alpha = alpha;
+  auto model = StupidBackoffModel::Build(std::move(stats), options);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).ValueOrDie();
+}
+
+TEST(StupidBackoffTest, RelativeFrequencyAtHighestOrder) {
+  const StupidBackoffModel model = BuildTinyModel();
+  // f(<1 2 3>) / f(<1 2>) = 2/3.
+  EXPECT_DOUBLE_EQ(model.Score({1, 2}, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(model.Score({1, 2}, 4), 1.0 / 3.0);
+}
+
+TEST(StupidBackoffTest, UnigramBaseCase) {
+  const StupidBackoffModel model = BuildTinyModel();
+  EXPECT_EQ(model.total_unigrams(), 9u);
+  // f(<1>) / N = 3/9.
+  EXPECT_DOUBLE_EQ(model.Score({}, 1), 3.0 / 9.0);
+  EXPECT_DOUBLE_EQ(model.Score({}, 3), 2.0 / 9.0);
+}
+
+TEST(StupidBackoffTest, BackoffAppliesAlphaPerLevel) {
+  const StupidBackoffModel model = BuildTinyModel(0.5);
+  // Context <3 1>: trigram <3 1 2> unseen; bigram <1 2> seen:
+  // S = alpha * f(<1 2>) / f(<1>) = 0.5 * 3/3.
+  EXPECT_DOUBLE_EQ(model.Score({3, 1}, 2), 0.5 * 1.0);
+  // Context <4>: bigram <4 x> unseen for x=1; backoff to unigram:
+  // S = alpha * f(<1>)/N = 0.5 * 3/9.
+  EXPECT_DOUBLE_EQ(model.Score({4}, 1), 0.5 * 3.0 / 9.0);
+}
+
+TEST(StupidBackoffTest, UnseenWordGetsFloor) {
+  const StupidBackoffModel model = BuildTinyModel(0.4);
+  const double score = model.Score({1, 2}, 99);
+  EXPECT_GT(score, 0.0);
+  EXPECT_LT(score, 1e-8);
+}
+
+TEST(StupidBackoffTest, SeenOrderingBeatsUnseen) {
+  const StupidBackoffModel model = BuildTinyModel();
+  EXPECT_GT(model.Score({1, 2}, 3), model.Score({1, 2}, 4));
+  EXPECT_GT(model.Score({1, 2}, 4), model.Score({1, 2}, 99));
+}
+
+TEST(StupidBackoffTest, SentenceLogScoreAccumulates) {
+  const StupidBackoffModel model = BuildTinyModel();
+  const double log_123 = model.SentenceLogScore({1, 2, 3});
+  const double log_124 = model.SentenceLogScore({1, 2, 4});
+  EXPECT_GT(log_123, log_124);  // The more frequent sentence scores higher.
+}
+
+TEST(StupidBackoffTest, BuildValidatesOptions) {
+  NgramStatistics stats;
+  stats.Add({1}, 1);
+  LanguageModelOptions bad;
+  bad.order = 0;
+  EXPECT_FALSE(StupidBackoffModel::Build(stats, bad).ok());
+  bad.order = 3;
+  bad.backoff_alpha = 0.0;
+  EXPECT_FALSE(StupidBackoffModel::Build(stats, bad).ok());
+  NgramStatistics empty;
+  EXPECT_FALSE(
+      StupidBackoffModel::Build(empty, LanguageModelOptions{}).ok());
+}
+
+TEST(StupidBackoffTest, TopContinuations) {
+  const StupidBackoffModel model = BuildTinyModel();
+  const auto top = model.TopContinuations({1, 2}, 5);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 3u);  // 2/3 beats 1/3.
+  EXPECT_EQ(top[1].first, 4u);
+  EXPECT_GT(top[0].second, top[1].second);
+}
+
+TEST(StupidBackoffTest, PerplexityLowerOnTrainingLikeData) {
+  // Model trained on a synthetic corpus must fit held-out data from the
+  // same distribution better than scrambled data.
+  const Corpus train = testing::RandomCorpus(700, 80, 6, 3, 12);
+  const Corpus held_out = testing::RandomCorpus(701, 20, 6, 3, 12);
+  // Scrambled: same shape but a disjoint vocabulary range.
+  Corpus scrambled = testing::RandomCorpus(702, 20, 6, 3, 12);
+  for (auto& doc : scrambled.docs) {
+    for (auto& sentence : doc.sentences) {
+      for (auto& t : sentence) {
+        t += 100;  // Shift into unseen term space.
+      }
+    }
+  }
+
+  NgramStatistics stats = BruteForceCounts(train, 1, 4);
+  LanguageModelOptions options;
+  options.order = 4;
+  auto model = StupidBackoffModel::Build(std::move(stats), options);
+  ASSERT_TRUE(model.ok());
+  const double ppl_held_out = model->Perplexity(held_out);
+  const double ppl_scrambled = model->Perplexity(scrambled);
+  EXPECT_GT(ppl_held_out, 1.0);
+  EXPECT_LT(ppl_held_out, ppl_scrambled);
+}
+
+TEST(StupidBackoffTest, WorksOnMapReduceComputedStatistics) {
+  // End-to-end: statistics from SUFFIX-sigma feed the model directly.
+  const Corpus corpus = testing::RandomCorpus(703, 50, 6, 3, 12);
+  auto run = ComputeNgramStatistics(
+      corpus, testing::TestOptions(Method::kSuffixSigma, 1, 3));
+  ASSERT_TRUE(run.ok());
+  LanguageModelOptions options;
+  options.order = 3;
+  auto model = StupidBackoffModel::Build(std::move(run->stats), options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->Score({}, 1), 0.0);
+  EXPECT_GT(model->SentenceLogScore({1, 2, 3}), -100.0);
+}
+
+}  // namespace
+}  // namespace ngram::lm

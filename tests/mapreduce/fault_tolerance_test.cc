@@ -1,0 +1,174 @@
+// Task-retry tests: the runtime re-executes failed task attempts with
+// fresh state (Hadoop's core fault-tolerance feature, which the paper
+// names as a main reason to target MapReduce at all). Results and counters
+// must be byte-identical to a failure-free run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+
+#include "mapreduce/job.h"
+
+namespace ngram::mr {
+namespace {
+
+class WordMapper final
+    : public Mapper<uint64_t, std::string, std::string, uint64_t> {
+ public:
+  Status Map(const uint64_t& id, const std::string& word,
+             Context* ctx) override {
+    return ctx->Emit(word, 1);
+  }
+};
+
+class SumReducer final
+    : public Reducer<std::string, uint64_t, std::string, uint64_t> {
+ public:
+  Status Reduce(const std::string& key, Values* values,
+                Context* ctx) override {
+    uint64_t total = 0, v = 0;
+    while (values->Next(&v)) {
+      total += v;
+    }
+    return ctx->Emit(key, total);
+  }
+};
+
+MemoryTable<uint64_t, std::string> Input() {
+  MemoryTable<uint64_t, std::string> input;
+  for (uint64_t i = 0; i < 40; ++i) {
+    input.Add(i, "word" + std::to_string(i % 7));
+  }
+  return input;
+}
+
+Result<JobMetrics> RunCountJob(const JobConfig& config,
+                       std::map<std::string, uint64_t>* counts) {
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<WordMapper, SumReducer>(
+      config, Input(), [] { return std::make_unique<WordMapper>(); },
+      [] { return std::make_unique<SumReducer>(); }, &output);
+  counts->clear();
+  for (const auto& [k, v] : output.rows) {
+    (*counts)[k] = v;
+  }
+  return metrics;
+}
+
+TEST(FaultToleranceTest, FirstAttemptFailuresAreRetriedTransparently) {
+  JobConfig baseline_config;
+  baseline_config.num_map_tasks = 4;
+  std::map<std::string, uint64_t> baseline;
+  auto baseline_metrics = RunCountJob(baseline_config, &baseline);
+  ASSERT_TRUE(baseline_metrics.ok());
+
+  JobConfig config = baseline_config;
+  config.max_task_attempts = 3;
+  config.failure_injector = [](const char*, uint32_t, uint32_t attempt) {
+    return attempt == 0;  // Every task fails exactly once.
+  };
+  std::map<std::string, uint64_t> counts;
+  auto metrics = RunCountJob(config, &counts);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(counts, baseline);
+  // 4 map tasks + default reducers each retried once.
+  EXPECT_GT(metrics->Counter(kTaskRetries), 0u);
+  // Counters from failed attempts are discarded: map-side numbers match
+  // the clean run exactly.
+  EXPECT_EQ(metrics->Counter(kMapOutputRecords),
+            baseline_metrics->Counter(kMapOutputRecords));
+  EXPECT_EQ(metrics->Counter(kMapInputRecords),
+            baseline_metrics->Counter(kMapInputRecords));
+  EXPECT_EQ(metrics->Counter(kReduceInputRecords),
+            baseline_metrics->Counter(kReduceInputRecords));
+}
+
+TEST(FaultToleranceTest, ExhaustedAttemptsFailTheJob) {
+  JobConfig config;
+  config.max_task_attempts = 2;
+  config.failure_injector = [](const char* phase, uint32_t task,
+                               uint32_t) {
+    return std::string(phase) == "map" && task == 0;  // Always fails.
+  };
+  std::map<std::string, uint64_t> counts;
+  auto metrics = RunCountJob(config, &counts);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), StatusCode::kInternal);
+}
+
+TEST(FaultToleranceTest, ReduceRetriesRebuildOutput) {
+  JobConfig baseline_config;
+  std::map<std::string, uint64_t> baseline;
+  ASSERT_TRUE(RunCountJob(baseline_config, &baseline).ok());
+
+  JobConfig config = baseline_config;
+  config.max_task_attempts = 4;
+  std::atomic<int> reduce_failures{0};
+  config.failure_injector = [&reduce_failures](const char* phase, uint32_t,
+                                               uint32_t attempt) {
+    if (std::string(phase) == "reduce" && attempt < 2) {
+      reduce_failures.fetch_add(1);
+      return true;  // Each reduce task fails twice.
+    }
+    return false;
+  };
+  std::map<std::string, uint64_t> counts;
+  auto metrics = RunCountJob(config, &counts);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(counts, baseline);
+  EXPECT_GT(reduce_failures.load(), 0);
+}
+
+TEST(FaultToleranceTest, RealTaskErrorsAreAlsoRetried) {
+  // A mapper that fails its first invocation per task (flaky I/O, say).
+  class FlakyMapper final
+      : public Mapper<uint64_t, std::string, std::string, uint64_t> {
+   public:
+    explicit FlakyMapper(std::atomic<int>* attempts) : attempts_(attempts) {}
+    Status Setup(Context* ctx) override {
+      if (attempts_->fetch_add(1) == 0) {
+        return Status::IOError("flaky setup");
+      }
+      return Status::OK();
+    }
+    Status Map(const uint64_t& id, const std::string& word,
+               Context* ctx) override {
+      return ctx->Emit(word, 1);
+    }
+
+   private:
+    std::atomic<int>* attempts_;
+  };
+
+  JobConfig config;
+  config.num_map_tasks = 1;
+  config.max_task_attempts = 2;
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<FlakyMapper, SumReducer>(
+      config, Input(),
+      [attempts] { return std::make_unique<FlakyMapper>(attempts.get()); },
+      [] { return std::make_unique<SumReducer>(); }, &output);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->Counter(kTaskRetries), 1u);
+  EXPECT_EQ(output.rows.size(), 7u);
+}
+
+TEST(FaultToleranceTest, SkewCounterReportsHeaviestReducer) {
+  // All records share one key -> one reducer takes everything.
+  MemoryTable<uint64_t, std::string> input;
+  for (uint64_t i = 0; i < 25; ++i) {
+    input.Add(i, "same");
+  }
+  JobConfig config;
+  config.num_reducers = 4;
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<WordMapper, SumReducer>(
+      config, input, [] { return std::make_unique<WordMapper>(); },
+      [] { return std::make_unique<SumReducer>(); }, &output);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->Counter(kReduceInputRecordsMax), 25u);
+}
+
+}  // namespace
+}  // namespace ngram::mr

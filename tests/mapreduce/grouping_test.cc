@@ -1,0 +1,154 @@
+// Grouping-comparator tests: Hadoop's "secondary sort" pattern — sort by a
+// composite key but group by a prefix of it, so each reducer group sees its
+// values in a controlled order. SUFFIX-sigma itself does not need this, but
+// the runtime supports it (JobConfig::grouping_comparator) and the paper's
+// shuffle semantics depend on sort/group separation being correct.
+#include <gtest/gtest.h>
+
+#include "mapreduce/job.h"
+
+namespace ngram::mr {
+namespace {
+
+/// Key = "<group>|<value>"; sort order is full-key bytewise.
+class GroupPrefixComparator final : public RawComparator {
+ public:
+  int Compare(Slice a, Slice b) const override {
+    return Prefix(a).compare(Prefix(b));
+  }
+  const char* Name() const override { return "group-prefix"; }
+
+  static Slice Prefix(Slice key) {
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (key[i] == '|') {
+        return Slice(key.data(), i);
+      }
+    }
+    return key;
+  }
+};
+
+class CompositeKeyMapper final
+    : public Mapper<uint64_t, std::string, std::string, uint64_t> {
+ public:
+  Status Map(const uint64_t& id, const std::string& line,
+             Context* ctx) override {
+    return ctx->Emit(line, id);
+  }
+};
+
+/// Emits one row per group: the group prefix and the number of keys seen.
+class GroupCollectReducer final
+    : public Reducer<std::string, uint64_t, std::string, std::string> {
+ public:
+  Status Reduce(const std::string& key, Values* values,
+                Context* ctx) override {
+    values->Count();
+    // Record the first (= smallest, by the sort order) composite key of
+    // the group along with the group prefix.
+    const Slice prefix = GroupPrefixComparator::Prefix(Slice(key));
+    return ctx->Emit(prefix.ToString(), key);
+  }
+};
+
+TEST(GroupingTest, SecondarySortGroupsByPrefix) {
+  static const GroupPrefixComparator kGrouping;
+  MemoryTable<uint64_t, std::string> input;
+  input.Add(1, "fruit|banana");
+  input.Add(2, "fruit|apple");
+  input.Add(3, "veg|carrot");
+  input.Add(4, "fruit|cherry");
+  input.Add(5, "veg|beet");
+
+  JobConfig config;
+  config.num_reducers = 1;
+  // Sort: full composite key (bytewise). Group: prefix before '|'.
+  config.grouping_comparator = &kGrouping;
+
+  MemoryTable<std::string, std::string> output;
+  auto metrics = RunJob<CompositeKeyMapper, GroupCollectReducer>(
+      config, input, [] { return std::make_unique<CompositeKeyMapper>(); },
+      [] { return std::make_unique<GroupCollectReducer>(); }, &output);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+
+  // Two groups; each reducer invocation saw the smallest composite key of
+  // its group first (the secondary-sort guarantee).
+  ASSERT_EQ(output.rows.size(), 2u);
+  EXPECT_EQ(output.rows[0].first, "fruit");
+  EXPECT_EQ(output.rows[0].second, "fruit|apple");
+  EXPECT_EQ(output.rows[1].first, "veg");
+  EXPECT_EQ(output.rows[1].second, "veg|beet");
+  EXPECT_EQ(metrics->Counter(kReduceInputGroups), 2u);
+  EXPECT_EQ(metrics->Counter(kReduceInputRecords), 5u);
+}
+
+TEST(GroupingTest, DefaultGroupingEqualsSortComparator) {
+  MemoryTable<uint64_t, std::string> input;
+  input.Add(1, "fruit|banana");
+  input.Add(2, "fruit|apple");
+
+  JobConfig config;
+  config.num_reducers = 1;  // No grouping comparator: two distinct groups.
+  MemoryTable<std::string, std::string> output;
+  auto metrics = RunJob<CompositeKeyMapper, GroupCollectReducer>(
+      config, input, [] { return std::make_unique<CompositeKeyMapper>(); },
+      [] { return std::make_unique<GroupCollectReducer>(); }, &output);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->Counter(kReduceInputGroups), 2u);
+}
+
+// --------------------------------------------------------- job chaining --
+
+class IdentityMapper final
+    : public Mapper<std::string, std::string, std::string, std::string> {
+ public:
+  Status Map(const std::string& key, const std::string& value,
+             Context* ctx) override {
+    return ctx->Emit(key, value);
+  }
+};
+
+class ConcatReducer final
+    : public Reducer<std::string, std::string, std::string, std::string> {
+ public:
+  Status Reduce(const std::string& key, Values* values,
+                Context* ctx) override {
+    std::string all;
+    std::string v;
+    while (values->Next(&v)) {
+      all += v;
+    }
+    return ctx->Emit(key, all);
+  }
+};
+
+TEST(GroupingTest, OutputFeedsNextJobAsInput) {
+  MemoryTable<std::string, std::string> stage0;
+  stage0.Add("k1", "a");
+  stage0.Add("k1", "b");
+  stage0.Add("k2", "c");
+
+  JobConfig config;
+  config.num_reducers = 2;
+  MemoryTable<std::string, std::string> stage1;
+  auto m1 = RunJob<IdentityMapper, ConcatReducer>(
+      config, stage0, [] { return std::make_unique<IdentityMapper>(); },
+      [] { return std::make_unique<ConcatReducer>(); }, &stage1);
+  ASSERT_TRUE(m1.ok());
+
+  MemoryTable<std::string, std::string> stage2;
+  auto m2 = RunJob<IdentityMapper, ConcatReducer>(
+      config, stage1, [] { return std::make_unique<IdentityMapper>(); },
+      [] { return std::make_unique<ConcatReducer>(); }, &stage2);
+  ASSERT_TRUE(m2.ok());
+
+  std::map<std::string, std::string> result;
+  for (const auto& [k, v] : stage2.rows) {
+    result[k] = v;
+  }
+  EXPECT_EQ(result.at("k1"), "ab");
+  EXPECT_EQ(result.at("k2"), "c");
+}
+
+}  // namespace
+}  // namespace ngram::mr

@@ -1,0 +1,107 @@
+#include "mapreduce/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mapreduce/record.h"
+#include "util/random.h"
+
+namespace ngram::mr {
+namespace {
+
+std::unique_ptr<RecordReader> MemorySource(
+    const std::vector<std::pair<std::string, std::string>>& records,
+    std::vector<std::string>* storage) {
+  storage->push_back("");
+  std::string& buf = storage->back();
+  for (const auto& [k, v] : records) {
+    AppendRecord(&buf, k, v);
+  }
+  return std::make_unique<MemoryRecordReader>(Slice(buf));
+}
+
+TEST(KWayMergerTest, MergesTwoSortedStreams) {
+  std::vector<std::string> storage;
+  storage.reserve(4);
+  std::vector<std::unique_ptr<RecordReader>> sources;
+  sources.push_back(MemorySource({{"a", "1"}, {"c", "3"}}, &storage));
+  sources.push_back(MemorySource({{"b", "2"}, {"d", "4"}}, &storage));
+  KWayMerger merger(std::move(sources), BytewiseComparator::Instance());
+  std::string out;
+  while (merger.Next()) {
+    out += merger.key().ToString();
+  }
+  EXPECT_EQ(out, "abcd");
+  EXPECT_TRUE(merger.status().ok());
+}
+
+TEST(KWayMergerTest, EmptyAndNullSourcesSkipped) {
+  std::vector<std::string> storage;
+  storage.reserve(4);
+  std::vector<std::unique_ptr<RecordReader>> sources;
+  sources.push_back(nullptr);
+  sources.push_back(MemorySource({}, &storage));
+  sources.push_back(MemorySource({{"x", "1"}}, &storage));
+  KWayMerger merger(std::move(sources), BytewiseComparator::Instance());
+  ASSERT_TRUE(merger.Next());
+  EXPECT_EQ(merger.key().ToString(), "x");
+  EXPECT_FALSE(merger.Next());
+}
+
+TEST(KWayMergerTest, NoSourcesAtAll) {
+  KWayMerger merger({}, BytewiseComparator::Instance());
+  EXPECT_FALSE(merger.Next());
+  EXPECT_TRUE(merger.status().ok());
+}
+
+TEST(KWayMergerTest, StableAcrossSourcesForEqualKeys) {
+  std::vector<std::string> storage;
+  storage.reserve(6);
+  std::vector<std::unique_ptr<RecordReader>> sources;
+  sources.push_back(MemorySource({{"k", "from0"}}, &storage));
+  sources.push_back(MemorySource({{"k", "from1"}}, &storage));
+  sources.push_back(MemorySource({{"k", "from2"}}, &storage));
+  KWayMerger merger(std::move(sources), BytewiseComparator::Instance());
+  std::vector<std::string> values;
+  while (merger.Next()) {
+    values.push_back(merger.value().ToString());
+  }
+  EXPECT_EQ(values,
+            (std::vector<std::string>{"from0", "from1", "from2"}));
+}
+
+TEST(KWayMergerTest, RandomizedManySources) {
+  Rng rng(31);
+  std::vector<std::string> all_keys;
+  std::vector<std::string> storage;
+  storage.reserve(16);
+  std::vector<std::unique_ptr<RecordReader>> sources;
+  for (int s = 0; s < 16; ++s) {
+    std::vector<std::pair<std::string, std::string>> records;
+    const uint64_t n = rng.Uniform(50);
+    for (uint64_t i = 0; i < n; ++i) {
+      records.emplace_back("key" + std::to_string(rng.Uniform(1000)), "v");
+    }
+    std::sort(records.begin(), records.end());
+    for (const auto& [k, v] : records) {
+      all_keys.push_back(k);
+    }
+    sources.push_back(MemorySource(records, &storage));
+  }
+  std::sort(all_keys.begin(), all_keys.end());
+
+  KWayMerger merger(std::move(sources), BytewiseComparator::Instance());
+  std::vector<std::string> merged;
+  std::string prev;
+  while (merger.Next()) {
+    const std::string k = merger.key().ToString();
+    EXPECT_LE(prev, k);  // Non-decreasing.
+    merged.push_back(k);
+    prev = k;
+  }
+  EXPECT_EQ(merged, all_keys);
+}
+
+}  // namespace
+}  // namespace ngram::mr

@@ -1,0 +1,193 @@
+#include "mapreduce/sort_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "encoding/serde.h"
+#include "mapreduce/job.h"
+#include "mapreduce/merge.h"
+#include "util/temp_dir.h"
+
+namespace ngram::mr {
+namespace {
+
+class SortBufferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Create("sortbuf-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(dir).ValueOrDie());
+  }
+
+  SortBuffer::Options Opts(uint32_t partitions, size_t budget) {
+    SortBuffer::Options o;
+    o.num_partitions = partitions;
+    o.budget_bytes = budget;
+    o.work_dir = dir_->path().string();
+    return o;
+  }
+
+  /// Reads all records of one partition of a run back.
+  std::vector<std::pair<std::string, std::string>> ReadPartition(
+      const SpillRun& run, uint32_t partition) {
+    std::vector<std::pair<std::string, std::string>> out;
+    auto reader = OpenRunPartition(run, partition);
+    if (reader == nullptr) {
+      return out;
+    }
+    while (reader->Next()) {
+      out.emplace_back(reader->key().ToString(), reader->value().ToString());
+    }
+    EXPECT_TRUE(reader->status().ok());
+    return out;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(SortBufferTest, SortsWithinPartition) {
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer buffer(Opts(1, 1 << 20), &tc);
+  ASSERT_TRUE(buffer.Add(0, "cherry", "3").ok());
+  ASSERT_TRUE(buffer.Add(0, "apple", "1").ok());
+  ASSERT_TRUE(buffer.Add(0, "banana", "2").ok());
+  std::vector<SpillRun> runs;
+  ASSERT_TRUE(buffer.Finish(&runs).ok());
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_TRUE(runs[0].in_memory());
+  auto records = ReadPartition(runs[0], 0);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].first, "apple");
+  EXPECT_EQ(records[1].first, "banana");
+  EXPECT_EQ(records[2].first, "cherry");
+}
+
+TEST_F(SortBufferTest, PartitionsAreSeparated) {
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer buffer(Opts(3, 1 << 20), &tc);
+  ASSERT_TRUE(buffer.Add(2, "z", "").ok());
+  ASSERT_TRUE(buffer.Add(0, "a", "").ok());
+  ASSERT_TRUE(buffer.Add(1, "m", "").ok());
+  ASSERT_TRUE(buffer.Add(0, "b", "").ok());
+  std::vector<SpillRun> runs;
+  ASSERT_TRUE(buffer.Finish(&runs).ok());
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(ReadPartition(runs[0], 0).size(), 2u);
+  EXPECT_EQ(ReadPartition(runs[0], 1).size(), 1u);
+  EXPECT_EQ(ReadPartition(runs[0], 2).size(), 1u);
+  EXPECT_EQ(runs[0].segments[0].num_records, 2u);
+}
+
+TEST_F(SortBufferTest, StableForEqualKeys) {
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer buffer(Opts(1, 1 << 20), &tc);
+  ASSERT_TRUE(buffer.Add(0, "same", "first").ok());
+  ASSERT_TRUE(buffer.Add(0, "same", "second").ok());
+  ASSERT_TRUE(buffer.Add(0, "same", "third").ok());
+  std::vector<SpillRun> runs;
+  ASSERT_TRUE(buffer.Finish(&runs).ok());
+  auto records = ReadPartition(runs[0], 0);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].second, "first");
+  EXPECT_EQ(records[1].second, "second");
+  EXPECT_EQ(records[2].second, "third");
+}
+
+TEST_F(SortBufferTest, TinyBudgetSpillsToFiles) {
+  Counters counters;
+  uint64_t total_records = 500;
+  {
+    TaskCounters tc(&counters);
+    SortBuffer buffer(Opts(2, 256), &tc);
+    for (uint64_t i = 0; i < total_records; ++i) {
+      const std::string key = "key" + std::to_string(i % 50);
+      ASSERT_TRUE(
+          buffer.Add(static_cast<uint32_t>(i % 2), key, "v").ok());
+    }
+    std::vector<SpillRun> runs;
+    ASSERT_TRUE(buffer.Finish(&runs).ok());
+    EXPECT_GT(buffer.spill_count(), 1u);
+    uint64_t read_back = 0;
+    for (const auto& run : runs) {
+      EXPECT_FALSE(run.in_memory());
+      read_back += ReadPartition(run, 0).size();
+      read_back += ReadPartition(run, 1).size();
+    }
+    EXPECT_EQ(read_back, total_records);
+  }
+  EXPECT_EQ(counters.Get(kSpilledRecords), total_records);
+  EXPECT_GT(counters.Get(kSpillFiles), 1u);
+}
+
+TEST_F(SortBufferTest, CombinerAggregatesWithinSpill) {
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer::Options opts = Opts(1, 1 << 20);
+  opts.combiner = SumCombiner();
+  SortBuffer buffer(opts, &tc);
+  const std::string one = SerializeToString<uint64_t>(1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(buffer.Add(0, "word", one).ok());
+  }
+  ASSERT_TRUE(buffer.Add(0, "other", one).ok());
+  std::vector<SpillRun> runs;
+  ASSERT_TRUE(buffer.Finish(&runs).ok());
+  auto records = ReadPartition(runs[0], 0);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].first, "other");
+  uint64_t count = 0;
+  ASSERT_TRUE(Serde<uint64_t>::Decode(Slice(records[1].second), &count));
+  EXPECT_EQ(count, 10u);
+  tc.Flush();
+  EXPECT_EQ(counters.Get(kCombineInputRecords), 11u);
+  EXPECT_EQ(counters.Get(kCombineOutputRecords), 2u);
+}
+
+TEST_F(SortBufferTest, CustomComparatorControlsOrder) {
+  // Reverse bytewise order.
+  class ReverseComparator final : public RawComparator {
+   public:
+    int Compare(Slice a, Slice b) const override { return b.compare(a); }
+    const char* Name() const override { return "reverse"; }
+  };
+  static const ReverseComparator kReverse;
+
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer::Options opts = Opts(1, 1 << 20);
+  opts.comparator = &kReverse;
+  SortBuffer buffer(opts, &tc);
+  ASSERT_TRUE(buffer.Add(0, "a", "").ok());
+  ASSERT_TRUE(buffer.Add(0, "c", "").ok());
+  ASSERT_TRUE(buffer.Add(0, "b", "").ok());
+  std::vector<SpillRun> runs;
+  ASSERT_TRUE(buffer.Finish(&runs).ok());
+  auto records = ReadPartition(runs[0], 0);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].first, "c");
+  EXPECT_EQ(records[1].first, "b");
+  EXPECT_EQ(records[2].first, "a");
+}
+
+TEST_F(SortBufferTest, EmptyBufferYieldsNoRuns) {
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer buffer(Opts(4, 1 << 20), &tc);
+  std::vector<SpillRun> runs;
+  ASSERT_TRUE(buffer.Finish(&runs).ok());
+  EXPECT_TRUE(runs.empty());
+}
+
+TEST_F(SortBufferTest, PartitionOutOfRangeRejected) {
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer buffer(Opts(2, 1 << 20), &tc);
+  EXPECT_TRUE(buffer.Add(2, "k", "v").IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ngram::mr

@@ -1,0 +1,175 @@
+// Edge cases of reducer value streaming and mapper lifecycle: partially
+// consumed groups, zero-consumption reducers, in-mapper combining via
+// Cleanup(), and counter accounting for skipped values.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mapreduce/job.h"
+
+namespace ngram::mr {
+namespace {
+
+class FanOutMapper final
+    : public Mapper<uint64_t, uint64_t, std::string, uint64_t> {
+ public:
+  Status Map(const uint64_t& key, const uint64_t& count,
+             Context* ctx) override {
+    for (uint64_t i = 0; i < count; ++i) {
+      NGRAM_RETURN_NOT_OK(ctx->Emit("g" + std::to_string(key), i));
+    }
+    return Status::OK();
+  }
+};
+
+/// Consumes only the first value of each group.
+class FirstValueReducer final
+    : public Reducer<std::string, uint64_t, std::string, uint64_t> {
+ public:
+  Status Reduce(const std::string& key, Values* values,
+                Context* ctx) override {
+    uint64_t first = 0;
+    if (!values->Next(&first)) {
+      return Status::Internal("empty group");
+    }
+    return ctx->Emit(key, first);
+  }
+};
+
+TEST(StreamingTest, PartiallyConsumedGroupsDoNotLeakIntoNextGroup) {
+  MemoryTable<uint64_t, uint64_t> input;
+  input.Add(1, 5);   // Group g1 with 5 values.
+  input.Add(2, 1);   // Group g2 with 1 value.
+  input.Add(3, 17);  // Group g3 with 17 values.
+
+  JobConfig config;
+  config.num_reducers = 1;
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<FanOutMapper, FirstValueReducer>(
+      config, input, [] { return std::make_unique<FanOutMapper>(); },
+      [] { return std::make_unique<FirstValueReducer>(); }, &output);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+
+  // Every group must be seen exactly once despite partial consumption.
+  std::map<std::string, uint64_t> result;
+  for (const auto& [k, v] : output.rows) {
+    result[k] = v;
+  }
+  EXPECT_EQ(result.size(), 3u);
+  EXPECT_EQ(result.at("g1"), 0u);
+  EXPECT_EQ(result.at("g2"), 0u);
+  EXPECT_EQ(result.at("g3"), 0u);
+  // Skipped values still count as reduce input records.
+  EXPECT_EQ(metrics->Counter(kReduceInputRecords), 23u);
+  EXPECT_EQ(metrics->Counter(kReduceInputGroups), 3u);
+}
+
+/// Never touches the value stream at all.
+class IgnoreValuesReducer final
+    : public Reducer<std::string, uint64_t, std::string, uint64_t> {
+ public:
+  Status Reduce(const std::string& key, Values* values,
+                Context* ctx) override {
+    return ctx->Emit(key, 1);
+  }
+};
+
+TEST(StreamingTest, ZeroConsumptionReducerStillSeesEveryGroup) {
+  MemoryTable<uint64_t, uint64_t> input;
+  input.Add(1, 3);
+  input.Add(2, 4);
+  JobConfig config;
+  config.num_reducers = 2;
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<FanOutMapper, IgnoreValuesReducer>(
+      config, input, [] { return std::make_unique<FanOutMapper>(); },
+      [] { return std::make_unique<IgnoreValuesReducer>(); }, &output);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(output.rows.size(), 2u);
+  EXPECT_EQ(metrics->Counter(kReduceInputRecords), 7u);
+}
+
+/// In-mapper combining: buffers counts in a hash map and emits them from
+/// Cleanup() — the "local aggregation" pattern from Section V that
+/// APRIORI-INDEX's Mapper #1 uses.
+class InMapperCombiningMapper final
+    : public Mapper<uint64_t, std::string, std::string, uint64_t> {
+ public:
+  Status Map(const uint64_t& id, const std::string& word,
+             Context* ctx) override {
+    ++buffer_[word];
+    return Status::OK();
+  }
+
+  Status Cleanup(Context* ctx) override {
+    for (const auto& [word, count] : buffer_) {
+      NGRAM_RETURN_NOT_OK(ctx->Emit(word, count));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::map<std::string, uint64_t> buffer_;
+};
+
+class SumReducer2 final
+    : public Reducer<std::string, uint64_t, std::string, uint64_t> {
+ public:
+  Status Reduce(const std::string& key, Values* values,
+                Context* ctx) override {
+    uint64_t total = 0, v = 0;
+    while (values->Next(&v)) {
+      total += v;
+    }
+    return ctx->Emit(key, total);
+  }
+};
+
+TEST(StreamingTest, InMapperCombiningViaCleanup) {
+  MemoryTable<uint64_t, std::string> input;
+  for (uint64_t i = 0; i < 30; ++i) {
+    input.Add(i, i % 3 == 0 ? "fizz" : "other");
+  }
+  JobConfig config;
+  config.num_map_tasks = 3;
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<InMapperCombiningMapper, SumReducer2>(
+      config, input,
+      [] { return std::make_unique<InMapperCombiningMapper>(); },
+      [] { return std::make_unique<SumReducer2>(); }, &output);
+  ASSERT_TRUE(metrics.ok());
+  std::map<std::string, uint64_t> result;
+  for (const auto& [k, v] : output.rows) {
+    result[k] = v;
+  }
+  EXPECT_EQ(result.at("fizz"), 10u);
+  EXPECT_EQ(result.at("other"), 20u);
+  // At most (tasks x distinct words) records were shuffled, not 30.
+  EXPECT_LE(metrics->Counter(kMapOutputRecords), 6u);
+}
+
+/// Mapper that emits nothing; reducers must be invoked zero times but the
+/// job still succeeds.
+class SilentMapper final
+    : public Mapper<uint64_t, std::string, std::string, uint64_t> {
+ public:
+  Status Map(const uint64_t&, const std::string&, Context*) override {
+    return Status::OK();
+  }
+};
+
+TEST(StreamingTest, NoMapOutputMeansNoReduceGroups) {
+  MemoryTable<uint64_t, std::string> input;
+  input.Add(1, "ignored");
+  JobConfig config;
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<SilentMapper, SumReducer2>(
+      config, input, [] { return std::make_unique<SilentMapper>(); },
+      [] { return std::make_unique<SumReducer2>(); }, &output);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_TRUE(output.empty());
+  EXPECT_EQ(metrics->Counter(kReduceInputGroups), 0u);
+}
+
+}  // namespace
+}  // namespace ngram::mr

@@ -1,0 +1,65 @@
+// Shared helpers for the test suite: tiny random corpora, terse option
+// factories, sequence literals.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "core/options.h"
+#include "text/corpus.h"
+#include "util/random.h"
+
+namespace ngram::testing {
+
+/// Shorthand for term-id sequences in expectations: Seq({1, 2, 3}).
+inline TermSequence Seq(std::initializer_list<TermId> terms) {
+  return TermSequence(terms);
+}
+
+/// Small random corpus over a tiny vocabulary — collision-rich, so
+/// frequency thresholds bite and methods are exercised meaningfully.
+inline Corpus RandomCorpus(uint64_t seed, uint64_t num_docs = 20,
+                           uint32_t vocab = 6, uint32_t max_sentences = 4,
+                           uint32_t max_sentence_len = 12,
+                           int32_t year_min = 0, int32_t year_max = 0) {
+  Rng rng(seed);
+  Corpus corpus;
+  for (uint64_t d = 0; d < num_docs; ++d) {
+    Document doc;
+    doc.id = d + 1;
+    if (year_max > year_min) {
+      doc.year = year_min + static_cast<int32_t>(rng.Uniform(
+                                static_cast<uint64_t>(year_max - year_min)));
+    }
+    const uint64_t sentences = 1 + rng.Uniform(max_sentences);
+    for (uint64_t s = 0; s < sentences; ++s) {
+      TermSequence sentence;
+      const uint64_t len = 1 + rng.Uniform(max_sentence_len);
+      for (uint64_t i = 0; i < len; ++i) {
+        sentence.push_back(1 + static_cast<TermId>(rng.Uniform(vocab)));
+      }
+      doc.sentences.push_back(std::move(sentence));
+    }
+    corpus.docs.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+/// Options tuned for tests: small buffers (to exercise the spill path in
+/// some configurations), few slots, deterministic.
+inline NgramJobOptions TestOptions(Method method, uint64_t tau,
+                                   uint32_t sigma) {
+  NgramJobOptions options;
+  options.method = method;
+  options.tau = tau;
+  options.sigma = sigma;
+  options.num_reducers = 3;
+  options.map_slots = 2;
+  options.reduce_slots = 2;
+  options.sort_buffer_bytes = 1 << 20;
+  options.reducer_memory_budget_bytes = 1 << 20;
+  return options;
+}
+
+}  // namespace ngram::testing

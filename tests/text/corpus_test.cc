@@ -1,0 +1,105 @@
+#include "text/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "core/input.h"
+#include "testing/test_util.h"
+
+namespace ngram {
+namespace {
+
+Corpus TwoDocCorpus() {
+  Corpus corpus;
+  Document d1;
+  d1.id = 1;
+  d1.year = 1990;
+  d1.sentences = {{1, 2, 3}, {2, 2}};
+  Document d2;
+  d2.id = 2;
+  d2.year = 2000;
+  d2.sentences = {{5, 1}};
+  corpus.docs = {d1, d2};
+  return corpus;
+}
+
+TEST(CorpusTest, StatsMatchHandComputation) {
+  const CorpusStats stats = TwoDocCorpus().ComputeStats();
+  EXPECT_EQ(stats.num_documents, 2u);
+  EXPECT_EQ(stats.term_occurrences, 7u);
+  EXPECT_EQ(stats.num_sentences, 3u);
+  EXPECT_EQ(stats.distinct_terms, 4u);  // {1, 2, 3, 5}.
+  EXPECT_NEAR(stats.sentence_length_mean, 7.0 / 3.0, 1e-9);
+  // Variance of {3, 2, 2} = (9+4+4)/3 - (7/3)^2.
+  EXPECT_NEAR(stats.sentence_length_stddev,
+              std::sqrt(17.0 / 3.0 - 49.0 / 9.0), 1e-9);
+}
+
+TEST(CorpusTest, MaxTermId) {
+  EXPECT_EQ(TwoDocCorpus().MaxTermId(), 6u);
+  EXPECT_EQ(Corpus{}.MaxTermId(), 1u);
+}
+
+TEST(CorpusTest, UnigramFrequencies) {
+  const UnigramFrequencies freq =
+      ComputeUnigramFrequencies(TwoDocCorpus());
+  ASSERT_EQ(freq.size(), 6u);
+  EXPECT_EQ(freq[1], 2u);
+  EXPECT_EQ(freq[2], 3u);
+  EXPECT_EQ(freq[3], 1u);
+  EXPECT_EQ(freq[4], 0u);
+  EXPECT_EQ(freq[5], 1u);
+}
+
+TEST(CorpusTest, SampleFractions) {
+  const Corpus corpus = testing::RandomCorpus(1, /*num_docs=*/100);
+  EXPECT_EQ(corpus.Sample(100, 7).docs.size(), 100u);
+  EXPECT_EQ(corpus.Sample(50, 7).docs.size(), 50u);
+  EXPECT_EQ(corpus.Sample(25, 7).docs.size(), 25u);
+  EXPECT_EQ(corpus.Sample(0, 7).docs.size(), 0u);
+}
+
+TEST(CorpusTest, SampleIsDeterministicAndSorted) {
+  const Corpus corpus = testing::RandomCorpus(2, /*num_docs=*/50);
+  const Corpus a = corpus.Sample(40, 11);
+  const Corpus b = corpus.Sample(40, 11);
+  ASSERT_EQ(a.docs.size(), b.docs.size());
+  for (size_t i = 0; i < a.docs.size(); ++i) {
+    EXPECT_EQ(a.docs[i].id, b.docs[i].id);
+    if (i > 0) {
+      EXPECT_LT(a.docs[i - 1].id, a.docs[i].id);
+    }
+  }
+  // Different seed -> (almost surely) different subset.
+  const Corpus c = corpus.Sample(40, 12);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.docs.size(); ++i) {
+    any_diff |= a.docs[i].id != c.docs[i].id;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CorpusContextTest, RowsPerSentenceWithPositionGaps) {
+  const CorpusContext ctx = BuildCorpusContext(TwoDocCorpus());
+  ASSERT_EQ(ctx.input.size(), 3u);
+  EXPECT_EQ(ctx.input.rows[0].first, 1u);
+  EXPECT_EQ(ctx.input.rows[0].second.base, 0u);
+  EXPECT_EQ(ctx.input.rows[1].first, 1u);
+  // Second sentence starts past a +1 gap: 3 terms + 1.
+  EXPECT_EQ(ctx.input.rows[1].second.base, 4u);
+  EXPECT_EQ(ctx.input.rows[2].first, 2u);
+  EXPECT_EQ(ctx.input.rows[2].second.base, 0u);
+  EXPECT_EQ(ctx.total_term_occurrences, 7u);
+  // Year lookup table.
+  ASSERT_EQ(ctx.doc_years->size(), 3u);
+  EXPECT_EQ((*ctx.doc_years)[1], 1990);
+  EXPECT_EQ((*ctx.doc_years)[2], 2000);
+}
+
+TEST(CorpusStatsTest, TableRendering) {
+  const std::string table = TwoDocCorpus().ComputeStats().ToString("TEST");
+  EXPECT_NE(table.find("# documents"), std::string::npos);
+  EXPECT_NE(table.find("sentence length (stddev)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ngram

@@ -1,0 +1,100 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace ngram {
+namespace {
+
+using Sentences = std::vector<std::vector<std::string>>;
+
+TEST(TokenizerTest, BasicSentenceSplit) {
+  Tokenizer tok;
+  const Sentences s = tok.SplitSentences("The cat sat. The dog ran!");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], (std::vector<std::string>{"the", "cat", "sat"}));
+  EXPECT_EQ(s[1], (std::vector<std::string>{"the", "dog", "ran"}));
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  Tokenizer tok;
+  const Sentences s = tok.SplitSentences("HELLO World");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, LowercaseDisabled) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  Tokenizer tok(options);
+  const Sentences s = tok.SplitSentences("Hello World");
+  EXPECT_EQ(s[0], (std::vector<std::string>{"Hello", "World"}));
+}
+
+TEST(TokenizerTest, PunctuationSeparatesTokens) {
+  Tokenizer tok;
+  const Sentences s = tok.SplitSentences("one,two:three (four)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0],
+            (std::vector<std::string>{"one", "two", "three", "four"}));
+}
+
+TEST(TokenizerTest, ApostrophesKeptInsideWords) {
+  Tokenizer tok;
+  const Sentences s = tok.SplitSentences("don't stop");
+  EXPECT_EQ(s[0], (std::vector<std::string>{"don't", "stop"}));
+}
+
+TEST(TokenizerTest, ApostrophesCanBeDisabled) {
+  TokenizerOptions options;
+  options.keep_apostrophes = false;
+  Tokenizer tok(options);
+  const Sentences s = tok.SplitSentences("don't");
+  EXPECT_EQ(s[0], (std::vector<std::string>{"don", "t"}));
+}
+
+TEST(TokenizerTest, NumbersKeptByDefault) {
+  Tokenizer tok;
+  const Sentences s = tok.SplitSentences("chapter 42 begins");
+  EXPECT_EQ(s[0], (std::vector<std::string>{"chapter", "42", "begins"}));
+}
+
+TEST(TokenizerTest, QuestionAndSemicolonSplit) {
+  Tokenizer tok;
+  const Sentences s = tok.SplitSentences("really? yes; of course");
+  ASSERT_EQ(s.size(), 3u);
+}
+
+TEST(TokenizerTest, AbbreviationsDoNotSplit) {
+  Tokenizer tok;
+  const Sentences s = tok.SplitSentences("Mr. Smith met Dr. Jones today.");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (std::vector<std::string>{"mr", "smith", "met", "dr",
+                                            "jones", "today"}));
+}
+
+TEST(TokenizerTest, SingleInitialDoesNotSplit) {
+  Tokenizer tok;
+  const Sentences s = tok.SplitSentences("J. R. R. Tolkien wrote it.");
+  ASSERT_EQ(s.size(), 1u);
+}
+
+TEST(TokenizerTest, BlankLineIsParagraphBoundary) {
+  Tokenizer tok;
+  const Sentences s = tok.SplitSentences("first paragraph\n\nsecond one");
+  ASSERT_EQ(s.size(), 2u);
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.SplitSentences("").empty());
+  EXPECT_TRUE(tok.SplitSentences("  \n\t ...!?").empty());
+}
+
+TEST(TokenizerTest, FlatTokenize) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("a b. c d!"),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+}  // namespace
+}  // namespace ngram

@@ -1,0 +1,85 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include "text/corpus_builder.h"
+
+namespace ngram {
+namespace {
+
+TEST(VocabularyTest, IdsDescendByFrequency) {
+  // Section V: "identifiers in descending order of their collection
+  // frequency".
+  Vocabulary vocab = Vocabulary::Build(
+      {{"common", 100}, {"mid", 10}, {"rare", 1}});
+  EXPECT_EQ(vocab.Lookup("common"), 1u);
+  EXPECT_EQ(vocab.Lookup("mid"), 2u);
+  EXPECT_EQ(vocab.Lookup("rare"), 3u);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(VocabularyTest, TiesBrokenLexicographically) {
+  Vocabulary vocab = Vocabulary::Build({{"zebra", 5}, {"apple", 5}});
+  EXPECT_EQ(vocab.Lookup("apple"), 1u);
+  EXPECT_EQ(vocab.Lookup("zebra"), 2u);
+}
+
+TEST(VocabularyTest, UnknownTermIsZero) {
+  Vocabulary vocab = Vocabulary::Build({{"a", 1}});
+  EXPECT_EQ(vocab.Lookup("nope"), 0u);
+}
+
+TEST(VocabularyTest, RoundTripTermOf) {
+  Vocabulary vocab = Vocabulary::Build({{"x", 7}, {"y", 3}});
+  EXPECT_EQ(vocab.TermOf(vocab.Lookup("x")), "x");
+  EXPECT_EQ(vocab.TermOf(vocab.Lookup("y")), "y");
+  EXPECT_EQ(vocab.TermOf(0), "<unk>");
+  EXPECT_EQ(vocab.TermOf(999), "<unk>");
+}
+
+TEST(VocabularyTest, FrequencyRecorded) {
+  Vocabulary vocab = Vocabulary::Build({{"x", 7}, {"y", 3}});
+  EXPECT_EQ(vocab.FrequencyOf(vocab.Lookup("x")), 7u);
+  EXPECT_EQ(vocab.FrequencyOf(vocab.Lookup("y")), 3u);
+  EXPECT_EQ(vocab.FrequencyOf(42), 0u);
+}
+
+TEST(VocabularyTest, EncodeDropsUnknownTokens) {
+  Vocabulary vocab = Vocabulary::Build({{"a", 2}, {"b", 1}});
+  const TermSequence seq = vocab.Encode({"a", "mystery", "b"});
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_EQ(vocab.Decode(seq), "a b");
+}
+
+TEST(CorpusBuilderTest, BuildsEncodedCorpus) {
+  TextCorpusBuilder builder;
+  builder.Add(1, "the cat sat. the cat ran.", 1999);
+  builder.Add(2, "a dog sat", 2001);
+  auto built = builder.Finalize();
+
+  ASSERT_EQ(built.corpus.docs.size(), 2u);
+  EXPECT_EQ(built.corpus.docs[0].sentences.size(), 2u);
+  EXPECT_EQ(built.corpus.docs[0].year, 1999);
+  // "the" and "cat" are the most frequent terms -> smallest ids.
+  const TermId the_id = built.vocabulary->Lookup("the");
+  const TermId dog_id = built.vocabulary->Lookup("dog");
+  EXPECT_LT(the_id, dog_id);
+  // Decoding the first sentence restores the text.
+  EXPECT_EQ(built.vocabulary->Decode(built.corpus.docs[0].sentences[0]),
+            "the cat sat");
+}
+
+TEST(CorpusBuilderTest, BuilderIsReusableAfterFinalize) {
+  TextCorpusBuilder builder;
+  builder.Add(1, "alpha beta");
+  auto first = builder.Finalize();
+  EXPECT_EQ(first.corpus.docs.size(), 1u);
+  builder.Add(2, "gamma delta");
+  auto second = builder.Finalize();
+  EXPECT_EQ(second.corpus.docs.size(), 1u);
+  EXPECT_EQ(second.corpus.docs[0].id, 2u);
+  EXPECT_EQ(second.vocabulary->Lookup("alpha"), 0u);
+}
+
+}  // namespace
+}  // namespace ngram

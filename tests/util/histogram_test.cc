@@ -1,0 +1,64 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace ngram {
+namespace {
+
+TEST(Log10Histogram2DTest, BucketBoundaries) {
+  Log10Histogram2D h;
+  h.Add(1, 1);     // (0, 0)
+  h.Add(9, 9);     // (0, 0)
+  h.Add(10, 10);   // (1, 1)
+  h.Add(99, 100);  // (1, 2)
+  h.Add(100, 999); // (2, 2)
+  EXPECT_EQ(h.BucketCount(0, 0), 2u);
+  EXPECT_EQ(h.BucketCount(1, 1), 1u);
+  EXPECT_EQ(h.BucketCount(1, 2), 1u);
+  EXPECT_EQ(h.BucketCount(2, 2), 1u);
+  EXPECT_EQ(h.BucketCount(3, 3), 0u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.max_x_bucket(), 2);
+  EXPECT_EQ(h.max_y_bucket(), 2);
+}
+
+TEST(Log10Histogram2DTest, WeightsAccumulate) {
+  Log10Histogram2D h;
+  h.Add(5, 5, 10);
+  h.Add(5, 7, 5);
+  EXPECT_EQ(h.BucketCount(0, 0), 15u);
+}
+
+TEST(Log10Histogram2DTest, ZeroCoordinatesIgnored) {
+  Log10Histogram2D h;
+  h.Add(0, 5);
+  h.Add(5, 0);
+  h.Add(3, 3, 0);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_x_bucket(), -1);
+}
+
+TEST(Log10Histogram2DTest, BucketsListingIsSorted) {
+  Log10Histogram2D h;
+  h.Add(100, 1);
+  h.Add(1, 100);
+  h.Add(10, 10);
+  auto buckets = h.Buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].first, std::make_pair(0, 2));
+  EXPECT_EQ(buckets[1].first, std::make_pair(1, 1));
+  EXPECT_EQ(buckets[2].first, std::make_pair(2, 0));
+}
+
+TEST(Log10Histogram2DTest, TableRendersAllBuckets) {
+  Log10Histogram2D h;
+  h.Add(1, 1);
+  h.Add(10, 100);
+  const std::string table = h.ToTable("len", "cf");
+  EXPECT_NE(table.find("10^0"), std::string::npos);
+  EXPECT_NE(table.find("10^1"), std::string::npos);
+  EXPECT_NE(table.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ngram

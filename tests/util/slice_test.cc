@@ -1,0 +1,65 @@
+#include "util/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace ngram {
+namespace {
+
+TEST(SliceTest, EmptyByDefault) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SliceTest, FromString) {
+  std::string str = "hello";
+  Slice s(str);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.ToString(), "hello");
+  EXPECT_EQ(s[1], 'e');
+}
+
+TEST(SliceTest, FromCString) {
+  Slice s("abc");
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("abcdef");
+  s.RemovePrefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+}
+
+TEST(SliceTest, CompareIsMemcmpOrder) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  // Prefix orders before its extension.
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("abc").compare(Slice("ab")), 0);
+}
+
+TEST(SliceTest, EqualityAndLessOperators) {
+  EXPECT_TRUE(Slice("xy") == Slice("xy"));
+  EXPECT_TRUE(Slice("xy") != Slice("xz"));
+  EXPECT_TRUE(Slice("a") < Slice("b"));
+  EXPECT_TRUE(Slice() == Slice(""));
+}
+
+TEST(SliceTest, StartsWith) {
+  Slice s("abcdef");
+  EXPECT_TRUE(s.starts_with(Slice("abc")));
+  EXPECT_TRUE(s.starts_with(Slice()));
+  EXPECT_FALSE(s.starts_with(Slice("abd")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+}
+
+TEST(SliceTest, EmbeddedNulBytesCompareCorrectly) {
+  const std::string a("a\0b", 3);
+  const std::string b("a\0c", 3);
+  EXPECT_LT(Slice(a).compare(Slice(b)), 0);
+  EXPECT_EQ(Slice(a).size(), 3u);
+}
+
+}  // namespace
+}  // namespace ngram

@@ -1,0 +1,49 @@
+#include "util/temp_dir.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace ngram {
+namespace {
+
+TEST(TempDirTest, CreatesAndRemoves) {
+  std::filesystem::path path;
+  {
+    auto dir = TempDir::Create("ngram-test");
+    ASSERT_TRUE(dir.ok());
+    path = dir->path();
+    EXPECT_TRUE(std::filesystem::exists(path));
+    // Write a file inside so removal must be recursive.
+    std::ofstream(dir->File("inner.txt")) << "data";
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(TempDirTest, DistinctDirectories) {
+  auto a = TempDir::Create("ngram-test");
+  auto b = TempDir::Create("ngram-test");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->path(), b->path());
+}
+
+TEST(TempDirTest, MoveTransfersOwnership) {
+  auto a = TempDir::Create("ngram-test");
+  ASSERT_TRUE(a.ok());
+  const std::filesystem::path path = a->path();
+  TempDir moved = std::move(a).ValueOrDie();
+  EXPECT_EQ(moved.path(), path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST(TempDirTest, FileHelperJoinsPath) {
+  auto dir = TempDir::Create("ngram-test");
+  ASSERT_TRUE(dir.ok());
+  const std::string f = dir->File("x.bin");
+  EXPECT_EQ(f, (dir->path() / "x.bin").string());
+}
+
+}  // namespace
+}  // namespace ngram
