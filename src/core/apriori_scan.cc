@@ -40,7 +40,9 @@ class AprioriScanMapper final
     if (terms.size() < k_) {
       return Status::OK();
     }
-    TermSequence kgram;
+    // Every k-gram window is a contiguous byte range of the piece's
+    // encoding: encode once, emit sub-slices.
+    encoder_.Encode(terms);
     for (size_t b = 0; b + k_ <= terms.size(); ++b) {
       // Algorithm 2 lines 3-5: k = 1, or both constituent (k-1)-grams
       // frequent.
@@ -50,8 +52,8 @@ class AprioriScanMapper final
           continue;
         }
       }
-      kgram.assign(terms.begin() + b, terms.begin() + b + k_);
-      NGRAM_RETURN_NOT_OK(ctx->Emit(kgram, value));
+      NGRAM_RETURN_NOT_OK(
+          ctx->EmitEncodedKey(encoder_.Range(b, b + k_), value));
     }
     return Status::OK();
   }
@@ -61,6 +63,7 @@ class AprioriScanMapper final
   const std::shared_ptr<const UnigramFrequencies> unigram_cf_;
   const std::shared_ptr<const SequenceSet> dict_;
   std::string scratch_;
+  SequenceRangeEncoder encoder_;
 };
 
 }  // namespace

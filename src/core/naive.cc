@@ -25,14 +25,15 @@ class NaiveMapper final
                    if (!status.ok()) {
                      return;
                    }
+                   // Every n-gram window is a contiguous byte range of the
+                   // piece's encoding: encode once, emit sub-slices.
                    const auto& terms = piece.terms;
-                   TermSequence ngram;
+                   encoder_.Encode(terms);
                    for (size_t b = 0; b < terms.size(); ++b) {
-                     ngram.clear();
-                     for (size_t e = b;
-                          e < terms.size() && (e - b) < sigma; ++e) {
-                       ngram.push_back(terms[e]);
-                       status = ctx->Emit(ngram, value);
+                     for (size_t e = b + 1;
+                          e <= terms.size() && (e - b) <= sigma; ++e) {
+                       status = ctx->EmitEncodedKey(encoder_.Range(b, e),
+                                                    value);
                        if (!status.ok()) {
                          return;
                        }
@@ -45,6 +46,7 @@ class NaiveMapper final
  private:
   const NgramJobOptions options_;
   const std::shared_ptr<const UnigramFrequencies> unigram_cf_;
+  SequenceRangeEncoder encoder_;
 };
 
 }  // namespace

@@ -11,6 +11,8 @@
 //    can represent n-grams starting with that term.
 #pragma once
 
+#include <cstring>
+
 #include "encoding/sequence.h"
 #include "mapreduce/comparator.h"
 #include "mapreduce/partitioner.h"
@@ -20,6 +22,82 @@ namespace ngram {
 class ReverseLexSequenceComparator final : public mr::RawComparator {
  public:
   int Compare(Slice a, Slice b) const override {
+    // Byte-level fast path: varbyte encodings of equal term prefixes are
+    // byte-identical, so skip the shared byte prefix with word-wide
+    // compares and only decode terms from the first divergence. A full
+    // byte-prefix match means one sequence is a term-prefix of the other
+    // (the shorter encoding ends on a varint boundary), which the
+    // reverse-lexicographic order resolves on length alone.
+    const size_t min_len = a.size() < b.size() ? a.size() : b.size();
+    const size_t i = CommonPrefixLength(a.udata(), b.udata(), min_len);
+    if (i == min_len) {
+      if (a.size() == b.size()) {
+        return 0;
+      }
+      // The longer sequence (of which the other is a prefix) orders first.
+      return a.size() > b.size() ? -1 : +1;
+    }
+    // Back up to the start of the varint containing the divergence: in
+    // LEB128 every byte of a term except the last has the high bit set,
+    // and the bytes before `i` are identical in both encodings.
+    size_t j = i;
+    while (j > 0 && (a.udata()[j - 1] & 0x80) != 0) {
+      --j;
+    }
+    return CompareDecoded(Slice(a.data() + j, a.size() - j),
+                          Slice(b.data() + j, b.size() - j));
+  }
+
+  /// First two term ids packed big-endian and bit-complemented: the
+  /// complement turns the descending term order into the contract's
+  /// ascending unsigned prefix order. A missing second (or first) term
+  /// packs as 0 — the reserved-invalid id — so a one-term sequence gets a
+  /// larger pack-complement than any two-term extension of it, matching
+  /// longer-orders-first on prefix ties.
+  uint64_t SortPrefix(Slice key) const override {
+    SequenceReader reader(key);
+    TermId first = 0, second = 0;
+    if (reader.Next(&first)) {
+      reader.Next(&second);
+    }
+    return ~((static_cast<uint64_t>(first) << 32) |
+             static_cast<uint64_t>(second));
+  }
+
+  const char* Name() const override { return "reverse-lex-sequence"; }
+
+  static const ReverseLexSequenceComparator* Instance() {
+    static const ReverseLexSequenceComparator kInstance;
+    return &kInstance;
+  }
+
+ private:
+  /// Length of the common prefix of `a` and `b`, scanning 8 bytes at a
+  /// time (unaligned loads via memcpy, first difference via the XOR).
+  static size_t CommonPrefixLength(const uint8_t* a, const uint8_t* b,
+                                   size_t n) {
+    size_t i = 0;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    // On little-endian the lowest differing byte of the XOR is the first
+    // differing byte of the streams.
+    while (i + 8 <= n) {
+      uint64_t wa, wb;
+      memcpy(&wa, a + i, 8);
+      memcpy(&wb, b + i, 8);
+      if (wa != wb) {
+        return i + static_cast<size_t>(__builtin_ctzll(wa ^ wb)) / 8;
+      }
+      i += 8;
+    }
+#endif
+    while (i < n && a[i] == b[i]) {
+      ++i;
+    }
+    return i;
+  }
+
+  /// The original lockstep term walk, applied from the first divergence.
+  static int CompareDecoded(Slice a, Slice b) {
     SequenceReader ra(a);
     SequenceReader rb(b);
     for (;;) {
@@ -39,13 +117,6 @@ class ReverseLexSequenceComparator final : public mr::RawComparator {
         return 0;
       }
     }
-  }
-
-  const char* Name() const override { return "reverse-lex-sequence"; }
-
-  static const ReverseLexSequenceComparator* Instance() {
-    static const ReverseLexSequenceComparator kInstance;
-    return &kInstance;
   }
 };
 

@@ -27,13 +27,15 @@ class SuffixMapper final
                    if (!status.ok()) {
                      return;
                    }
+                   // Every truncated suffix is a contiguous byte range of
+                   // the piece's encoding: encode once, emit sub-slices.
                    const auto& terms = piece.terms;
-                   TermSequence suffix;
+                   encoder_.Encode(terms);
                    for (size_t b = 0; b < terms.size(); ++b) {
                      const size_t end =
                          std::min<size_t>(terms.size(), b + sigma);
-                     suffix.assign(terms.begin() + b, terms.begin() + end);
-                     status = ctx->Emit(suffix, doc_id);
+                     status =
+                         ctx->EmitEncodedKey(encoder_.Range(b, end), doc_id);
                      if (!status.ok()) {
                        return;
                      }
@@ -45,6 +47,7 @@ class SuffixMapper final
  private:
   const NgramJobOptions options_;
   const std::shared_ptr<const UnigramFrequencies> unigram_cf_;
+  SequenceRangeEncoder encoder_;
 };
 
 /// Algorithm 4's reducer: feeds the two-stack automaton; Cleanup() is the

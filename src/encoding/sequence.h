@@ -41,6 +41,24 @@ struct SequenceCodec {
     }
   }
 
+  /// Encodes `seq` into `out` (cleared first) and records the byte offset
+  /// at which each term starts, plus the total size as a final sentinel —
+  /// so offsets has seq.size() + 1 entries and the encoding of
+  /// seq[b..e) is the byte range [offsets[b], offsets[e]). Mappers that
+  /// emit many contiguous subsequences (suffixes, k-gram windows) encode
+  /// once and emit slices of this buffer instead of re-encoding each one.
+  static void EncodeWithTermOffsets(const TermSequence& seq, std::string* out,
+                                    std::vector<uint32_t>* offsets) {
+    out->clear();
+    offsets->clear();
+    offsets->reserve(seq.size() + 1);
+    for (TermId t : seq) {
+      offsets->push_back(static_cast<uint32_t>(out->size()));
+      PutVarint32(out, t);
+    }
+    offsets->push_back(static_cast<uint32_t>(out->size()));
+  }
+
   /// Decodes an entire slice into `seq` (cleared first). Returns false on
   /// malformed input.
   static bool Decode(Slice in, TermSequence* seq) {
@@ -63,6 +81,27 @@ struct SequenceCodec {
     }
     return n;
   }
+};
+
+/// Reusable scratch for the encode-once / emit-sub-slices mapper pattern:
+/// encode a sequence once, then hand out the byte range of any contiguous
+/// subsequence (a suffix, an n-gram window) as a Slice into the scratch.
+/// Slices are valid until the next Encode() call.
+class SequenceRangeEncoder {
+ public:
+  void Encode(const TermSequence& seq) {
+    SequenceCodec::EncodeWithTermOffsets(seq, &encoded_, &offsets_);
+  }
+
+  /// Byte range of seq[begin..end) within the last encoded sequence.
+  Slice Range(size_t begin, size_t end) const {
+    return Slice(encoded_.data() + offsets_[begin],
+                 offsets_[end] - offsets_[begin]);
+  }
+
+ private:
+  std::string encoded_;
+  std::vector<uint32_t> offsets_;
 };
 
 /// Allocation-free cursor over an encoded term sequence.

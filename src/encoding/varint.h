@@ -28,6 +28,18 @@ inline void PutVarint32(std::string* out, uint32_t v) {
   PutVarint64(out, v);
 }
 
+/// Encodes `v` directly into `dst` (which must have room for
+/// kMaxVarint64Bytes). Returns one past the last byte written — the
+/// allocation-free variant used by the streaming spill writer.
+inline char* EncodeVarint64To(char* dst, uint64_t v) {
+  while (v >= 0x80) {
+    *dst++ = static_cast<char>((v & 0x7f) | 0x80);
+    v >>= 7;
+  }
+  *dst++ = static_cast<char>(v);
+  return dst;
+}
+
 /// Number of bytes PutVarint64 would append for `v`.
 inline int VarintLength(uint64_t v) {
   int len = 1;

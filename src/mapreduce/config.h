@@ -9,6 +9,7 @@
 
 #include "mapreduce/comparator.h"
 #include "mapreduce/partitioner.h"
+#include "mapreduce/spill_writer.h"
 
 namespace ngram::mr {
 
@@ -35,6 +36,13 @@ struct JobConfig {
 
   /// Map-side sort buffer budget; exceeding it spills a sorted run to disk.
   size_t sort_buffer_bytes = 64ULL << 20;
+
+  /// Size of the streaming spill write buffer (per spilling map task).
+  size_t spill_buffer_bytes = SpillWriter::kDefaultBufferBytes;
+
+  /// Maintain a CRC-32 per spill file (integrity checking for long jobs;
+  /// off by default — it costs one table lookup per spilled byte).
+  bool checksum_spills = false;
 
   /// Total order for the shuffle sort (Hadoop: setSortComparatorClass).
   const RawComparator* sort_comparator = BytewiseComparator::Instance();

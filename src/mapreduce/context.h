@@ -20,6 +20,11 @@ namespace ngram::mr {
 /// Emit() serializes the pair, charges MAP_OUTPUT_RECORDS/BYTES exactly as
 /// Hadoop does (key bytes + value bytes at emission time), partitions on the
 /// serialized key, and hands the record to the task's sort buffer.
+///
+/// Both emit paths encode into a single reusable per-task scratch buffer,
+/// so the hot loop performs no per-record allocation. EmitEncodedKey() is
+/// the zero-copy fast path for mappers that already hold the serialized
+/// key bytes (e.g. as a slice of a once-encoded document).
 template <typename K, typename V>
 class MapContext {
  public:
@@ -32,28 +37,41 @@ class MapContext {
         task_id_(task_id) {}
 
   Status Emit(const K& key, const V& value) {
-    key_buf_.clear();
-    value_buf_.clear();
-    Serde<K>::Encode(key, &key_buf_);
-    Serde<V>::Encode(value, &value_buf_);
-    counters_->Increment(kMapOutputRecords);
-    counters_->Increment(kMapOutputBytes, key_buf_.size() + value_buf_.size());
-    const uint32_t p =
-        partitioner_->Partition(Slice(key_buf_), num_partitions_);
-    return buffer_->Add(p, Slice(key_buf_), Slice(value_buf_));
+    scratch_.clear();
+    Serde<K>::Encode(key, &scratch_);
+    const size_t key_len = scratch_.size();
+    Serde<V>::Encode(value, &scratch_);
+    return EmitFramed(Slice(scratch_.data(), key_len),
+                      Slice(scratch_.data() + key_len,
+                            scratch_.size() - key_len));
+  }
+
+  /// Emits a record whose key is already serialized. `key_bytes` must be
+  /// the exact Serde<K> wire form; it is consumed before this returns.
+  Status EmitEncodedKey(Slice key_bytes, const V& value) {
+    scratch_.clear();
+    Serde<V>::Encode(value, &scratch_);
+    return EmitFramed(key_bytes, Slice(scratch_));
   }
 
   TaskCounters* counters() { return counters_; }
   uint32_t task_id() const { return task_id_; }
 
  private:
+  Status EmitFramed(Slice key_bytes, Slice value_bytes) {
+    counters_->Increment(kMapOutputRecords);
+    counters_->Increment(kMapOutputBytes,
+                         key_bytes.size() + value_bytes.size());
+    const uint32_t p = partitioner_->Partition(key_bytes, num_partitions_);
+    return buffer_->Add(p, key_bytes, value_bytes);
+  }
+
   const Partitioner* partitioner_;
   uint32_t num_partitions_;
   SortBuffer* buffer_;
   TaskCounters* counters_;
   uint32_t task_id_;
-  std::string key_buf_;
-  std::string value_buf_;
+  std::string scratch_;
 };
 
 /// \brief Output context passed to reducers; collects typed rows.

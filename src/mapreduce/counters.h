@@ -4,9 +4,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace ngram::mr {
 
@@ -84,8 +86,22 @@ class TaskCounters {
   explicit TaskCounters(Counters* shared) : shared_(shared) {}
   ~TaskCounters() { Flush(); }
 
+  /// Hot path: counter names are almost always the interned constants
+  /// above, so a linear scan with pointer-identity first (strcmp only on
+  /// a pointer miss) over a handful of entries beats any map — and does
+  /// no per-call allocation, unlike a std::string key.
+  ///
+  /// `name` must outlive this TaskCounters (it is stored, not copied,
+  /// until Flush()): pass string literals or the interned constants, not
+  /// a temporary's c_str().
   void Increment(const char* name, uint64_t delta = 1) {
-    local_[name] += delta;
+    for (Entry& e : local_) {
+      if (e.name == name || strcmp(e.name, name) == 0) {
+        e.value += delta;
+        return;
+      }
+    }
+    local_.push_back(Entry{name, delta});
   }
 
   /// Forwards a max-semantics update straight to the shared counters.
@@ -94,9 +110,9 @@ class TaskCounters {
   }
 
   void Flush() {
-    for (const auto& [name, value] : local_) {
-      if (value > 0) {
-        shared_->Increment(name, value);
+    for (const Entry& e : local_) {
+      if (e.value > 0) {
+        shared_->Increment(e.name, e.value);
       }
     }
     local_.clear();
@@ -107,8 +123,13 @@ class TaskCounters {
   void DiscardPending() { local_.clear(); }
 
  private:
+  struct Entry {
+    const char* name;
+    uint64_t value;
+  };
+
   Counters* shared_;
-  std::map<std::string, uint64_t> local_;
+  std::vector<Entry> local_;
 };
 
 }  // namespace ngram::mr

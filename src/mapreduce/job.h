@@ -3,16 +3,24 @@
 // Execution model (mirroring Hadoop's local semantics):
 //   1. The input table is split into contiguous row ranges, one per map
 //      task. Map tasks run on up to `map_slots` threads; each owns a
-//      SortBuffer that sorts by (partition, key) and spills past its budget.
-//   2. Reduce task r k-way-merges partition r of every map run under the
-//      job's sort comparator, groups records with the grouping comparator,
-//      and streams each group's values to the reducer.
+//      SortBuffer whose per-partition buckets collect serialized records.
+//      Past the byte budget the buckets are sorted independently under the
+//      job's sort comparator and streamed through a fixed-size SpillWriter
+//      buffer to a run file (partition-major); the final flush stays in
+//      memory only if nothing was ever spilled.
+//   2. Reduce task r merges partition r of every map run with a loser-tree
+//      k-way merge under the sort comparator, groups records with the
+//      grouping comparator, and streams each group's values to the
+//      reducer. File-backed segments are read through buffered zero-copy
+//      readers; merge comparisons see cached encoded-key slices.
 //   3. Reducer outputs are concatenated in reducer order into the output
 //      table; counters and phase wallclocks land in JobMetrics.
 //
 // Map and reduce phases are barrier-separated, and equal keys preserve map
-// emission order (stable sort + stable merge), so job output is fully
+// emission order (stable per-bucket sort + merge ties broken by source
+// index, sources ordered by map task id), so job output is fully
 // deterministic for a fixed input — regardless of slot count.
+// See ROADMAP.md "Shuffle architecture" for the pipeline invariants.
 #pragma once
 
 #include <functional>
@@ -175,6 +183,8 @@ Result<JobMetrics> RunJob(
           opts.comparator = config.sort_comparator;
           opts.combiner = combiner;
           opts.work_dir = work_dir;
+          opts.spill_buffer_bytes = config.spill_buffer_bytes;
+          opts.checksum_spills = config.checksum_spills;
           opts.spill_name_prefix = "map-" + std::to_string(t);
           SortBuffer buffer(opts, &tc);
           typename M::Context ctx(config.partitioner, num_reducers, &buffer,

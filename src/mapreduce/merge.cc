@@ -18,50 +18,71 @@ std::unique_ptr<RecordReader> OpenRunPartition(const SpillRun& run,
 
 KWayMerger::KWayMerger(std::vector<std::unique_ptr<RecordReader>> sources,
                        const RawComparator* comparator)
-    : sources_(std::move(sources)), comparator_(comparator) {}
+    : sources_(std::move(sources)),
+      comparator_(comparator),
+      num_sources_(sources_.size()),
+      keys_(sources_.size()),
+      prefixes_(sources_.size(), 0),
+      exhausted_(sources_.size(), 0),
+      losers_(sources_.size(), kNone) {}
 
 bool KWayMerger::Less(size_t a, size_t b) const {
-  const int c = comparator_->Compare(sources_[a]->key(), sources_[b]->key());
+  if (a == kNone || exhausted_[a]) {
+    return false;
+  }
+  if (b == kNone || exhausted_[b]) {
+    return true;
+  }
+  if (prefixes_[a] != prefixes_[b]) {
+    return prefixes_[a] < prefixes_[b];
+  }
+  const int c = comparator_->Compare(keys_[a], keys_[b]);
   if (c != 0) {
     return c < 0;
   }
   return a < b;  // Stable tie-break by source index.
 }
 
-void KWayMerger::SiftUp(size_t i) {
-  while (i > 0) {
-    const size_t parent = (i - 1) / 2;
-    if (!Less(heap_[i], heap_[parent])) {
-      break;
+void KWayMerger::AdvanceSource(size_t s) {
+  RecordReader* src = sources_[s].get();
+  if (src == nullptr) {
+    exhausted_[s] = 1;
+    return;
+  }
+  if (src->Next()) {
+    keys_[s] = src->key();
+    prefixes_[s] = comparator_->SortPrefix(keys_[s]);
+  } else {
+    if (!src->status().ok() && status_.ok()) {
+      status_ = src->status();
     }
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
+    exhausted_[s] = 1;
+    keys_[s] = Slice();
   }
 }
 
-void KWayMerger::SiftDown(size_t i) {
-  const size_t n = heap_.size();
-  for (;;) {
-    const size_t left = 2 * i + 1;
-    const size_t right = 2 * i + 2;
-    size_t smallest = i;
-    if (left < n && Less(heap_[left], heap_[smallest])) {
-      smallest = left;
-    }
-    if (right < n && Less(heap_[right], heap_[smallest])) {
-      smallest = right;
-    }
-    if (smallest == i) {
-      return;
-    }
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
+size_t KWayMerger::BuildTree(size_t t) {
+  if (t >= num_sources_) {
+    return t - num_sources_;  // Leaf: node k+s holds source s.
   }
+  const size_t left = BuildTree(2 * t);
+  const size_t right = BuildTree(2 * t + 1);
+  if (Less(right, left)) {
+    losers_[t] = left;
+    return right;
+  }
+  losers_[t] = right;
+  return left;
 }
 
-void KWayMerger::PushSource(size_t source) {
-  heap_.push_back(source);
-  SiftUp(heap_.size() - 1);
+void KWayMerger::Replay(size_t s) {
+  size_t winner = s;
+  for (size_t t = (s + num_sources_) / 2; t > 0; t /= 2) {
+    if (Less(losers_[t], winner)) {
+      std::swap(losers_[t], winner);
+    }
+  }
+  winner_ = winner;
 }
 
 bool KWayMerger::Next() {
@@ -70,42 +91,33 @@ bool KWayMerger::Next() {
   }
   if (!started_) {
     started_ = true;
-    for (size_t i = 0; i < sources_.size(); ++i) {
-      if (sources_[i] == nullptr) {
-        continue;
-      }
-      if (sources_[i]->Next()) {
-        PushSource(i);
-      } else if (!sources_[i]->status().ok()) {
-        status_ = sources_[i]->status();
-        return false;
-      }
+    for (size_t s = 0; s < num_sources_; ++s) {
+      AdvanceSource(s);
     }
-  } else if (current_source_ != SIZE_MAX) {
-    // Advance the source we last surfaced, then restore heap order.
-    RecordReader* src = sources_[current_source_].get();
-    if (src->Next()) {
-      SiftDown(0);
-      SiftUp(0);  // Key changed; re-establish both directions.
-    } else {
-      if (!src->status().ok()) {
-        status_ = src->status();
-        return false;
-      }
-      std::swap(heap_.front(), heap_.back());
-      heap_.pop_back();
-      if (!heap_.empty()) {
-        SiftDown(0);
-      }
+    if (!status_.ok()) {
+      return false;
+    }
+    if (num_sources_ == 0) {
+      return false;
+    }
+    winner_ = num_sources_ == 1 ? 0 : BuildTree(1);
+  } else if (winner_ != kNone) {
+    // Pull the next record of the source we last surfaced, then replay its
+    // path to the root; every other node of the tree is unaffected.
+    AdvanceSource(winner_);
+    if (!status_.ok()) {
+      return false;
+    }
+    if (num_sources_ > 1) {
+      Replay(winner_);
     }
   }
-  if (heap_.empty()) {
-    current_source_ = SIZE_MAX;
+  if (winner_ == kNone || exhausted_[winner_]) {
+    winner_ = kNone;
     return false;
   }
-  current_source_ = heap_.front();
-  current_key_ = sources_[current_source_]->key();
-  current_value_ = sources_[current_source_]->value();
+  current_key_ = keys_[winner_];
+  current_value_ = sources_[winner_]->value();
   return true;
 }
 

@@ -1,6 +1,11 @@
 // Reduce-side k-way merge over sorted run segments, preserving the map
 // task emission order for equal keys (stable by source index) so reducer
 // input is deterministic.
+//
+// The merge is a loser tree (tournament tree): advancing the winner costs
+// exactly ceil(log2 k) comparisons — half of a binary heap's sift-down +
+// sift-up — and every comparison reads the cached encoded-key slice of a
+// source instead of a virtual key() call.
 #pragma once
 
 #include <memory>
@@ -33,21 +38,28 @@ class KWayMerger {
   const Status& status() const { return status_; }
 
  private:
-  struct HeapEntry {
-    size_t source;
-  };
+  static constexpr size_t kNone = SIZE_MAX;
 
+  /// Strict weak order over sources by cached key; exhausted sources rank
+  /// last, ties break on source index for stability.
   bool Less(size_t a, size_t b) const;
-  void SiftUp(size_t i);
-  void SiftDown(size_t i);
-  void PushSource(size_t source);
+  /// Pulls the next record of source `s`, refreshing its cached key.
+  void AdvanceSource(size_t s);
+  /// Builds the loser tree rooted at internal node `t`; returns the winner.
+  size_t BuildTree(size_t t);
+  /// Replays source `s` from its leaf to the root after it changed.
+  void Replay(size_t s);
 
   std::vector<std::unique_ptr<RecordReader>> sources_;
   const RawComparator* comparator_;
-  std::vector<size_t> heap_;  // Indices into sources_, min-heap by key.
+  size_t num_sources_;                 // Tree leaf count.
+  std::vector<Slice> keys_;            // Cached current key per source.
+  std::vector<uint64_t> prefixes_;     // Cached sort-key prefix per source.
+  std::vector<uint8_t> exhausted_;     // Per source.
+  std::vector<size_t> losers_;         // Internal nodes 1..k-1.
+  size_t winner_ = kNone;
   Slice current_key_;
   Slice current_value_;
-  size_t current_source_ = SIZE_MAX;
   bool started_ = false;
   Status status_;
 };

@@ -91,10 +91,11 @@ bool FileRecordReader::Next() {
     }
     return false;
   }
-  record_buf_.assign(buffer_.data() + pos_, body);
+  // Zero-copy: FillAtLeast guaranteed the whole record is contiguous in
+  // the buffer, and nothing moves it before the next Next() call.
+  key_ = Slice(buffer_.data() + pos_, klen);
+  value_ = Slice(buffer_.data() + pos_ + klen, vlen);
   pos_ += body;
-  key_ = Slice(record_buf_.data(), klen);
-  value_ = Slice(record_buf_.data() + klen, vlen);
   return true;
 }
 

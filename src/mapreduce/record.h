@@ -74,8 +74,9 @@ class MemoryRecordReader final : public RecordReader {
 
 /// Buffered reader over a byte extent of a spill file.
 ///
-/// Each record is copied once into an owned buffer so the key()/value()
-/// slices stay valid until the following Next() call.
+/// Records are surfaced zero-copy: key()/value() point straight into the
+/// read buffer, and stay valid until the following Next() call (which may
+/// compact or refill the buffer).
 class FileRecordReader final : public RecordReader {
  public:
   /// Reads `length` bytes starting at `offset` of `path`.
@@ -95,7 +96,6 @@ class FileRecordReader final : public RecordReader {
   std::string buffer_;
   size_t pos_ = 0;
   size_t limit_ = 0;
-  std::string record_buf_;
   size_t buffer_capacity_;
 };
 

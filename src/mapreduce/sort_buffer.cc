@@ -1,52 +1,11 @@
 #include "mapreduce/sort_buffer.h"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
+#include <limits>
 
 #include "util/logging.h"
 
 namespace ngram::mr {
-
-SortBuffer::SortBuffer(Options options, TaskCounters* counters)
-    : options_(std::move(options)), counters_(counters) {
-  arena_.reserve(std::min<size_t>(options_.budget_bytes, 1 << 20));
-}
-
-Status SortBuffer::Add(uint32_t partition, Slice key, Slice value) {
-  if (partition >= options_.num_partitions) {
-    return Status::InvalidArgument("partition out of range");
-  }
-  RecordRef ref;
-  ref.partition = partition;
-  ref.key_offset = static_cast<uint32_t>(arena_.size());
-  ref.key_len = static_cast<uint32_t>(key.size());
-  arena_.append(key.data(), key.size());
-  ref.value_offset = static_cast<uint32_t>(arena_.size());
-  ref.value_len = static_cast<uint32_t>(value.size());
-  arena_.append(value.data(), value.size());
-  refs_.push_back(ref);
-
-  const size_t footprint = arena_.size() + refs_.size() * sizeof(RecordRef);
-  if (footprint >= options_.budget_bytes) {
-    NGRAM_RETURN_NOT_OK(SpillSorted(/*final_flush=*/false));
-  }
-  return Status::OK();
-}
-
-void SortBuffer::SortRefs() {
-  const RawComparator* cmp = options_.comparator;
-  const char* arena = arena_.data();
-  std::stable_sort(refs_.begin(), refs_.end(),
-                   [cmp, arena](const RecordRef& a, const RecordRef& b) {
-                     if (a.partition != b.partition) {
-                       return a.partition < b.partition;
-                     }
-                     return cmp->Compare(
-                                Slice(arena + a.key_offset, a.key_len),
-                                Slice(arena + b.key_offset, b.key_len)) < 0;
-                   });
-}
 
 namespace {
 
@@ -60,91 +19,184 @@ class StringRunSink final : public RecordSink {
     return Status::OK();
   }
   uint64_t num_records() const { return num_records_; }
-  void ResetCount() { num_records_ = 0; }
 
  private:
   std::string* out_;
   uint64_t num_records_ = 0;
 };
 
-}  // namespace
-
-Status SortBuffer::WriteRun(bool to_memory, SpillRun* run) {
-  run->segments.assign(options_.num_partitions, RunSegment{});
-  std::string& data = run->memory_data;
-  StringRunSink sink(&data);
-
-  const char* arena = arena_.data();
-  size_t i = 0;
-  for (uint32_t p = 0; p < options_.num_partitions; ++p) {
-    RunSegment& seg = run->segments[p];
-    seg.offset = data.size();
-    sink.ResetCount();
-    while (i < refs_.size() && refs_[i].partition == p) {
-      if (options_.combiner) {
-        // Collect the group of equal keys for this partition.
-        const size_t group_start = i;
-        const Slice group_key(arena + refs_[i].key_offset, refs_[i].key_len);
-        std::vector<Slice> values;
-        while (i < refs_.size() && refs_[i].partition == p &&
-               options_.comparator->Compare(
-                   Slice(arena + refs_[i].key_offset, refs_[i].key_len),
-                   group_key) == 0) {
-          values.emplace_back(arena + refs_[i].value_offset,
-                              refs_[i].value_len);
-          ++i;
-        }
-        counters_->Increment(kCombineInputRecords, i - group_start);
-        const uint64_t before = sink.num_records();
-        NGRAM_RETURN_NOT_OK(options_.combiner(group_key, values, &sink));
-        counters_->Increment(kCombineOutputRecords,
-                             sink.num_records() - before);
-      } else {
-        const RecordRef& r = refs_[i];
-        NGRAM_RETURN_NOT_OK(
-            sink.Append(Slice(arena + r.key_offset, r.key_len),
-                        Slice(arena + r.value_offset, r.value_len)));
-        ++i;
-      }
-    }
-    seg.length = data.size() - seg.offset;
-    seg.num_records = sink.num_records();
+/// Sink that streams framed records through a SpillWriter.
+class SpillWriterSink final : public RecordSink {
+ public:
+  explicit SpillWriterSink(SpillWriter* writer) : writer_(writer) {}
+  Status Append(Slice key, Slice value) override {
+    return writer_->Append(key, value);
   }
 
-  if (!to_memory) {
-    // Persist to a spill file and drop the in-memory copy.
-    char name[64];
-    snprintf(name, sizeof(name), "/%s-%06llu.run",
-             options_.spill_name_prefix.c_str(),
-             static_cast<unsigned long long>(spill_file_seq_++));
-    run->file_path = options_.work_dir + name;
-    FILE* f = fopen(run->file_path.c_str(), "wb");
-    if (f == nullptr) {
-      return Status::IOError("create spill " + run->file_path + ": " +
-                             strerror(errno));
+ private:
+  SpillWriter* writer_;
+};
+
+}  // namespace
+
+SortBuffer::SortBuffer(Options options, TaskCounters* counters)
+    : options_(std::move(options)), counters_(counters) {
+  buckets_.resize(options_.num_partitions);
+}
+
+Status SortBuffer::Add(uint32_t partition, Slice key, Slice value) {
+  if (partition >= options_.num_partitions) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  const size_t record_bytes = key.size() + value.size();
+  const size_t arena_cap =
+      std::min<size_t>(options_.arena_limit_bytes,
+                       std::numeric_limits<uint32_t>::max());
+  if (record_bytes > arena_cap - buckets_[partition].arena.size()) {
+    // RecordRef offsets are 32-bit; never let an arena outgrow them.
+    // Spilling frees the arena; only a record that can never fit is an
+    // error.
+    if (record_bytes > arena_cap) {
+      return Status::InvalidArgument(
+          "record of " + std::to_string(record_bytes) +
+          " bytes cannot fit the sort buffer arena offset space (" +
+          std::to_string(arena_cap) + " bytes)");
     }
-    const size_t written = fwrite(data.data(), 1, data.size(), f);
-    const int close_rc = fclose(f);
-    if (written != data.size() || close_rc != 0) {
-      return Status::IOError("write spill " + run->file_path);
-    }
-    uint64_t total_records = 0;
-    for (const auto& seg : run->segments) {
-      total_records += seg.num_records;
-    }
-    counters_->Increment(kSpilledRecords, total_records);
-    counters_->Increment(kSpillFiles, 1);
-    run->memory_data.clear();
-    run->memory_data.shrink_to_fit();
+    NGRAM_RETURN_NOT_OK(SpillSorted(/*final_flush=*/false));
+  }
+  Bucket& bucket = buckets_[partition];
+  RecordRef ref;
+  ref.sort_prefix = options_.comparator->SortPrefix(key);
+  ref.key_offset = static_cast<uint32_t>(bucket.arena.size());
+  ref.key_len = static_cast<uint32_t>(key.size());
+  ref.value_len = static_cast<uint32_t>(value.size());
+  bucket.arena.append(key.data(), key.size());
+  bucket.arena.append(value.data(), value.size());
+  bucket.refs.push_back(ref);
+  bytes_used_ += record_bytes + kRecordOverhead;
+
+  if (bytes_used_ >= options_.budget_bytes) {
+    NGRAM_RETURN_NOT_OK(SpillSorted(/*final_flush=*/false));
   }
   return Status::OK();
 }
 
-Status SortBuffer::SpillSorted(bool final_flush) {
-  if (refs_.empty()) {
+void SortBuffer::SortBuckets() {
+  const RawComparator* cmp = options_.comparator;
+  for (Bucket& bucket : buckets_) {
+    if (bucket.refs.size() < 2) {
+      continue;
+    }
+    const char* arena = bucket.arena.data();
+    std::stable_sort(bucket.refs.begin(), bucket.refs.end(),
+                     [cmp, arena](const RecordRef& a, const RecordRef& b) {
+                       if (a.sort_prefix != b.sort_prefix) {
+                         return a.sort_prefix < b.sort_prefix;
+                       }
+                       return cmp->Compare(
+                                  Slice(arena + a.key_offset, a.key_len),
+                                  Slice(arena + b.key_offset, b.key_len)) < 0;
+                     });
+  }
+}
+
+Status SortBuffer::EmitBucket(const Bucket& bucket, RecordSink* sink) {
+  const char* arena = bucket.arena.data();
+  const std::vector<RecordRef>& refs = bucket.refs;
+  if (!options_.combiner) {
+    for (const RecordRef& r : refs) {
+      NGRAM_RETURN_NOT_OK(sink->Append(
+          Slice(arena + r.key_offset, r.key_len),
+          Slice(arena + r.key_offset + r.key_len, r.value_len)));
+    }
     return Status::OK();
   }
-  SortRefs();
+  size_t i = 0;
+  while (i < refs.size()) {
+    // Collect the group of comparator-equal keys.
+    const Slice group_key(arena + refs[i].key_offset, refs[i].key_len);
+    combine_values_.clear();
+    while (i < refs.size() &&
+           options_.comparator->Compare(
+               Slice(arena + refs[i].key_offset, refs[i].key_len),
+               group_key) == 0) {
+      combine_values_.emplace_back(
+          arena + refs[i].key_offset + refs[i].key_len, refs[i].value_len);
+      ++i;
+    }
+    counters_->Increment(kCombineInputRecords, combine_values_.size());
+    NGRAM_RETURN_NOT_OK(options_.combiner(group_key, combine_values_, sink));
+  }
+  return Status::OK();
+}
+
+Status SortBuffer::WriteRunToMemory(SpillRun* run) {
+  run->segments.assign(options_.num_partitions, RunSegment{});
+  std::string& data = run->memory_data;
+  for (uint32_t p = 0; p < options_.num_partitions; ++p) {
+    RunSegment& seg = run->segments[p];
+    seg.offset = data.size();
+    StringRunSink sink(&data);
+    NGRAM_RETURN_NOT_OK(EmitBucket(buckets_[p], &sink));
+    seg.length = data.size() - seg.offset;
+    seg.num_records = sink.num_records();
+    if (options_.combiner) {
+      counters_->Increment(kCombineOutputRecords, sink.num_records());
+    }
+  }
+  return Status::OK();
+}
+
+Status SortBuffer::WriteRunToFile(SpillRun* run) {
+  run->segments.assign(options_.num_partitions, RunSegment{});
+  char name[64];
+  snprintf(name, sizeof(name), "/%s-%06llu.run",
+           options_.spill_name_prefix.c_str(),
+           static_cast<unsigned long long>(spill_file_seq_++));
+  run->file_path = options_.work_dir + name;
+
+  SpillWriter::Options writer_options;
+  // Framed output never exceeds bytes_used_ (record headers are smaller
+  // than the per-record ref overhead), so small spills get a small buffer.
+  writer_options.buffer_bytes =
+      std::max<size_t>(1, std::min(options_.spill_buffer_bytes, bytes_used_));
+  writer_options.checksum = options_.checksum_spills;
+  SpillWriter writer(run->file_path, writer_options);
+  NGRAM_RETURN_NOT_OK(writer.Open());
+
+  uint64_t total_records = 0;
+  for (uint32_t p = 0; p < options_.num_partitions; ++p) {
+    RunSegment& seg = run->segments[p];
+    seg.offset = writer.bytes_written();
+    const uint64_t records_before = writer.records_written();
+    SpillWriterSink sink(&writer);
+    Status st = EmitBucket(buckets_[p], &sink);
+    if (!st.ok()) {
+      writer.Abandon();  // Unlinks the partially written spill file.
+      return st;
+    }
+    seg.length = writer.bytes_written() - seg.offset;
+    seg.num_records = writer.records_written() - records_before;
+    total_records += seg.num_records;
+    if (options_.combiner) {
+      counters_->Increment(kCombineOutputRecords, seg.num_records);
+    }
+  }
+  NGRAM_RETURN_NOT_OK(writer.Close());  // Close() unlinks on failure.
+  if (options_.checksum_spills) {
+    run->crc32 = writer.crc32();
+    run->has_crc = true;
+  }
+  counters_->Increment(kSpilledRecords, total_records);
+  counters_->Increment(kSpillFiles, 1);
+  return Status::OK();
+}
+
+Status SortBuffer::SpillSorted(bool final_flush) {
+  if (bytes_used_ == 0) {
+    return Status::OK();
+  }
+  SortBuckets();
   // Keep the final flush in memory only if nothing was spilled before —
   // otherwise all runs go to disk so memory stays bounded.
   const bool to_memory = final_flush && runs_.empty();
@@ -153,13 +205,17 @@ Status SortBuffer::SpillSorted(bool final_flush) {
         "SortBuffer budget exceeded but no work_dir configured");
   }
   SpillRun run;
-  NGRAM_RETURN_NOT_OK(WriteRun(to_memory, &run));
+  NGRAM_RETURN_NOT_OK(to_memory ? WriteRunToMemory(&run)
+                                : WriteRunToFile(&run));
   runs_.push_back(std::move(run));
   if (!to_memory) {
     ++spill_count_;
   }
-  arena_.clear();
-  refs_.clear();
+  for (Bucket& bucket : buckets_) {
+    bucket.arena.clear();
+    bucket.refs.clear();
+  }
+  bytes_used_ = 0;
   return Status::OK();
 }
 

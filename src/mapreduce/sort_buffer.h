@@ -1,7 +1,13 @@
-// Map-side sort buffer: accumulates emitted records, sorts them by
-// (partition, key) under the job's raw comparator, optionally runs the
-// combiner, and spills sorted runs to disk when a byte budget is exceeded —
-// the same mechanics as Hadoop's MapOutputBuffer.
+// Map-side sort buffer: accumulates emitted records, sorts them by key
+// under the job's raw comparator, optionally runs the combiner, and spills
+// sorted runs to disk when a byte budget is exceeded — the same mechanics
+// as Hadoop's MapOutputBuffer.
+//
+// Layout: records land directly in their destination partition's bucket
+// (arena + ref vector), so sorting is per-bucket and comparisons never
+// branch on the partition, and a run's partition-major order falls out of
+// bucket iteration instead of a sort key. Spills stream through a
+// fixed-size SpillWriter buffer; a run is never materialized in memory.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,7 @@
 #include "mapreduce/comparator.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/record.h"
+#include "mapreduce/spill_writer.h"
 #include "util/macros.h"
 #include "util/status.h"
 
@@ -31,6 +38,8 @@ struct SpillRun {
   std::string file_path;        // Empty when in-memory.
   std::string memory_data;      // Used when file_path is empty.
   std::vector<RunSegment> segments;  // Indexed by partition.
+  uint32_t crc32 = 0;           // Whole-file CRC when checksummed.
+  bool has_crc = false;
 
   bool in_memory() const { return file_path.empty(); }
 };
@@ -42,10 +51,10 @@ using RawCombineFn = std::function<Status(
 
 /// \brief Collects map output for one task and produces sorted runs.
 ///
-/// Add() appends records tagged with their partition; when the accumulated
-/// bytes exceed `budget_bytes` the buffer sorts and spills to a file in
-/// `work_dir`. Finish() flushes the remainder (kept in memory if nothing
-/// was ever spilled) and returns all runs.
+/// Add() appends records into their partition's bucket; when the
+/// accumulated bytes exceed `budget_bytes` the buckets are sorted and
+/// streamed to a spill file in `work_dir`. Finish() flushes the remainder
+/// (kept in memory if nothing was ever spilled) and returns all runs.
 class SortBuffer {
  public:
   struct Options {
@@ -55,12 +64,23 @@ class SortBuffer {
     RawCombineFn combiner;        // Optional.
     std::string work_dir;         // Required if spills can happen.
     std::string spill_name_prefix = "spill";
+    /// Size of the streaming spill write buffer.
+    size_t spill_buffer_bytes = SpillWriter::kDefaultBufferBytes;
+    /// Maintain a per-run CRC-32 on spill files (off on the hot path).
+    bool checksum_spills = false;
+    /// Hard cap on one partition's arena: RecordRef offsets are 32-bit,
+    /// so this can never exceed 4 GiB (values above are clamped). Only
+    /// tests lower it.
+    size_t arena_limit_bytes = 0xffffffffu;
   };
 
   SortBuffer(Options options, TaskCounters* counters);
   NGRAM_DISALLOW_COPY_AND_ASSIGN(SortBuffer);
 
-  /// Appends one record destined for `partition`.
+  /// Appends one record destined for `partition`. Records larger than the
+  /// budget are admitted and spill immediately; a record that cannot fit
+  /// the 32-bit arena offset space at all is rejected with
+  /// InvalidArgument instead of silently wrapping offsets.
   Status Add(uint32_t partition, Slice key, Slice value);
 
   /// Sorts/flushes the tail and moves all runs to `*runs`.
@@ -69,22 +89,39 @@ class SortBuffer {
   uint64_t spill_count() const { return spill_count_; }
 
  private:
+  /// Reference to one record inside its bucket's arena. Value bytes
+  /// immediately follow the key bytes, so one offset locates both. The
+  /// cached sort-key prefix resolves most comparisons without touching
+  /// the arena.
   struct RecordRef {
-    uint32_t partition;
-    uint32_t key_offset;   // Into arena_.
+    uint64_t sort_prefix;  // RawComparator::SortPrefix of the key.
+    uint32_t key_offset;   // Into the bucket's arena.
     uint32_t key_len;
-    uint32_t value_offset;
     uint32_t value_len;
   };
 
+  /// Bytes a record occupies in the buffer beyond its key/value payload.
+  static constexpr size_t kRecordOverhead = sizeof(RecordRef);
+
+  /// Per-partition record storage; sorted independently of other buckets.
+  struct Bucket {
+    std::string arena;
+    std::vector<RecordRef> refs;
+  };
+
   Status SpillSorted(bool final_flush);
-  void SortRefs();
-  Status WriteRun(bool to_memory, SpillRun* run);
+  void SortBuckets();
+  /// Emits one sorted bucket (optionally through the combiner) into `sink`,
+  /// which is either the in-memory run sink or the spill-writer sink.
+  Status EmitBucket(const Bucket& bucket, RecordSink* sink);
+  Status WriteRunToMemory(SpillRun* run);
+  Status WriteRunToFile(SpillRun* run);
 
   const Options options_;
   TaskCounters* counters_;
-  std::string arena_;
-  std::vector<RecordRef> refs_;
+  std::vector<Bucket> buckets_;
+  size_t bytes_used_ = 0;  // Arenas + refs, across all buckets.
+  std::vector<Slice> combine_values_;  // Reused across combiner groups.
   std::vector<SpillRun> runs_;
   uint64_t spill_count_ = 0;
   uint64_t spill_file_seq_ = 0;

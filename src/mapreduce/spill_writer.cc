@@ -1,0 +1,185 @@
+#include "mapreduce/spill_writer.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "encoding/varint.h"
+
+namespace ngram::mr {
+
+namespace {
+
+/// Lazily built table for the zlib CRC-32 polynomial (reflected).
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(uint32_t crc, const char* data, size_t n) {
+  const uint32_t* table = Crc32Table();
+  uint32_t c = crc ^ 0xffffffffu;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+SpillWriter::SpillWriter(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {}
+
+SpillWriter::~SpillWriter() {
+  if (!closed_) {
+    Abandon();
+  }
+}
+
+Status SpillWriter::Open() {
+  file_ = fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    closed_ = true;  // Nothing to unlink; fail all later calls.
+    close_status_ =
+        Status::IOError("create spill " + path_ + ": " + strerror(errno));
+    return close_status_;
+  }
+  opened_ = true;
+  buffer_ = std::make_unique<char[]>(options_.buffer_bytes);
+  return Status::OK();
+}
+
+Status SpillWriter::WriteDirect(const char* data, size_t n) {
+  if (fwrite(data, 1, n, file_) != n) {
+    return Status::IOError("write spill " + path_ + ": " + strerror(errno));
+  }
+  if (options_.checksum) {
+    crc_ = Crc32(crc_, data, n);
+  }
+  return Status::OK();
+}
+
+Status SpillWriter::FlushBuffer() {
+  if (buffered_ == 0) {
+    return Status::OK();
+  }
+  Status st = WriteDirect(buffer_.get(), buffered_);
+  buffered_ = 0;
+  return st;
+}
+
+Status SpillWriter::Append(Slice key, Slice value) {
+  if (closed_) {
+    return close_status_.ok() ? Status::Internal("spill writer closed")
+                              : close_status_;
+  }
+  char header[2 * kMaxVarint64Bytes];
+  char* header_end = EncodeVarint64To(header, key.size());
+  header_end = EncodeVarint64To(header_end, value.size());
+  const size_t header_len = static_cast<size_t>(header_end - header);
+
+  const size_t framed = header_len + key.size() + value.size();
+  if (buffered_ + framed > options_.buffer_bytes) {
+    Status st = FlushBuffer();
+    if (!st.ok()) {
+      Abandon();
+      return st;
+    }
+  }
+  if (framed > options_.buffer_bytes) {
+    // Oversized record: bypass the buffer (now empty) entirely.
+    Status st = WriteDirect(header, header_len);
+    if (st.ok() && !key.empty()) st = WriteDirect(key.data(), key.size());
+    if (st.ok() && !value.empty()) {
+      st = WriteDirect(value.data(), value.size());
+    }
+    if (!st.ok()) {
+      Abandon();
+      return st;
+    }
+  } else {
+    char* dst = buffer_.get() + buffered_;
+    memcpy(dst, header, header_len);
+    dst += header_len;
+    memcpy(dst, key.data(), key.size());
+    dst += key.size();
+    memcpy(dst, value.data(), value.size());
+    buffered_ += framed;
+  }
+  bytes_written_ += framed;
+  ++records_written_;
+  return Status::OK();
+}
+
+Status SpillWriter::Close() {
+  if (closed_) {
+    return close_status_;
+  }
+  if (file_ == nullptr) {
+    closed_ = true;
+    close_status_ = Status::Internal("spill writer never opened");
+    return close_status_;
+  }
+  Status st = FlushBuffer();
+  const int close_rc = fclose(file_);
+  file_ = nullptr;
+  closed_ = true;
+  if (st.ok() && close_rc != 0) {
+    st = Status::IOError("close spill " + path_ + ": " + strerror(errno));
+  }
+  if (!st.ok()) {
+    unlink(path_.c_str());
+  }
+  close_status_ = st;
+  return st;
+}
+
+void SpillWriter::Abandon() {
+  if (file_ != nullptr) {
+    fclose(file_);
+    file_ = nullptr;
+  }
+  if (opened_) {
+    unlink(path_.c_str());
+  }
+  closed_ = true;
+  if (close_status_.ok()) {
+    close_status_ = Status::Internal("spill writer abandoned");
+  }
+}
+
+Status VerifySpillFileCrc32(const std::string& path, uint32_t expected) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("open spill " + path + ": " + strerror(errno));
+  }
+  char buf[64 * 1024];
+  uint32_t crc = 0;
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) {
+    crc = Crc32(crc, buf, n);
+  }
+  const bool read_error = ferror(f) != 0;
+  fclose(f);
+  if (read_error) {
+    return Status::IOError("read spill " + path);
+  }
+  if (crc != expected) {
+    return Status::Corruption("spill CRC mismatch for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ngram::mr

@@ -1,0 +1,95 @@
+// Streaming spill-file writer used by the map-side shuffle.
+//
+// Records stream through a fixed-size write buffer straight to disk, so
+// spilling a run never materializes it in memory (the pre-refactor path
+// doubled peak memory by building the whole run in a std::string first).
+// Framing is the shared shuffle record format ([klen][vlen][key][value],
+// see record.h); every record is appended atomically with respect to the
+// buffer, so each flushed block starts and ends on record boundaries and a
+// per-run CRC can be maintained incrementally as bytes leave the buffer.
+//
+// Error handling: any write failure (and Abandon()) unlinks the partially
+// written file so failed task attempts never leak spill files.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "util/macros.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace ngram::mr {
+
+/// Incremental CRC-32 (zlib polynomial). `crc` is the running value,
+/// starting at 0 for a fresh stream.
+uint32_t Crc32(uint32_t crc, const char* data, size_t n);
+
+/// \brief Buffered, streaming writer for one spill run.
+///
+/// Usage: Open(), Append() records, then Close(). bytes_written() is the
+/// logical file offset (buffered bytes included), which callers use to
+/// record per-partition segment extents while streaming.
+class SpillWriter {
+ public:
+  static constexpr size_t kDefaultBufferBytes = 256 * 1024;
+
+  struct Options {
+    size_t buffer_bytes = kDefaultBufferBytes;
+    /// Maintain a CRC-32 of every byte written (costs one table lookup per
+    /// byte on flush; off by default on the hot path).
+    bool checksum = false;
+  };
+
+  explicit SpillWriter(std::string path) : SpillWriter(std::move(path), {}) {}
+  SpillWriter(std::string path, Options options);
+  ~SpillWriter();
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(SpillWriter);
+
+  /// Creates/truncates the file. Must be called before Append().
+  Status Open();
+
+  /// Appends one framed record.
+  Status Append(Slice key, Slice value);
+
+  /// Flushes the buffer and closes the file. On failure the partial file
+  /// is unlinked. Idempotent: later calls return the first result.
+  Status Close();
+
+  /// Closes (if open) and unlinks the file — but only a file this writer
+  /// actually created; a never-opened writer leaves the path untouched.
+  /// Used on task-attempt failure.
+  void Abandon();
+
+  /// Logical bytes appended so far (including still-buffered bytes).
+  uint64_t bytes_written() const { return bytes_written_; }
+  /// Records appended so far.
+  uint64_t records_written() const { return records_written_; }
+  /// Running CRC-32 of all appended bytes; 0 unless options.checksum.
+  uint32_t crc32() const { return crc_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Status FlushBuffer();
+  Status WriteDirect(const char* data, size_t n);
+
+  const std::string path_;
+  const Options options_;
+  FILE* file_ = nullptr;
+  std::unique_ptr<char[]> buffer_;
+  size_t buffered_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t records_written_ = 0;
+  uint32_t crc_ = 0;
+  bool opened_ = false;  // This writer created the file at path_.
+  bool closed_ = false;
+  Status close_status_;
+};
+
+/// Recomputes the CRC-32 of `path` and checks it against `expected`.
+/// Returns Corruption on mismatch (used by tests and recovery tooling).
+Status VerifySpillFileCrc32(const std::string& path, uint32_t expected);
+
+}  // namespace ngram::mr

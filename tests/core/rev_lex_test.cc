@@ -127,6 +127,53 @@ TEST(ReverseLexTest, MultiByteVarintTermsCompareNumerically) {
   EXPECT_LT(CompareSeqs({1, 70000}, {1, 69999}), 0);
 }
 
+TEST(ReverseLexTest, SortPrefixIsConsistentWithCompare) {
+  // The shuffle's cached-prefix contract: differing prefixes must order
+  // exactly like the full comparator (equal prefixes imply nothing).
+  const auto* cmp = ReverseLexSequenceComparator::Instance();
+  Rng rng(23);
+  for (int i = 0; i < 20000; ++i) {
+    TermSequence a, b;
+    const uint64_t la = rng.Uniform(5);
+    const uint64_t lb = rng.Uniform(5);
+    for (uint64_t j = 0; j < la; ++j) {
+      a.push_back(1 + static_cast<TermId>(rng.Uniform(200000)));
+    }
+    for (uint64_t j = 0; j < lb; ++j) {
+      b.push_back(1 + static_cast<TermId>(rng.Uniform(200000)));
+    }
+    const std::string ea = SerializeToString(a);
+    const std::string eb = SerializeToString(b);
+    const uint64_t pa = cmp->SortPrefix(Slice(ea));
+    const uint64_t pb = cmp->SortPrefix(Slice(eb));
+    if (pa != pb) {
+      ASSERT_EQ(pa < pb, cmp->Compare(Slice(ea), Slice(eb)) < 0)
+          << SequenceToDebugString(a) << " vs " << SequenceToDebugString(b);
+    }
+  }
+}
+
+TEST(BytewiseSortPrefixTest, IsConsistentWithCompare) {
+  const auto* cmp = mr::BytewiseComparator::Instance();
+  Rng rng(29);
+  for (int i = 0; i < 20000; ++i) {
+    std::string a, b;
+    const uint64_t la = rng.Uniform(12);
+    const uint64_t lb = rng.Uniform(12);
+    for (uint64_t j = 0; j < la; ++j) {
+      a.push_back(static_cast<char>(rng.Uniform(4)));
+    }
+    for (uint64_t j = 0; j < lb; ++j) {
+      b.push_back(static_cast<char>(rng.Uniform(4)));
+    }
+    const uint64_t pa = cmp->SortPrefix(Slice(a));
+    const uint64_t pb = cmp->SortPrefix(Slice(b));
+    if (pa != pb) {
+      ASSERT_EQ(pa < pb, cmp->Compare(Slice(a), Slice(b)) < 0);
+    }
+  }
+}
+
 TEST(FirstTermPartitionerTest, DependsOnlyOnFirstTerm) {
   const auto* partitioner = FirstTermPartitioner::Instance();
   for (TermId first : {1u, 2u, 77u, 70000u}) {

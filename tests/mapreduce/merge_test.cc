@@ -71,6 +71,65 @@ TEST(KWayMergerTest, StableAcrossSourcesForEqualKeys) {
             (std::vector<std::string>{"from0", "from1", "from2"}));
 }
 
+TEST(KWayMergerTest, StableForEqualKeysInterleavedWithOtherKeys) {
+  // Loser-tree stability under replay: equal keys must surface in source
+  // order even when sources advance at different rates between ties.
+  std::vector<std::string> storage;
+  storage.reserve(8);
+  std::vector<std::unique_ptr<RecordReader>> sources;
+  sources.push_back(
+      MemorySource({{"a", "a0"}, {"k", "k0"}, {"z", "z0"}}, &storage));
+  sources.push_back(MemorySource({{"k", "k1"}, {"k", "k1b"}}, &storage));
+  sources.push_back(
+      MemorySource({{"b", "b2"}, {"k", "k2"}, {"q", "q2"}}, &storage));
+  KWayMerger merger(std::move(sources), BytewiseComparator::Instance());
+  std::vector<std::string> values;
+  while (merger.Next()) {
+    values.push_back(merger.value().ToString());
+  }
+  EXPECT_EQ(values, (std::vector<std::string>{"a0", "b2", "k0", "k1", "k1b",
+                                              "k2", "q2", "z0"}));
+}
+
+TEST(KWayMergerTest, RandomizedStabilityWithDuplicateKeys) {
+  // Values encode (source, position); for every key the merged order must
+  // be source-major, position-minor — map-emission order.
+  Rng rng(77);
+  std::vector<std::string> storage;
+  storage.reserve(16);
+  std::vector<std::unique_ptr<RecordReader>> sources;
+  for (int s = 0; s < 9; ++s) {
+    std::vector<std::pair<std::string, std::string>> records;
+    const uint64_t n = 20 + rng.Uniform(30);
+    for (uint64_t i = 0; i < n; ++i) {
+      records.emplace_back("key" + std::to_string(rng.Uniform(5)), "");
+    }
+    std::sort(records.begin(), records.end());
+    for (uint64_t i = 0; i < records.size(); ++i) {
+      records[i].second = std::to_string(s) + ":" + std::to_string(i);
+    }
+    sources.push_back(MemorySource(records, &storage));
+  }
+  KWayMerger merger(std::move(sources), BytewiseComparator::Instance());
+  std::string prev_key;
+  std::pair<int, int> prev_value{-1, -1};
+  while (merger.Next()) {
+    const std::string k = merger.key().ToString();
+    const std::string v = merger.value().ToString();
+    const auto colon = v.find(':');
+    const std::pair<int, int> sv{std::stoi(v.substr(0, colon)),
+                                 std::stoi(v.substr(colon + 1))};
+    if (k == prev_key) {
+      EXPECT_LT(prev_value, sv) << "key " << k;
+    } else {
+      EXPECT_LT(prev_key, k);
+    }
+    prev_key = k;
+    prev_value = sv;
+  }
+  EXPECT_TRUE(merger.status().ok());
+}
+
 TEST(KWayMergerTest, RandomizedManySources) {
   Rng rng(31);
   std::vector<std::string> all_keys;

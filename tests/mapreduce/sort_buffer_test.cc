@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 
 #include "encoding/serde.h"
 #include "mapreduce/job.h"
 #include "mapreduce/merge.h"
+#include "mapreduce/spill_writer.h"
 #include "util/temp_dir.h"
 
 namespace ngram::mr {
@@ -187,6 +189,188 @@ TEST_F(SortBufferTest, PartitionOutOfRangeRejected) {
   TaskCounters tc(&counters);
   SortBuffer buffer(Opts(2, 1 << 20), &tc);
   EXPECT_TRUE(buffer.Add(2, "k", "v").IsInvalidArgument());
+}
+
+TEST_F(SortBufferTest, RecordExactlyAtBudgetSpillsAndSurvives) {
+  Counters counters;
+  TaskCounters tc(&counters);
+  const size_t budget = 256;
+  SortBuffer buffer(Opts(1, budget), &tc);
+  // Key + value + the 24-byte RecordRef land exactly on the budget.
+  const std::string key(100, 'k');
+  const std::string value(budget - key.size() - 24, 'v');
+  ASSERT_TRUE(buffer.Add(0, key, value).ok());
+  ASSERT_TRUE(buffer.Add(0, "tail", "t").ok());
+  std::vector<SpillRun> runs;
+  ASSERT_TRUE(buffer.Finish(&runs).ok());
+  EXPECT_EQ(buffer.spill_count(), 2u);  // Boundary spill + final flush.
+  size_t total = 0;
+  for (const auto& run : runs) {
+    total += ReadPartition(run, 0).size();
+  }
+  EXPECT_EQ(total, 2u);
+}
+
+TEST_F(SortBufferTest, RecordLargerThanBudgetStreamsThroughSpill) {
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer buffer(Opts(1, 128), &tc);
+  const std::string huge(4096, 'h');
+  ASSERT_TRUE(buffer.Add(0, "big", huge).ok());
+  std::vector<SpillRun> runs;
+  ASSERT_TRUE(buffer.Finish(&runs).ok());
+  ASSERT_EQ(runs.size(), 1u);
+  auto records = ReadPartition(runs[0], 0);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].second, huge);
+}
+
+TEST_F(SortBufferTest, ArenaOffsetOverflowRejected) {
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer::Options opts = Opts(1, 1 << 20);
+  opts.arena_limit_bytes = 512;  // Stand-in for the 4 GiB offset space.
+  SortBuffer buffer(opts, &tc);
+  // A record that can never fit the offset space is rejected outright...
+  EXPECT_TRUE(buffer.Add(0, "k", std::string(600, 'v')).IsInvalidArgument());
+  // ...while records that fit after a spill keep working.
+  ASSERT_TRUE(buffer.Add(0, "a", std::string(400, 'v')).ok());
+  ASSERT_TRUE(buffer.Add(0, "b", std::string(400, 'v')).ok());
+  std::vector<SpillRun> runs;
+  ASSERT_TRUE(buffer.Finish(&runs).ok());
+  size_t total = 0;
+  for (const auto& run : runs) {
+    total += ReadPartition(run, 0).size();
+  }
+  EXPECT_EQ(total, 2u);
+}
+
+TEST_F(SortBufferTest, CombinerRunsPerSpillAndMergeRecombines) {
+  // Force several spills of the same key: each spill combines its own
+  // slice, the merge then surfaces one partial per run, in run order.
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer::Options opts = Opts(1, 512);
+  opts.combiner = SumCombiner();
+  SortBuffer buffer(opts, &tc);
+  const std::string one = SerializeToString<uint64_t>(1);
+  const int kRecords = 100;
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(buffer.Add(0, "word", one).ok());
+  }
+  std::vector<SpillRun> runs;
+  ASSERT_TRUE(buffer.Finish(&runs).ok());
+  ASSERT_GT(runs.size(), 1u);
+
+  std::vector<std::unique_ptr<RecordReader>> sources;
+  for (const auto& run : runs) {
+    auto reader = OpenRunPartition(run, 0);
+    ASSERT_NE(reader, nullptr);
+    sources.push_back(std::move(reader));
+  }
+  KWayMerger merger(std::move(sources), BytewiseComparator::Instance());
+  uint64_t total = 0, partials = 0;
+  while (merger.Next()) {
+    EXPECT_EQ(merger.key().ToString(), "word");
+    uint64_t v = 0;
+    ASSERT_TRUE(Serde<uint64_t>::Decode(merger.value(), &v));
+    total += v;
+    ++partials;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kRecords));
+  EXPECT_EQ(partials, runs.size());
+  tc.Flush();
+  EXPECT_EQ(counters.Get(kCombineInputRecords),
+            static_cast<uint64_t>(kRecords));
+  EXPECT_EQ(counters.Get(kCombineOutputRecords), runs.size());
+}
+
+TEST_F(SortBufferTest, MultiRunMergeMatchesSingleRunOrder) {
+  // The same records through a spilling buffer and a non-spilling buffer
+  // must merge to the identical sequence (multi-run determinism).
+  auto collect = [&](size_t budget) {
+    Counters counters;
+    TaskCounters tc(&counters);
+    SortBuffer buffer(Opts(2, budget), &tc);
+    for (int i = 0; i < 300; ++i) {
+      const std::string key = "key" + std::to_string((i * 7) % 40);
+      const std::string value = "v" + std::to_string(i);
+      EXPECT_TRUE(
+          buffer.Add(static_cast<uint32_t>(i % 2), key, value).ok());
+    }
+    std::vector<SpillRun> runs;
+    EXPECT_TRUE(buffer.Finish(&runs).ok());
+    std::vector<std::pair<std::string, std::string>> merged;
+    for (uint32_t p = 0; p < 2; ++p) {
+      std::vector<std::unique_ptr<RecordReader>> sources;
+      for (const auto& run : runs) {
+        auto reader = OpenRunPartition(run, p);
+        if (reader != nullptr) {
+          sources.push_back(std::move(reader));
+        }
+      }
+      KWayMerger merger(std::move(sources), BytewiseComparator::Instance());
+      while (merger.Next()) {
+        merged.emplace_back(merger.key().ToString(),
+                            merger.value().ToString());
+      }
+    }
+    return merged;
+  };
+  const auto spilled = collect(512);      // Many runs.
+  const auto in_memory = collect(1 << 20);  // Single in-memory run.
+  EXPECT_EQ(spilled, in_memory);
+}
+
+TEST_F(SortBufferTest, FailedSpillUnlinksPartialFile) {
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer::Options opts = Opts(1, 256);
+  opts.combiner = [](Slice key, const std::vector<Slice>& values,
+                     RecordSink* sink) -> Status {
+    if (key == Slice("boom")) {
+      return Status::Internal("combiner exploded");
+    }
+    return sink->Append(key, values[0]);
+  };
+  SortBuffer buffer(opts, &tc);
+  // Benign records exceed the budget, producing successful spill files.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(buffer.Add(0, "key" + std::to_string(i), "v").ok());
+  }
+  ASSERT_GT(buffer.spill_count(), 0u);
+  // The poisoned key makes the final to-disk flush fail mid-write.
+  ASSERT_TRUE(buffer.Add(0, "boom", "v").ok());
+  std::vector<SpillRun> runs;
+  EXPECT_FALSE(buffer.Finish(&runs).ok());
+  // Only the successful spill files remain; the partial one is unlinked.
+  size_t files = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(dir_->path())) {
+    ++files;
+  }
+  EXPECT_EQ(files, buffer.spill_count());
+}
+
+TEST_F(SortBufferTest, ChecksummedSpillsVerify) {
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer::Options opts = Opts(2, 256);
+  opts.checksum_spills = true;
+  SortBuffer buffer(opts, &tc);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(buffer.Add(static_cast<uint32_t>(i % 2),
+                           "key" + std::to_string(i), "value")
+                    .ok());
+  }
+  std::vector<SpillRun> runs;
+  ASSERT_TRUE(buffer.Finish(&runs).ok());
+  ASSERT_GT(runs.size(), 1u);
+  for (const auto& run : runs) {
+    ASSERT_FALSE(run.in_memory());
+    ASSERT_TRUE(run.has_crc);
+    EXPECT_TRUE(VerifySpillFileCrc32(run.file_path, run.crc32).ok());
+  }
 }
 
 }  // namespace
