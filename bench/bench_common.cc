@@ -93,6 +93,8 @@ void RunAndReport(::benchmark::State& state, const CorpusContext& ctx,
         static_cast<double>(run->metrics.map_output_records());
     state.counters["jobs"] = run->metrics.num_jobs();
     state.counters["ngrams"] = static_cast<double>(run->stats.size());
+    state.counters["map_ms"] = run->metrics.total_map_phase_ms();
+    state.counters["reduce_ms"] = run->metrics.total_reduce_phase_ms();
   }
 }
 

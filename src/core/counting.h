@@ -12,33 +12,48 @@
 
 namespace ngram {
 
-/// Reducer for (n-gram, value) pairs. In collection mode, values are
+/// Raw reducer for (n-gram, value) pairs. In collection mode, values are
 /// partial counts and are summed (Algorithm 1's |l| generalized to combined
 /// counts); in document mode, values are doc ids and distinct ones are
 /// counted. Emits (n-gram, frequency) when frequency >= tau.
-class CountReducer final
-    : public mr::Reducer<TermSequence, uint64_t, TermSequence, uint64_t> {
+///
+/// Runs on the raw grouped pipeline: values are decoded straight off the
+/// merge stream's slices, and the n-gram key is decoded only for groups
+/// that pass the threshold — infrequent n-grams (the vast majority under a
+/// selective tau) are counted and dropped without a single key decode or
+/// copy. group->key() is safe to decode after draining the values because
+/// both comparators used here (bytewise, reverse-lex) make grouping-equal
+/// keys byte-identical.
+class CountReducer final : public mr::RawReducer<TermSequence, uint64_t> {
  public:
   CountReducer(uint64_t tau, FrequencyMode mode) : tau_(tau), mode_(mode) {}
 
-  Status Reduce(const TermSequence& key, Values* values,
-                Context* ctx) override {
+  Status Reduce(mr::GroupValueIterator* group, Context* ctx) override {
     uint64_t frequency = 0;
     if (mode_ == FrequencyMode::kCollection) {
-      uint64_t v = 0;
-      while (values->Next(&v)) {
+      while (group->NextValue()) {
+        uint64_t v = 0;
+        if (!Serde<uint64_t>::Decode(group->value(), &v)) {
+          return Status::Corruption("CountReducer: bad count value");
+        }
         frequency += v;
       }
     } else {
       distinct_.clear();
-      uint64_t did = 0;
-      while (values->Next(&did)) {
+      while (group->NextValue()) {
+        uint64_t did = 0;
+        if (!Serde<uint64_t>::Decode(group->value(), &did)) {
+          return Status::Corruption("CountReducer: bad doc-id value");
+        }
         distinct_.insert(did);
       }
       frequency = distinct_.size();
     }
     if (frequency >= tau_) {
-      return ctx->Emit(key, frequency);
+      if (!Serde<TermSequence>::Decode(group->key(), &key_)) {
+        return Status::Corruption("CountReducer: bad n-gram key");
+      }
+      return ctx->Emit(key_, frequency);
     }
     return Status::OK();
   }
@@ -47,6 +62,7 @@ class CountReducer final
   const uint64_t tau_;
   const FrequencyMode mode_;
   std::unordered_set<uint64_t> distinct_;  // Reused across groups.
+  TermSequence key_;                       // Reused across groups.
 };
 
 /// Value a counting mapper emits for one n-gram occurrence: a unit count in

@@ -24,9 +24,10 @@ class ReverseMapper final
 };
 
 /// Post-filter reducer: PrefixFilterStack over reversed n-grams; emits
-/// survivors restored to their original orientation.
+/// survivors restored to their original orientation. Raw pipeline: the
+/// single value and the key decode straight off the merge slices.
 class SuffixFilterReducer final
-    : public mr::Reducer<TermSequence, uint64_t, TermSequence, uint64_t> {
+    : public mr::RawReducer<TermSequence, uint64_t> {
  public:
   explicit SuffixFilterReducer(EmitMode mode) : mode_(mode) {}
 
@@ -39,14 +40,17 @@ class SuffixFilterReducer final
     return Status::OK();
   }
 
-  Status Reduce(const TermSequence& reversed, Values* values,
-                Context* ctx) override {
+  Status Reduce(mr::GroupValueIterator* group, Context* ctx) override {
     // Keys are unique n-grams from job 1, so exactly one value arrives.
     uint64_t cf = 0;
-    if (!values->Next(&cf)) {
+    if (!group->NextValue() ||
+        !Serde<uint64_t>::Decode(group->value(), &cf)) {
       return Status::Internal("post-filter group without value");
     }
-    return stack_->Push(reversed, cf);
+    if (!Serde<TermSequence>::Decode(group->key(), &reversed_)) {
+      return Status::Corruption("SuffixFilterReducer: bad key");
+    }
+    return stack_->Push(reversed_, cf);
   }
 
   Status Cleanup(Context* ctx) override { return stack_->Flush(); }
@@ -54,6 +58,7 @@ class SuffixFilterReducer final
  private:
   const EmitMode mode_;
   std::unique_ptr<PrefixFilterStack> stack_;
+  TermSequence reversed_;  // Reused across groups.
 };
 
 Result<NgramRun> RunWithMode(const CorpusContext& ctx,

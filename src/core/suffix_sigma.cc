@@ -53,8 +53,13 @@ class SuffixMapper final
 /// Algorithm 4's reducer: feeds the two-stack automaton; Cleanup() is the
 /// paper's cleanup() -> reduce(empty) flush. Tracks the peak number of
 /// simultaneously tracked n-grams (= max stack depth <= sigma).
-class SuffixReducer final
-    : public mr::Reducer<TermSequence, uint64_t, TermSequence, uint64_t> {
+///
+/// Raw pipeline: in collection mode the group cardinality |l| is taken
+/// straight off the merge stream (Count() never touches value bytes), and
+/// the suffix key is decoded once into a reused sequence — no per-group
+/// key copy. Decoding after the drain is sound because reverse-lex-equal
+/// keys are byte-identical.
+class SuffixReducer final : public mr::RawReducer<TermSequence, uint64_t> {
  public:
   SuffixReducer(const NgramJobOptions& options, EmitMode emit_mode)
       : options_(options), emit_mode_(emit_mode) {}
@@ -76,25 +81,33 @@ class SuffixReducer final
     return Status::OK();
   }
 
-  Status Reduce(const TermSequence& suffix, Values* values,
-                Context* ctx) override {
+  Status Reduce(mr::GroupValueIterator* group, Context* ctx) override {
     Status st;
     if (count_stack_ != nullptr) {
       CountAggregate agg;
-      agg.count = values->Count();  // |l| without deserializing values.
-      st = count_stack_->Push(suffix, std::move(agg));
+      agg.count = group->Count();  // |l| without deserializing values.
+      if (!Serde<TermSequence>::Decode(group->key(), &suffix_)) {
+        return Status::Corruption("SuffixReducer: bad suffix key");
+      }
+      st = count_stack_->Push(suffix_, std::move(agg));
       peak_entries_ = std::max(peak_entries_,
                                static_cast<uint64_t>(count_stack_->depth()));
     } else {
       DocSetAggregate agg;
-      uint64_t did = 0;
-      while (values->Next(&did)) {
+      while (group->NextValue()) {
+        uint64_t did = 0;
+        if (!Serde<uint64_t>::Decode(group->value(), &did)) {
+          return Status::Corruption("SuffixReducer: bad doc-id value");
+        }
         agg.docs.push_back(did);
       }
       std::sort(agg.docs.begin(), agg.docs.end());
       agg.docs.erase(std::unique(agg.docs.begin(), agg.docs.end()),
                      agg.docs.end());
-      st = doc_stack_->Push(suffix, std::move(agg));
+      if (!Serde<TermSequence>::Decode(group->key(), &suffix_)) {
+        return Status::Corruption("SuffixReducer: bad suffix key");
+      }
+      st = doc_stack_->Push(suffix_, std::move(agg));
       peak_entries_ = std::max(peak_entries_,
                                static_cast<uint64_t>(doc_stack_->depth()));
     }
@@ -115,6 +128,7 @@ class SuffixReducer final
   const EmitMode emit_mode_;
   std::unique_ptr<SuffixStack<CountAggregate>> count_stack_;
   std::unique_ptr<SuffixStack<DocSetAggregate>> doc_stack_;
+  TermSequence suffix_;  // Reused across groups.
   uint64_t peak_entries_ = 0;
 };
 
@@ -122,17 +136,19 @@ class SuffixReducer final
 /// big in-memory map; nothing can be emitted before cleanup(), and the
 /// bookkeeping grows with the number of distinct n-grams on the reducer.
 class HashAggregationSuffixReducer final
-    : public mr::Reducer<TermSequence, uint64_t, TermSequence, uint64_t> {
+    : public mr::RawReducer<TermSequence, uint64_t> {
  public:
   explicit HashAggregationSuffixReducer(const NgramJobOptions& options)
       : options_(options) {}
 
-  Status Reduce(const TermSequence& suffix, Values* values,
-                Context* ctx) override {
-    const uint64_t count = values->Count();
+  Status Reduce(mr::GroupValueIterator* group, Context* ctx) override {
+    const uint64_t count = group->Count();
+    if (!Serde<TermSequence>::Decode(group->key(), &suffix_)) {
+      return Status::Corruption("HashAggregationSuffixReducer: bad key");
+    }
     TermSequence prefix;
-    prefix.reserve(suffix.size());
-    for (TermId t : suffix) {
+    prefix.reserve(suffix_.size());
+    for (TermId t : suffix_) {
       prefix.push_back(t);
       counts_[prefix] += count;
     }
@@ -153,6 +169,7 @@ class HashAggregationSuffixReducer final
  private:
   const NgramJobOptions options_;
   std::map<TermSequence, uint64_t> counts_;
+  TermSequence suffix_;  // Reused across groups.
 };
 
 }  // namespace

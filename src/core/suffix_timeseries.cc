@@ -57,8 +57,11 @@ class TimeSeriesSuffixMapper final
   const std::shared_ptr<const std::vector<int32_t>> years_;
 };
 
+/// Raw pipeline: (doc id, year) values decode straight off the merge
+/// slices; the suffix key decodes once into a reused sequence after the
+/// drain (reverse-lex-equal keys are byte-identical).
 class TimeSeriesSuffixReducer final
-    : public mr::Reducer<TermSequence, DocYear, TermSequence, TimeSeries> {
+    : public mr::RawReducer<TermSequence, TimeSeries> {
  public:
   explicit TimeSeriesSuffixReducer(const NgramJobOptions& options)
       : options_(options) {}
@@ -72,14 +75,19 @@ class TimeSeriesSuffixReducer final
     return Status::OK();
   }
 
-  Status Reduce(const TermSequence& suffix, Values* values,
-                Context* ctx) override {
+  Status Reduce(mr::GroupValueIterator* group, Context* ctx) override {
     TimeSeries ts;
     DocYear value;
-    while (values->Next(&value)) {
+    while (group->NextValue()) {
+      if (!Serde<DocYear>::Decode(group->value(), &value)) {
+        return Status::Corruption("TimeSeriesSuffixReducer: bad value");
+      }
       ts.Add(static_cast<int32_t>(value.second), 1);
     }
-    return stack_->Push(suffix, std::move(ts));
+    if (!Serde<TermSequence>::Decode(group->key(), &suffix_)) {
+      return Status::Corruption("TimeSeriesSuffixReducer: bad suffix key");
+    }
+    return stack_->Push(suffix_, std::move(ts));
   }
 
   Status Cleanup(Context* ctx) override { return stack_->Flush(); }
@@ -87,6 +95,7 @@ class TimeSeriesSuffixReducer final
  private:
   const NgramJobOptions options_;
   std::unique_ptr<SuffixStack<TimeSeries>> stack_;
+  TermSequence suffix_;  // Reused across groups.
 };
 
 }  // namespace

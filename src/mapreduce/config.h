@@ -1,6 +1,9 @@
 // Job configuration: the runtime knobs a Hadoop job would set via its
 // Configuration / Job object (reducer count, slots, sort buffer size,
 // custom partitioner and comparator classes).
+//
+// Every knob is documented with its pipeline context in
+// docs/architecture.md ("JobConfig knobs").
 #pragma once
 
 #include <cstdint>

@@ -97,30 +97,102 @@ class ReduceContext {
   uint32_t reducer_id_;
 };
 
-/// \brief Lazily deserializing iterator over the values of one key group.
+/// \brief Zero-copy iterator over one key group of the merge stream.
 ///
-/// The driver positions the merger at the first record of a group;
-/// Next() streams values until the key changes (under the job's grouping
-/// comparator) or the merge is exhausted. Values are decoded on demand, so
-/// a reducer that only needs |l| (like SUFFIX-sigma's) can use Count().
+/// The driver positions the merger on the first record of a group and
+/// hands the group to the reducer as this iterator. Advancing detects the
+/// group boundary by comparing *adjacent* records under the grouping
+/// comparator, on the merger's cached key slices — the group's leading key
+/// is never copied and no value is materialized or decoded. The adjacent
+/// compare is sound because the merge stream is sorted (grouping-equal
+/// records are contiguous) and the previous record's key bytes survive one
+/// merger advance (the RecordReader lookback contract).
+///
+/// When the grouping order *is* the sort order, the merger's cached 8-byte
+/// sort prefixes short-circuit the boundary check: differing prefixes
+/// prove a boundary without touching key bytes.
+///
+/// After the group is exhausted, key() still returns the key of the last
+/// record consumed — valid until the merger advances again, which lets
+/// aggregate-then-emit reducers (counting) serialize or decode the group
+/// key after draining the values, paying the decode only for groups they
+/// actually emit.
+class GroupValueIterator final : public RawValueIterator {
+ public:
+  GroupValueIterator(KWayMerger* merger, const RawComparator* grouping,
+                     bool grouping_is_sort_order)
+      : merger_(merger),
+        grouping_(grouping),
+        prefix_conclusive_(grouping_is_sort_order),
+        key_(merger->key()),
+        prefix_(merger->key_prefix()) {}
+
+  bool NextValue() override {
+    if (group_done_) {
+      return false;
+    }
+    if (pending_) {
+      pending_ = false;  // Consume the record the merger is already on.
+      ++consumed_;
+      return true;
+    }
+    // key_/prefix_ describe the record consumed last; its bytes stay valid
+    // across this single merger advance (lookback contract).
+    if (!merger_->Next()) {
+      group_done_ = true;
+      return false;
+    }
+    const bool boundary =
+        (prefix_conclusive_ && merger_->key_prefix() != prefix_) ||
+        grouping_->Compare(merger_->key(), key_) != 0;
+    if (boundary) {
+      group_done_ = true;
+      next_group_ready_ = true;  // Record belongs to the following group.
+      return false;
+    }
+    key_ = merger_->key();
+    prefix_ = merger_->key_prefix();
+    ++consumed_;
+    return true;
+  }
+
+  Slice key() const override { return key_; }
+  Slice value() const override { return merger_->value(); }
+
+  /// Consumes any unread values so the driver can move to the next group.
+  void SkipRemaining() { Count(); }
+
+  /// True when the merger already sits on the first record of the next
+  /// group (i.e. the group ended at a key change, not at end of stream).
+  bool next_group_ready() const { return next_group_ready_; }
+
+ private:
+  KWayMerger* merger_;
+  const RawComparator* grouping_;
+  const bool prefix_conclusive_;
+  Slice key_;        // Key of the last consumed record (leading key first).
+  uint64_t prefix_;  // Its cached sort prefix.
+  bool pending_ = true;  // Merger is on an unconsumed record of this group.
+  bool group_done_ = false;
+  bool next_group_ready_ = false;
+};
+
+/// \brief Lazily deserializing typed view over a group's values.
+///
+/// The typed-reducer adapter wraps the raw group iterator in this stream;
+/// values are decoded on demand, so a reducer that only needs |l| (like
+/// SUFFIX-sigma's) can use Count() and never pay a decode.
 template <typename V>
 class ValueStream {
  public:
-  ValueStream(KWayMerger* merger, const RawComparator* grouping,
-              Slice group_key)
-      : merger_(merger),
-        grouping_(grouping),
-        group_key_(group_key),
-        pending_(true) {}
+  explicit ValueStream(RawValueIterator* it) : it_(it) {}
 
   /// Decodes the next value of the group into `*out`.
   bool Next(V* out) {
-    if (!Advance()) {
+    if (decode_error_ || !it_->NextValue()) {
       return false;
     }
-    pending_ = false;
-    ++consumed_;
-    if (!Serde<V>::Decode(merger_->value(), out)) {
+    if (!Serde<V>::Decode(it_->value(), out)) {
       decode_error_ = true;
       return false;
     }
@@ -129,52 +201,18 @@ class ValueStream {
 
   /// Skips and counts every remaining value (no deserialization).
   uint64_t Count() {
-    while (Advance()) {
-      pending_ = false;
-      ++consumed_;
-    }
-    return consumed_;
+    return decode_error_ ? it_->consumed() : it_->Count();
   }
 
   /// Consumes any unread values so the driver can move to the next group.
   void SkipRemaining() { Count(); }
 
-  uint64_t consumed() const { return consumed_; }
-  bool group_exhausted() const { return group_done_; }
-  bool next_group_ready() const { return next_group_ready_; }
+  uint64_t consumed() const { return it_->consumed(); }
   bool decode_error() const { return decode_error_; }
 
  private:
-  // Moves the merger onto the next record of this group. Returns false when
-  // the group (or the whole merge) is finished.
-  bool Advance() {
-    if (group_done_ || decode_error_) {
-      return false;
-    }
-    if (pending_) {
-      return true;  // Current merger record not yet consumed.
-    }
-    if (!merger_->Next()) {
-      group_done_ = true;
-      return false;
-    }
-    if (grouping_->Compare(merger_->key(), group_key_) != 0) {
-      group_done_ = true;
-      next_group_ready_ = true;  // Record belongs to the following group.
-      return false;
-    }
-    pending_ = true;
-    return true;
-  }
-
-  KWayMerger* merger_;
-  const RawComparator* grouping_;
-  Slice group_key_;
-  bool pending_;
-  bool group_done_ = false;
-  bool next_group_ready_ = false;
+  RawValueIterator* it_;
   bool decode_error_ = false;
-  uint64_t consumed_ = 0;
 };
 
 }  // namespace ngram::mr

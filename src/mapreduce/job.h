@@ -9,10 +9,14 @@
 //      buffer to a run file (partition-major); the final flush stays in
 //      memory only if nothing was ever spilled.
 //   2. Reduce task r merges partition r of every map run with a loser-tree
-//      k-way merge under the sort comparator, groups records with the
-//      grouping comparator, and streams each group's values to the
-//      reducer. File-backed segments are read through buffered zero-copy
-//      readers; merge comparisons see cached encoded-key slices.
+//      k-way merge under the sort comparator and streams each key group to
+//      the reducer as a zero-copy GroupValueIterator: group boundaries are
+//      detected by comparing adjacent records under the grouping
+//      comparator on the merger's cached key slices (no per-group key copy
+//      or decode). Raw reducers consume serialized slices directly; typed
+//      reducers run through TypedReduceAdapter, which decodes the leading
+//      key once per group. File-backed segments are read through buffered
+//      zero-copy readers honoring a one-record lookback contract.
 //   3. Reducer outputs are concatenated in reducer order into the output
 //      table; counters and phase wallclocks land in JobMetrics.
 //
@@ -61,7 +65,40 @@ class Mapper {
   virtual Status Cleanup(Context* ctx) { return Status::OK(); }
 };
 
-/// \brief Base class for reducers: reduce(k2, list<v2>) -> list<(k3, v3)>.
+/// \brief Tag base marking reducers that consume serialized groups
+/// directly (used for compile-time dispatch in RunJob).
+class RawReducerBase {};
+
+/// \brief Base class for raw reducers: one call per key group, streaming
+/// the group's records zero-copy off the k-way merge.
+///
+/// `group->key()` is the group's leading serialized key until the first
+/// NextValue() call and the last consumed record's key afterwards (see
+/// RawValueIterator); values surface as serialized slices that the reducer
+/// decodes only if it needs them. Unconsumed values are skipped by the
+/// driver. This is the native reduce path: counting/aggregation reducers
+/// that re-emit their key verbatim (or drop the group) never decode keys,
+/// and SUFFIX-sigma counts group cardinality without touching value bytes.
+///
+/// The typed Reducer below is adapted onto this API by TypedReduceAdapter;
+/// only that adapter pays a per-group key decode.
+template <typename KOut, typename VOut>
+class RawReducer : public RawReducerBase {
+ public:
+  using KeyOut = KOut;
+  using ValueOut = VOut;
+  using Context = ReduceContext<KOut, VOut>;
+
+  virtual ~RawReducer() = default;
+  virtual Status Setup(Context* ctx) { return Status::OK(); }
+  virtual Status Reduce(GroupValueIterator* group, Context* ctx) = 0;
+  /// Invoked once after the last group — SUFFIX-sigma flushes its stacks
+  /// here, like the paper's cleanup() hook.
+  virtual Status Cleanup(Context* ctx) { return Status::OK(); }
+};
+
+/// \brief Base class for typed reducers: reduce(k2, list<v2>) ->
+/// list<(k3, v3)>. Runs on the raw pipeline through TypedReduceAdapter.
 template <typename KIn, typename VIn, typename KOut, typename VOut>
 class Reducer {
  public:
@@ -80,22 +117,62 @@ class Reducer {
   virtual Status Cleanup(Context* ctx) { return Status::OK(); }
 };
 
+template <typename R>
+inline constexpr bool kIsRawReducer = std::is_base_of_v<RawReducerBase, R>;
+
+/// \brief Adapts a typed Reducer onto the raw grouped pipeline.
+///
+/// Decodes the group's leading key once into a reused typed key (Hadoop
+/// semantics: under a coarse grouping comparator the reducer sees the
+/// group's *first* key in sort order) and wraps the raw iterator in a
+/// lazily-decoding ValueStream.
+template <typename R>
+class TypedReduceAdapter final
+    : public RawReducer<typename R::KeyOut, typename R::ValueOut> {
+ public:
+  using Context = typename R::Context;
+
+  explicit TypedReduceAdapter(std::unique_ptr<R> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Setup(Context* ctx) override { return inner_->Setup(ctx); }
+
+  Status Reduce(GroupValueIterator* group, Context* ctx) override {
+    if (!Serde<typename R::KeyIn>::Decode(group->key(), &key_)) {
+      return Status::Corruption("undecodable reduce key");
+    }
+    typename R::Values values(group);
+    Status st = inner_->Reduce(key_, &values, ctx);
+    if (st.ok() && values.decode_error()) {
+      st = Status::Corruption("undecodable reduce value");
+    }
+    return st;
+  }
+
+  Status Cleanup(Context* ctx) override { return inner_->Cleanup(ctx); }
+
+ private:
+  std::unique_ptr<R> inner_;
+  typename R::KeyIn key_{};  // Reused across groups.
+};
+
 /// Combiner that sums varint-encoded uint64 values per key (the classic
 /// word-count local aggregation from Section V).
 inline RawCombineFn SumCombiner() {
-  return [](Slice key, const std::vector<Slice>& values,
+  return [](Slice key, RawValueIterator* values,
             RecordSink* sink) -> Status {
     uint64_t total = 0;
-    for (Slice v : values) {
+    while (values->NextValue()) {
       uint64_t x = 0;
-      if (!Serde<uint64_t>::Decode(v, &x)) {
+      if (!Serde<uint64_t>::Decode(values->value(), &x)) {
         return Status::Corruption("SumCombiner: bad value");
       }
       total += x;
     }
-    std::string out;
-    Serde<uint64_t>::Encode(total, &out);
-    return sink->Append(key, Slice(out));
+    // Serde<uint64_t> wire form is a varint; encode into a stack buffer.
+    char buf[kMaxVarint64Bytes];
+    char* end = EncodeVarint64To(buf, total);
+    return sink->Append(key, Slice(buf, static_cast<size_t>(end - buf)));
   };
 }
 
@@ -132,10 +209,12 @@ Result<JobMetrics> RunJob(
     const std::function<std::unique_ptr<R>()>& make_reducer,
     MemoryTable<typename R::KeyOut, typename R::ValueOut>* output,
     RawCombineFn combiner = nullptr) {
-  static_assert(std::is_same_v<typename M::KeyOut, typename R::KeyIn>,
-                "mapper key-out must equal reducer key-in");
-  static_assert(std::is_same_v<typename M::ValueOut, typename R::ValueIn>,
-                "mapper value-out must equal reducer value-in");
+  if constexpr (!kIsRawReducer<R>) {
+    static_assert(std::is_same_v<typename M::KeyOut, typename R::KeyIn>,
+                  "mapper key-out must equal reducer key-in");
+    static_assert(std::is_same_v<typename M::ValueOut, typename R::ValueIn>,
+                  "mapper value-out must equal reducer value-in");
+  }
 
   Stopwatch job_clock;
   Counters counters;
@@ -266,36 +345,35 @@ Result<JobMetrics> RunJob(
           }
           KWayMerger merger(std::move(sources), config.sort_comparator);
           const RawComparator* grouping = config.EffectiveGrouping();
+          // When grouping order == sort order, cached sort prefixes are
+          // conclusive for group-boundary detection.
+          const bool grouping_is_sort = grouping == config.sort_comparator;
 
           typename R::Context rctx(&reducer_outputs[r], &tc, r);
-          std::unique_ptr<R> reducer = make_reducer();
+          std::unique_ptr<RawReducer<KOut, VOut>> reducer;
+          if constexpr (kIsRawReducer<R>) {
+            reducer = make_reducer();
+          } else {
+            reducer =
+                std::make_unique<TypedReduceAdapter<R>>(make_reducer());
+          }
           st = reducer->Setup(&rctx);
 
           uint64_t task_input_records = 0;
           bool have_record = st.ok() && merger.Next();
-          std::string group_key_bytes;
-          typename R::KeyIn group_key;
           while (st.ok() && have_record) {
-            group_key_bytes.assign(merger.key().data(),
-                                   merger.key().size());
-            if (!Serde<typename R::KeyIn>::Decode(Slice(group_key_bytes),
-                                                  &group_key)) {
-              st = Status::Corruption("undecodable reduce key");
-              break;
-            }
-            typename R::Values values(&merger, grouping,
-                                      Slice(group_key_bytes));
+            // The merger sits on the group's first record; the iterator
+            // streams the group zero-copy and detects the boundary on
+            // cached key slices — no per-group key copy or decode here.
+            GroupValueIterator group(&merger, grouping, grouping_is_sort);
             tc.Increment(kReduceInputGroups);
-            st = reducer->Reduce(group_key, &values, &rctx);
+            st = reducer->Reduce(&group, &rctx);
             if (st.ok()) {
-              values.SkipRemaining();
-              if (values.decode_error()) {
-                st = Status::Corruption("undecodable reduce value");
-              }
+              group.SkipRemaining();
             }
-            tc.Increment(kReduceInputRecords, values.consumed());
-            task_input_records += values.consumed();
-            have_record = values.next_group_ready();
+            tc.Increment(kReduceInputRecords, group.consumed());
+            task_input_records += group.consumed();
+            have_record = group.next_group_ready();
           }
           if (st.ok() && !merger.status().ok()) {
             st = merger.status();

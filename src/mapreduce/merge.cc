@@ -118,6 +118,7 @@ bool KWayMerger::Next() {
   }
   current_key_ = keys_[winner_];
   current_value_ = sources_[winner_]->value();
+  current_prefix_ = prefixes_[winner_];
   return true;
 }
 

@@ -23,7 +23,13 @@ namespace ngram::mr {
 /// \brief Merges N sorted record streams under a RawComparator.
 ///
 /// Usage: while (merger.Next()) { use merger.key()/merger.value(); }.
-/// The exposed slices remain valid until the next call to Next().
+///
+/// Slice validity inherits the RecordReader lookback contract: the
+/// key()/value() bytes of the current record stay valid across ONE
+/// subsequent Next() call (each Next() advances exactly one source, and
+/// that source keeps its previous record alive across one advance). The
+/// grouped reduce pipeline leans on this to compare adjacent records of
+/// the merged stream without copying keys.
 class KWayMerger {
  public:
   KWayMerger(std::vector<std::unique_ptr<RecordReader>> sources,
@@ -35,6 +41,9 @@ class KWayMerger {
 
   Slice key() const { return current_key_; }
   Slice value() const { return current_value_; }
+  /// Cached RawComparator::SortPrefix of key(): differing prefixes prove
+  /// the keys differ under the *sort* comparator without a byte compare.
+  uint64_t key_prefix() const { return current_prefix_; }
   const Status& status() const { return status_; }
 
  private:
@@ -60,6 +69,7 @@ class KWayMerger {
   size_t winner_ = kNone;
   Slice current_key_;
   Slice current_value_;
+  uint64_t current_prefix_ = 0;
   bool started_ = false;
   Status status_;
 };

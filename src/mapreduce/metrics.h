@@ -44,6 +44,22 @@ struct RunMetrics {
     return total;
   }
 
+  double total_map_phase_ms() const {
+    double total = 0;
+    for (const auto& j : jobs) {
+      total += j.map_phase_ms;
+    }
+    return total;
+  }
+
+  double total_reduce_phase_ms() const {
+    double total = 0;
+    for (const auto& j : jobs) {
+      total += j.reduce_phase_ms;
+    }
+    return total;
+  }
+
   uint64_t TotalCounter(const std::string& name) const {
     uint64_t total = 0;
     for (const auto& j : jobs) {

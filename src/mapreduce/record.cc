@@ -33,17 +33,35 @@ bool FileRecordReader::FillAtLeast(size_t n) {
   if (available >= n) {
     return true;
   }
-  // Compact the unread tail to the front, then refill.
-  if (pos_ > 0) {
-    buffer_.erase(0, pos_);
-    limit_ -= pos_;
+  // Move the unread tail to the front of the *alternate* buffer and swap,
+  // instead of compacting in place: the record surfaced by the previous
+  // Next() call keeps its address in the retired buffer, which is what
+  // upholds the one-record lookback contract. At most one swap may happen
+  // per Next() call — a second would recycle the retired buffer and
+  // clobber the protected record — so a later refill in the same call
+  // (header fill followed by a body fill) extends the active buffer in
+  // place instead.
+  if (pos_ > 0 && !swapped_this_call_) {
+    const size_t tail = limit_ - pos_;
+    if (alt_buffer_.size() < buffer_capacity_) {
+      alt_buffer_.resize(buffer_capacity_);
+    }
+    if (tail > 0) {
+      memcpy(alt_buffer_.data(), buffer_.data() + pos_, tail);
+    }
+    buffer_.swap(alt_buffer_);
+    swapped_this_call_ = true;
+    limit_ = tail;
     pos_ = 0;
   }
-  if (n > buffer_capacity_) {
-    buffer_capacity_ = n;  // Oversized record: grow permanently.
+  const size_t target = pos_ + n;
+  if (target > buffer_capacity_) {
+    buffer_capacity_ = target;  // Oversized record: grow permanently.
   }
-  buffer_.resize(buffer_capacity_);
-  while (limit_ < n && remaining_file_bytes_ > 0) {
+  if (buffer_.size() < buffer_capacity_) {
+    buffer_.resize(buffer_capacity_);
+  }
+  while (limit_ < target && remaining_file_bytes_ > 0) {
     const size_t want = static_cast<size_t>(
         std::min<uint64_t>(buffer_capacity_ - limit_, remaining_file_bytes_));
     const size_t got = fread(buffer_.data() + limit_, 1, want, file_);
@@ -61,6 +79,7 @@ bool FileRecordReader::Next() {
   if (!status_.ok()) {
     return false;
   }
+  swapped_this_call_ = false;
   const uint64_t total_left = (limit_ - pos_) + remaining_file_bytes_;
   if (total_left == 0) {
     return false;  // Clean end of segment.
@@ -92,7 +111,8 @@ bool FileRecordReader::Next() {
     return false;
   }
   // Zero-copy: FillAtLeast guaranteed the whole record is contiguous in
-  // the buffer, and nothing moves it before the next Next() call.
+  // the buffer, and nothing moves it until the *second* following Next()
+  // call (the lookback contract).
   key_ = Slice(buffer_.data() + pos_, klen);
   value_ = Slice(buffer_.data() + pos_ + klen, vlen);
   pos_ += body;

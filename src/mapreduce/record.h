@@ -29,6 +29,12 @@ inline size_t AppendRecord(std::string* out, Slice key, Slice value) {
 }
 
 /// Abstract sequential reader over framed records.
+///
+/// Lookback contract: the key()/value() slices of the current record stay
+/// valid across ONE subsequent Next() call (they may only be invalidated by
+/// the second call). The k-way merge relies on this to compare adjacent
+/// records of the merged stream — and hence detect reduce-group boundaries
+/// — without ever copying a key.
 class RecordReader {
  public:
   virtual ~RecordReader() = default;
@@ -47,7 +53,9 @@ class RecordReader {
   Status status_;
 };
 
-/// Zero-copy reader over records resident in memory.
+/// Zero-copy reader over records resident in memory. Slices point into the
+/// backing buffer and stay valid for the reader's whole lifetime, which
+/// trivially satisfies the lookback contract.
 class MemoryRecordReader final : public RecordReader {
  public:
   explicit MemoryRecordReader(Slice data) : data_(data) {}
@@ -75,8 +83,11 @@ class MemoryRecordReader final : public RecordReader {
 /// Buffered reader over a byte extent of a spill file.
 ///
 /// Records are surfaced zero-copy: key()/value() point straight into the
-/// read buffer, and stay valid until the following Next() call (which may
-/// compact or refill the buffer).
+/// read buffer. The lookback contract is honored by refilling into an
+/// alternate buffer instead of compacting in place: a refill never moves
+/// the bytes of the record surfaced by the previous Next() call, so its
+/// slices survive exactly one advance. The alternate buffer is allocated
+/// lazily — a segment that fits one buffer never pays for the second.
 class FileRecordReader final : public RecordReader {
  public:
   /// Reads `length` bytes starting at `offset` of `path`.
@@ -94,9 +105,11 @@ class FileRecordReader final : public RecordReader {
   FILE* file_ = nullptr;
   uint64_t remaining_file_bytes_;
   std::string buffer_;
+  std::string alt_buffer_;  // Refill target; preserves the previous record.
   size_t pos_ = 0;
   size_t limit_ = 0;
   size_t buffer_capacity_;
+  bool swapped_this_call_ = false;  // At most one buffer swap per Next().
 };
 
 /// Destination for framed records (used by combiners and run writers).
@@ -104,6 +117,54 @@ class RecordSink {
  public:
   virtual ~RecordSink() = default;
   virtual Status Append(Slice key, Slice value) = 0;
+};
+
+/// \brief Zero-copy streaming view of one key group's records.
+///
+/// The group is consumed lazily: NextValue() advances to the next record of
+/// the group (the first call lands on the group's leading record) and
+/// returns false once the group ends. key()/value() surface the current
+/// record's serialized bytes without copying or decoding; value() is valid
+/// until the next NextValue() call. Consumers that only need the group
+/// cardinality use Count(), which never touches the value bytes.
+///
+/// Implementations exist over the reduce-side merge stream
+/// (GroupValueIterator) and over a sorted map-side bucket (the combiner
+/// path in SortBuffer).
+class RawValueIterator {
+ public:
+  virtual ~RawValueIterator() = default;
+
+  /// Advances to the next record of the group. Returns false when the
+  /// group is exhausted (further calls keep returning false).
+  virtual bool NextValue() = 0;
+
+  /// Serialized key of the current record: the group's leading key before
+  /// the first NextValue(), afterwards the key of the record most recently
+  /// consumed. Keys of one group compare equal under the grouping
+  /// comparator but are byte-identical only when that comparator implies
+  /// byte equality (true for every canonical key encoding in this repo;
+  /// not for secondary-sort setups, where the typed adapter captures the
+  /// leading key instead).
+  virtual Slice key() const = 0;
+
+  /// Serialized value of the current record. Meaningful only after a
+  /// NextValue() call that returned true.
+  virtual Slice value() const = 0;
+
+  /// Consumes and counts every remaining value without reading the bytes
+  /// (SUFFIX-sigma's |l|). Returns the total consumed so far.
+  uint64_t Count() {
+    while (NextValue()) {
+    }
+    return consumed_;
+  }
+
+  /// Records of this group consumed so far.
+  uint64_t consumed() const { return consumed_; }
+
+ protected:
+  uint64_t consumed_ = 0;
 };
 
 }  // namespace ngram::mr

@@ -39,6 +39,58 @@ class SpillWriterSink final : public RecordSink {
 
 }  // namespace
 
+/// Zero-copy group iterator over one sorted bucket: advances while the
+/// next ref's key compares equal to the last consumed one (cached sort
+/// prefixes short-circuit the compare — the combiner groups under the sort
+/// comparator, so a differing prefix proves a boundary). Arena memory is
+/// stable for the whole bucket, so exposed slices never move.
+class SortBuffer::GroupIterator final : public RawValueIterator {
+ public:
+  GroupIterator(const Bucket& bucket, size_t begin, const RawComparator* cmp)
+      : arena_(bucket.arena.data()),
+        refs_(bucket.refs),
+        cmp_(cmp),
+        current_(begin),
+        next_(begin) {}
+
+  bool NextValue() override {
+    if (next_ >= refs_.size()) {
+      return false;
+    }
+    if (consumed_ > 0) {
+      const RecordRef& prev = refs_[next_ - 1];  // Last consumed.
+      const RecordRef& cur = refs_[next_];
+      if (cur.sort_prefix != prev.sort_prefix ||
+          cmp_->Compare(KeyOf(cur), KeyOf(prev)) != 0) {
+        return false;  // Boundary: `next_` starts the following group.
+      }
+    }
+    current_ = next_++;
+    ++consumed_;
+    return true;
+  }
+
+  Slice key() const override { return KeyOf(refs_[current_]); }
+  Slice value() const override {
+    const RecordRef& r = refs_[current_];
+    return Slice(arena_ + r.key_offset + r.key_len, r.value_len);
+  }
+
+  /// First ref index past this group (valid once fully consumed).
+  size_t end_index() const { return next_; }
+
+ private:
+  Slice KeyOf(const RecordRef& r) const {
+    return Slice(arena_ + r.key_offset, r.key_len);
+  }
+
+  const char* arena_;
+  const std::vector<RecordRef>& refs_;
+  const RawComparator* cmp_;
+  size_t current_;  // Last consumed ref (== begin before the first call).
+  size_t next_;     // Next ref to consume.
+};
+
 SortBuffer::SortBuffer(Options options, TaskCounters* counters)
     : options_(std::move(options)), counters_(counters) {
   buckets_.resize(options_.num_partitions);
@@ -111,21 +163,16 @@ Status SortBuffer::EmitBucket(const Bucket& bucket, RecordSink* sink) {
     }
     return Status::OK();
   }
+  // Stream each comparator-equal group through the combiner; values are
+  // never materialized into a side vector.
   size_t i = 0;
   while (i < refs.size()) {
-    // Collect the group of comparator-equal keys.
+    GroupIterator group(bucket, i, options_.comparator);
     const Slice group_key(arena + refs[i].key_offset, refs[i].key_len);
-    combine_values_.clear();
-    while (i < refs.size() &&
-           options_.comparator->Compare(
-               Slice(arena + refs[i].key_offset, refs[i].key_len),
-               group_key) == 0) {
-      combine_values_.emplace_back(
-          arena + refs[i].key_offset + refs[i].key_len, refs[i].value_len);
-      ++i;
-    }
-    counters_->Increment(kCombineInputRecords, combine_values_.size());
-    NGRAM_RETURN_NOT_OK(options_.combiner(group_key, combine_values_, sink));
+    NGRAM_RETURN_NOT_OK(options_.combiner(group_key, &group, sink));
+    group.Count();  // Skip whatever the combiner left unconsumed.
+    counters_->Increment(kCombineInputRecords, group.consumed());
+    i = group.end_index();
   }
   return Status::OK();
 }
@@ -158,8 +205,16 @@ Status SortBuffer::WriteRunToFile(SpillRun* run) {
   SpillWriter::Options writer_options;
   // Framed output never exceeds bytes_used_ (record headers are smaller
   // than the per-record ref overhead), so small spills get a small buffer.
-  writer_options.buffer_bytes =
+  // The buffer itself is task-owned and reused across this task's spills,
+  // growing (never past spill_buffer_bytes) if a later spill wants more.
+  const size_t want_bytes =
       std::max<size_t>(1, std::min(options_.spill_buffer_bytes, bytes_used_));
+  if (want_bytes > spill_write_buffer_bytes_) {
+    spill_write_buffer_ = std::make_unique<char[]>(want_bytes);
+    spill_write_buffer_bytes_ = want_bytes;
+  }
+  writer_options.buffer_bytes = spill_write_buffer_bytes_;
+  writer_options.external_buffer = spill_write_buffer_.get();
   writer_options.checksum = options_.checksum_spills;
   SpillWriter writer(run->file_path, writer_options);
   NGRAM_RETURN_NOT_OK(writer.Open());

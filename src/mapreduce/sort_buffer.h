@@ -44,10 +44,13 @@ struct SpillRun {
   bool in_memory() const { return file_path.empty(); }
 };
 
-/// Raw (serialized) view of a combiner: receives one key group and appends
-/// combined records to the sink. Implemented by the typed glue in job.h.
+/// Raw (serialized) view of a combiner: receives one key group — the
+/// leading key plus a lazily-advancing zero-copy value iterator — and
+/// appends combined records to the sink. `key` points into the bucket
+/// arena and stays valid for the whole call; values the combiner does not
+/// consume are skipped. Implemented by the typed glue in job.h.
 using RawCombineFn = std::function<Status(
-    Slice key, const std::vector<Slice>& values, RecordSink* sink)>;
+    Slice key, RawValueIterator* values, RecordSink* sink)>;
 
 /// \brief Collects map output for one task and produces sorted runs.
 ///
@@ -109,6 +112,9 @@ class SortBuffer {
     std::vector<RecordRef> refs;
   };
 
+  /// Zero-copy group iterator over a sorted bucket (the combiner's view).
+  class GroupIterator;
+
   Status SpillSorted(bool final_flush);
   void SortBuckets();
   /// Emits one sorted bucket (optionally through the combiner) into `sink`,
@@ -121,10 +127,14 @@ class SortBuffer {
   TaskCounters* counters_;
   std::vector<Bucket> buckets_;
   size_t bytes_used_ = 0;  // Arenas + refs, across all buckets.
-  std::vector<Slice> combine_values_;  // Reused across combiner groups.
   std::vector<SpillRun> runs_;
   uint64_t spill_count_ = 0;
   uint64_t spill_file_seq_ = 0;
+  /// One write buffer per task, lent to every SpillWriter this buffer
+  /// creates — spill-heavy tasks no longer allocate per spill. Grows (up
+  /// to `spill_buffer_bytes`) if a later spill wants a larger buffer.
+  std::unique_ptr<char[]> spill_write_buffer_;
+  size_t spill_write_buffer_bytes_ = 0;
 };
 
 }  // namespace ngram::mr

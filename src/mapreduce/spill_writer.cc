@@ -57,7 +57,12 @@ Status SpillWriter::Open() {
     return close_status_;
   }
   opened_ = true;
-  buffer_ = std::make_unique<char[]>(options_.buffer_bytes);
+  if (options_.external_buffer != nullptr) {
+    buffer_ = options_.external_buffer;
+  } else {
+    owned_buffer_ = std::make_unique<char[]>(options_.buffer_bytes);
+    buffer_ = owned_buffer_.get();
+  }
   return Status::OK();
 }
 
@@ -75,7 +80,7 @@ Status SpillWriter::FlushBuffer() {
   if (buffered_ == 0) {
     return Status::OK();
   }
-  Status st = WriteDirect(buffer_.get(), buffered_);
+  Status st = WriteDirect(buffer_, buffered_);
   buffered_ = 0;
   return st;
 }
@@ -110,7 +115,7 @@ Status SpillWriter::Append(Slice key, Slice value) {
       return st;
     }
   } else {
-    char* dst = buffer_.get() + buffered_;
+    char* dst = buffer_ + buffered_;
     memcpy(dst, header, header_len);
     dst += header_len;
     memcpy(dst, key.data(), key.size());

@@ -41,6 +41,12 @@ class SpillWriter {
     /// Maintain a CRC-32 of every byte written (costs one table lookup per
     /// byte on flush; off by default on the hot path).
     bool checksum = false;
+    /// Optional caller-owned write buffer of at least `buffer_bytes`
+    /// bytes. When set, Open() performs no allocation; the caller keeps
+    /// the memory alive for the writer's lifetime and may hand the same
+    /// buffer to successive writers (SortBuffer reuses one per-task buffer
+    /// across all of a task's spills).
+    char* external_buffer = nullptr;
   };
 
   explicit SpillWriter(std::string path) : SpillWriter(std::move(path), {}) {}
@@ -78,7 +84,8 @@ class SpillWriter {
   const std::string path_;
   const Options options_;
   FILE* file_ = nullptr;
-  std::unique_ptr<char[]> buffer_;
+  std::unique_ptr<char[]> owned_buffer_;  // Unused with external_buffer.
+  char* buffer_ = nullptr;
   size_t buffered_ = 0;
   uint64_t bytes_written_ = 0;
   uint64_t records_written_ = 0;

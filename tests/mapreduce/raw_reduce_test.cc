@@ -1,0 +1,303 @@
+// Tests of the raw grouped reduce pipeline: RawReducer + GroupValueIterator
+// streaming serialized key groups zero-copy off the k-way merge, and the
+// edge cases of group-boundary detection — a grouping comparator coarser
+// than the sort order, a single group spanning many spill runs, empty
+// values, and reducers that never touch their iterator.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mapreduce/job.h"
+
+namespace ngram::mr {
+namespace {
+
+// --------------------------------------------------------- raw word count --
+
+class WordMapper final
+    : public Mapper<uint64_t, std::string, std::string, uint64_t> {
+ public:
+  Status Map(const uint64_t& id, const std::string& line,
+             Context* ctx) override {
+    size_t start = 0;
+    while (start < line.size()) {
+      size_t end = line.find(' ', start);
+      if (end == std::string::npos) {
+        end = line.size();
+      }
+      if (end > start) {
+        NGRAM_RETURN_NOT_OK(ctx->Emit(line.substr(start, end - start), 1));
+      }
+      start = end + 1;
+    }
+    return Status::OK();
+  }
+};
+
+/// Sums varint values straight off the merge slices; the key is emitted
+/// from group->key() *after* the drain — exercising the guarantee that the
+/// last consumed record's key bytes outlive the group.
+class RawSumReducer final : public RawReducer<std::string, uint64_t> {
+ public:
+  Status Reduce(GroupValueIterator* group, Context* ctx) override {
+    uint64_t total = 0;
+    while (group->NextValue()) {
+      uint64_t v = 0;
+      if (!Serde<uint64_t>::Decode(group->value(), &v)) {
+        return Status::Corruption("bad value");
+      }
+      total += v;
+    }
+    return ctx->Emit(group->key().ToString(), total);
+  }
+};
+
+MemoryTable<uint64_t, std::string> WordInput() {
+  MemoryTable<uint64_t, std::string> input;
+  input.Add(1, "the quick brown fox");
+  input.Add(2, "the lazy dog");
+  input.Add(3, "the quick dog jumps");
+  input.Add(4, "fox and dog and fox");
+  return input;
+}
+
+std::map<std::string, uint64_t> Collected(
+    const MemoryTable<std::string, uint64_t>& output) {
+  std::map<std::string, uint64_t> result;
+  for (const auto& [k, v] : output.rows) {
+    result[k] = v;
+  }
+  return result;
+}
+
+TEST(RawReduceTest, RawReducerMatchesTypedResult) {
+  const std::map<std::string, uint64_t> expected = {
+      {"the", 3}, {"quick", 2}, {"brown", 1}, {"fox", 3},
+      {"lazy", 1}, {"dog", 3},  {"jumps", 1}, {"and", 2}};
+  JobConfig config;
+  config.num_reducers = 3;
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<WordMapper, RawSumReducer>(
+      config, WordInput(), [] { return std::make_unique<WordMapper>(); },
+      [] { return std::make_unique<RawSumReducer>(); }, &output);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(Collected(output), expected);
+  EXPECT_EQ(metrics->Counter(kReduceInputGroups), 8u);
+  EXPECT_EQ(metrics->Counter(kReduceInputRecords), 16u);
+}
+
+TEST(RawReduceTest, RawReducerSurvivesSpillsAndManyRuns) {
+  // A tiny sort buffer makes nearly every record its own spill run, so
+  // every group spans many file-backed merge sources and every boundary
+  // decision crosses a refill-prone reader.
+  const std::map<std::string, uint64_t> expected = {
+      {"the", 3}, {"quick", 2}, {"brown", 1}, {"fox", 3},
+      {"lazy", 1}, {"dog", 3},  {"jumps", 1}, {"and", 2}};
+  JobConfig config;
+  config.sort_buffer_bytes = 64;
+  config.num_reducers = 2;
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<WordMapper, RawSumReducer>(
+      config, WordInput(), [] { return std::make_unique<WordMapper>(); },
+      [] { return std::make_unique<RawSumReducer>(); }, &output);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(Collected(output), expected);
+  EXPECT_GT(metrics->Counter(kSpillFiles), 0u);
+}
+
+// ------------------------------------------- one group, many spill runs --
+
+class SharedKeyMapper final
+    : public Mapper<uint64_t, std::string, std::string, uint64_t> {
+ public:
+  Status Map(const uint64_t& id, const std::string& line,
+             Context* ctx) override {
+    return ctx->Emit("shared", id);
+  }
+};
+
+TEST(RawReduceTest, SingleGroupSpansMultipleSpillRuns) {
+  JobConfig config;
+  config.sort_buffer_bytes = 48;  // Every few records spill a run.
+  config.num_reducers = 1;
+  config.num_map_tasks = 2;
+  MemoryTable<uint64_t, std::string> input;
+  uint64_t expected_sum = 0;
+  for (uint64_t i = 0; i < 64; ++i) {
+    input.Add(i, "x");
+    expected_sum += i;
+  }
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<SharedKeyMapper, RawSumReducer>(
+      config, input, [] { return std::make_unique<SharedKeyMapper>(); },
+      [] { return std::make_unique<RawSumReducer>(); }, &output);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  ASSERT_EQ(output.rows.size(), 1u);
+  EXPECT_EQ(output.rows[0].first, "shared");
+  EXPECT_EQ(output.rows[0].second, expected_sum);
+  EXPECT_EQ(metrics->Counter(kReduceInputGroups), 1u);
+  EXPECT_EQ(metrics->Counter(kReduceInputRecords), 64u);
+  EXPECT_GT(metrics->Counter(kSpillFiles), 2u);
+}
+
+// -------------------------------- grouping coarser than the sort order --
+
+/// Key = "<group>|<value>"; groups on the prefix before '|'.
+class PrefixGroupingComparator final : public RawComparator {
+ public:
+  int Compare(Slice a, Slice b) const override {
+    return Prefix(a).compare(Prefix(b));
+  }
+  const char* Name() const override { return "prefix-grouping"; }
+
+  static Slice Prefix(Slice key) {
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (key[i] == '|') {
+        return Slice(key.data(), i);
+      }
+    }
+    return key;
+  }
+};
+
+class CompositeMapper final
+    : public Mapper<uint64_t, std::string, std::string, uint64_t> {
+ public:
+  Status Map(const uint64_t& id, const std::string& line,
+             Context* ctx) override {
+    return ctx->Emit(line, 1);
+  }
+};
+
+/// Raw reducer recording, per group: the leading composite key (captured
+/// *before* advancing, as coarse-grouping consumers must) and the count.
+class GroupRecordingReducer final : public RawReducer<std::string, uint64_t> {
+ public:
+  Status Reduce(GroupValueIterator* group, Context* ctx) override {
+    const std::string leading = group->key().ToString();
+    const uint64_t n = group->Count();
+    return ctx->Emit(leading, n);
+  }
+};
+
+TEST(RawReduceTest, CoarseGroupingComparatorSpanningSpills) {
+  // Sort order is the full composite key; grouping collapses everything
+  // before '|'. With a tiny sort buffer each group's records spread over
+  // many runs, so boundary detection must compare adjacent records from
+  // different sources under the *grouping* comparator (the cached sort
+  // prefixes differ within a group and must not split it).
+  static const PrefixGroupingComparator kGrouping;
+  MemoryTable<uint64_t, std::string> input;
+  input.Add(1, "fruit|banana");
+  input.Add(2, "fruit|apple");
+  input.Add(3, "veg|carrot");
+  input.Add(4, "fruit|cherry");
+  input.Add(5, "veg|beet");
+  input.Add(6, "fruit|date");
+  input.Add(7, "veg|asparagus");
+
+  for (size_t sort_buffer : {size_t{64}, size_t{1} << 20}) {
+    JobConfig config;
+    config.sort_buffer_bytes = sort_buffer;
+    config.num_reducers = 1;
+    config.grouping_comparator = &kGrouping;
+    MemoryTable<std::string, uint64_t> output;
+    auto metrics = RunJob<CompositeMapper, GroupRecordingReducer>(
+        config, input, [] { return std::make_unique<CompositeMapper>(); },
+        [] { return std::make_unique<GroupRecordingReducer>(); }, &output);
+    ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+    ASSERT_EQ(output.rows.size(), 2u) << "sort_buffer=" << sort_buffer;
+    // Secondary-sort guarantee: each group leads with its smallest
+    // composite key, and spans all its records.
+    EXPECT_EQ(output.rows[0].first, "fruit|apple");
+    EXPECT_EQ(output.rows[0].second, 4u);
+    EXPECT_EQ(output.rows[1].first, "veg|asparagus");
+    EXPECT_EQ(output.rows[1].second, 3u);
+    EXPECT_EQ(metrics->Counter(kReduceInputGroups), 2u);
+    EXPECT_EQ(metrics->Counter(kReduceInputRecords), 7u);
+  }
+}
+
+// ------------------------------------------------- empty-value records --
+
+class EmptyValueMapper final
+    : public Mapper<uint64_t, std::string, std::string, std::string> {
+ public:
+  Status Map(const uint64_t& id, const std::string& line,
+             Context* ctx) override {
+    return ctx->Emit(line, "");  // Zero-byte value.
+  }
+};
+
+class EmptyValueCheckingReducer final
+    : public RawReducer<std::string, uint64_t> {
+ public:
+  Status Reduce(GroupValueIterator* group, Context* ctx) override {
+    uint64_t n = 0;
+    while (group->NextValue()) {
+      if (!group->value().empty()) {
+        return Status::Corruption("expected empty value");
+      }
+      ++n;
+    }
+    return ctx->Emit(group->key().ToString(), n);
+  }
+};
+
+TEST(RawReduceTest, EmptyValueRecordsStreamCorrectly) {
+  JobConfig config;
+  config.num_reducers = 2;
+  config.sort_buffer_bytes = 32;  // Exercise the spill framing too.
+  MemoryTable<uint64_t, std::string> input;
+  for (uint64_t i = 0; i < 10; ++i) {
+    input.Add(i, i % 2 == 0 ? "even" : "odd");
+  }
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<EmptyValueMapper, EmptyValueCheckingReducer>(
+      config, input, [] { return std::make_unique<EmptyValueMapper>(); },
+      [] { return std::make_unique<EmptyValueCheckingReducer>(); }, &output);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(Collected(output),
+            (std::map<std::string, uint64_t>{{"even", 5}, {"odd", 5}}));
+}
+
+// ------------------------------------- unconsumed group value iterator --
+
+/// Never touches its iterator: the driver must skip the whole group and
+/// still deliver every following group intact.
+class IgnoringReducer final : public RawReducer<std::string, uint64_t> {
+ public:
+  Status Reduce(GroupValueIterator* group, Context* ctx) override {
+    ++groups_;
+    if (groups_ % 2 == 1) {
+      return Status::OK();  // Leave every odd group fully unconsumed.
+    }
+    return ctx->Emit(group->key().ToString(), group->Count());
+  }
+
+ private:
+  uint64_t groups_ = 0;
+};
+
+TEST(RawReduceTest, UnconsumedGroupIteratorIsSkipped) {
+  JobConfig config;
+  config.num_reducers = 1;  // One task: groups alternate consumed/skipped.
+  config.sort_buffer_bytes = 64;
+  MemoryTable<uint64_t, std::string> input;
+  input.Add(1, "a a a b c c d d d d");
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<WordMapper, IgnoringReducer>(
+      config, input, [] { return std::make_unique<WordMapper>(); },
+      [] { return std::make_unique<IgnoringReducer>(); }, &output);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  // Groups arrive sorted: a(3) b(1) c(2) d(4); odd-indexed ones (a, c)
+  // are skipped unconsumed, b and d are emitted with exact counts.
+  EXPECT_EQ(Collected(output),
+            (std::map<std::string, uint64_t>{{"b", 1}, {"d", 4}}));
+  // Skipped groups still count every record.
+  EXPECT_EQ(metrics->Counter(kReduceInputGroups), 4u);
+  EXPECT_EQ(metrics->Counter(kReduceInputRecords), 10u);
+}
+
+}  // namespace
+}  // namespace ngram::mr

@@ -111,6 +111,45 @@ TEST_F(FileRecordTest, TinyBufferForcesRefills) {
   EXPECT_TRUE(reader.status().ok());
 }
 
+TEST_F(FileRecordTest, LookbackContractAcrossRefills) {
+  // The grouped reduce pipeline compares adjacent merge records on cached
+  // key slices, which requires the previous record's bytes to stay valid
+  // across exactly one Next() call — including calls that refill the read
+  // buffer. Tiny buffers make nearly every Next() a refill; varying record
+  // sizes make some of them swap mid-record.
+  for (size_t buffer_size : {size_t{24}, size_t{32}, size_t{64}}) {
+    std::string buf;
+    std::vector<std::pair<std::string, std::string>> expected;
+    for (int i = 0; i < 200; ++i) {
+      const std::string k = "key" + std::to_string(i);
+      const std::string v(static_cast<size_t>(i % 37), 'v');
+      AppendRecord(&buf, k, v);
+      expected.emplace_back(k, v);
+    }
+    const std::string path = WriteFile(buf);
+    FileRecordReader reader(path, 0, buf.size(), buffer_size);
+    ASSERT_TRUE(reader.Next()) << reader.status().ToString();
+    Slice prev_key = reader.key();
+    Slice prev_value = reader.value();
+    for (size_t i = 1; i < expected.size(); ++i) {
+      ASSERT_TRUE(reader.Next()) << reader.status().ToString();
+      // The previous record, read through slices captured before this
+      // Next(), must still hold its original bytes.
+      EXPECT_EQ(prev_key.ToString(), expected[i - 1].first)
+          << "buffer_size=" << buffer_size << " i=" << i;
+      EXPECT_EQ(prev_value.ToString(), expected[i - 1].second)
+          << "buffer_size=" << buffer_size << " i=" << i;
+      prev_key = reader.key();
+      prev_value = reader.value();
+    }
+    EXPECT_FALSE(reader.Next());
+    // End of stream counts as the one permitted advance: the final
+    // record's slices survive it.
+    EXPECT_EQ(prev_key.ToString(), expected.back().first);
+    EXPECT_TRUE(reader.status().ok());
+  }
+}
+
 TEST_F(FileRecordTest, RecordLargerThanBufferGrows) {
   std::string buf;
   const std::string big(10000, 'x');

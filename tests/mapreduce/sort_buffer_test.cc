@@ -326,12 +326,13 @@ TEST_F(SortBufferTest, FailedSpillUnlinksPartialFile) {
   Counters counters;
   TaskCounters tc(&counters);
   SortBuffer::Options opts = Opts(1, 256);
-  opts.combiner = [](Slice key, const std::vector<Slice>& values,
+  opts.combiner = [](Slice key, RawValueIterator* values,
                      RecordSink* sink) -> Status {
     if (key == Slice("boom")) {
       return Status::Internal("combiner exploded");
     }
-    return sink->Append(key, values[0]);
+    values->NextValue();
+    return sink->Append(key, values->value());
   };
   SortBuffer buffer(opts, &tc);
   // Benign records exceed the budget, producing successful spill files.
