@@ -1,0 +1,107 @@
+// Job-boundary cost of chained pipelines (the serialized dataset layer).
+//
+// Measures the two multi-job paths end-to-end with the paper's problem
+// parameters — APRIORI-SCAN (one job per n-gram length up to sigma) and
+// the maximality post-filter (SUFFIX-sigma + reversed suffix filter) —
+// and reports the per-round boundary traffic (MAP_INPUT_BYTES: the
+// serialized bytes each round's mappers read, which for round k+1 is
+// exactly round k's output) alongside shuffle bytes and wallclock. These
+// are the numbers BENCH_pipeline.json tracks across refactors of the job
+// boundary.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/apriori_scan.h"
+#include "core/maximality.h"
+#include "util/stopwatch.h"
+
+namespace ngram::bench {
+namespace {
+
+/// `elapsed_ms` is the method call's true wallclock; the jobs' own
+/// wallclocks sum to `jobs_ms`, so `boundary_ms` — everything that
+/// happens *between* jobs (dictionary builds, dataset hand-off, the
+/// final stats drain) — is their difference. The benchmark time is the
+/// true end-to-end, not the job sum.
+void ReportPipeline(::benchmark::State& state, double elapsed_ms,
+                    const mr::RunMetrics& metrics, uint64_t ngrams) {
+  const mr::PipelineMetrics pipeline = metrics.pipeline();
+  const double jobs_ms = metrics.total_wallclock_ms();
+  state.SetIterationTime(elapsed_ms / 1000.0);
+  state.counters["jobs_ms"] = jobs_ms;
+  state.counters["boundary_ms"] = elapsed_ms - jobs_ms;
+  state.counters["rounds"] = pipeline.num_rounds();
+  state.counters["boundary_bytes"] =
+      static_cast<double>(pipeline.total_boundary_bytes());
+  state.counters["shuffle_bytes"] =
+      static_cast<double>(pipeline.total_shuffle_bytes());
+  state.counters["map_ms"] = metrics.total_map_phase_ms();
+  state.counters["reduce_ms"] = metrics.total_reduce_phase_ms();
+  state.counters["ngrams"] = static_cast<double>(ngrams);
+}
+
+void BM_AprioriScanPipeline(::benchmark::State& state,
+                            const CorpusContext& ctx, uint64_t tau,
+                            uint32_t sigma) {
+  NgramJobOptions options = BenchOptions(Method::kAprioriScan, tau, sigma);
+  for (auto _ : state) {
+    Stopwatch clock;
+    auto run = RunAprioriScan(ctx, options);
+    const double elapsed_ms = clock.ElapsedMillis();
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    ReportPipeline(state, elapsed_ms, run->metrics, run->stats.size());
+  }
+}
+
+void BM_MaximalityPipeline(::benchmark::State& state,
+                           const CorpusContext& ctx, uint64_t tau,
+                           uint32_t sigma) {
+  NgramJobOptions options = BenchOptions(Method::kSuffixSigma, tau, sigma);
+  for (auto _ : state) {
+    Stopwatch clock;
+    auto run = RunSuffixSigmaMaximal(ctx, options);
+    const double elapsed_ms = clock.ElapsedMillis();
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    ReportPipeline(state, elapsed_ms, run->metrics, run->stats.size());
+  }
+}
+
+}  // namespace
+}  // namespace ngram::bench
+
+int main(int argc, char** argv) {
+  using namespace ngram::bench;
+  ::benchmark::Initialize(&argc, argv);
+
+  for (const auto* d : {&Nyt(), &Cw()}) {
+    ::benchmark::RegisterBenchmark(
+        (std::string("Pipeline/") + d->name + "/AprioriScan/sigma=5").c_str(),
+        [d](::benchmark::State& s) {
+          BM_AprioriScanPipeline(s, d->context(), d->default_tau, 5);
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(::benchmark::kMillisecond);
+    ::benchmark::RegisterBenchmark(
+        (std::string("Pipeline/") + d->name + "/SuffixMaximal/sigma=5")
+            .c_str(),
+        [d](::benchmark::State& s) {
+          BM_MaximalityPipeline(s, d->context(), d->default_tau, 5);
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(::benchmark::kMillisecond);
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

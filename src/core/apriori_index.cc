@@ -152,30 +152,44 @@ class IndexBuildReducer final
 // ------------------------------------------------------------- phase 2 --
 
 /// Mapper #2: re-keys every frequent (k-1)-gram by its prefix and suffix.
+///
+/// Runs raw over the previous round's serialized output: the prefix and
+/// suffix keys are sub-slices of the encoded sequence (one varint boundary
+/// scan), and the TaggedPostings value is assembled byte-for-byte from the
+/// key and value slices — the posting list is never decoded, copied into a
+/// typed struct, or re-encoded (the old path did all three, twice).
 class IndexJoinMapper final
-    : public mr::Mapper<TermSequence, PostingList, TermSequence,
-                        TaggedPostings> {
+    : public mr::RawMapper<TermSequence, TaggedPostings> {
  public:
-  Status Map(const TermSequence& seq, const PostingList& list,
-             Context* ctx) override {
-    if (seq.empty()) {
+  Status Map(Slice seq, Slice list, Context* ctx) override {
+    if (!SequenceCodec::TermOffsets(seq, &offsets_) ||
+        offsets_.size() < 2) {
       return Status::Internal("phase-2 input must be non-empty");
     }
+    // Serde<TaggedPostings> wire form: [side][varint |seq|][seq][list].
+    value_.clear();
+    value_.push_back(static_cast<char>(TaggedPostings::kRSeq));
+    PutVarint64(&value_, seq.size());
+    value_.append(seq.data(), seq.size());
+    value_.append(list.data(), list.size());
+
     // With K = 1 the shared prefix/suffix is the empty sequence: every pair
     // joins on one reducer (a degenerate but correct configuration).
-    TaggedPostings tagged;
-    tagged.seq = seq;
-    tagged.list = list;
+    const size_t last_term = offsets_[offsets_.size() - 2];
+    const Slice prefix(seq.data(), last_term);
+    // Key is this sequence's prefix.
+    NGRAM_RETURN_NOT_OK(ctx->EmitRaw(prefix, value_));
 
-    TermSequence prefix(seq.begin(), seq.end() - 1);
-    tagged.side = TaggedPostings::kRSeq;  // Key is this sequence's prefix.
-    NGRAM_RETURN_NOT_OK(ctx->Emit(prefix, tagged));
-
-    TermSequence suffix(seq.begin() + 1, seq.end());
-    tagged.side = TaggedPostings::kLSeq;  // Key is this sequence's suffix.
-    NGRAM_RETURN_NOT_OK(ctx->Emit(suffix, tagged));
-    return Status::OK();
+    const size_t first_len = offsets_[1];
+    const Slice suffix(seq.data() + first_len, seq.size() - first_len);
+    value_[0] = static_cast<char>(TaggedPostings::kLSeq);
+    // Key is this sequence's suffix.
+    return ctx->EmitRaw(suffix, value_);
   }
+
+ private:
+  std::vector<uint32_t> offsets_;  // Reused across records.
+  std::string value_;              // Reused across records.
 };
 
 /// Reducer #2: joins every compatible l-seq/r-seq pair. Buffered values
@@ -252,16 +266,37 @@ Result<AprioriIndexResult> RunAprioriIndexWithIndex(
     spill_root = auto_dir->path().string();
   }
 
-  mr::MemoryTable<TermSequence, PostingList> previous;
+  // Rounds chain serialized: round k's reducer output feeds round k+1's
+  // mappers as slices. The typed decode below happens once per round,
+  // only to fold frequent k-grams into the run's stats and the returned
+  // index — never to re-encode for the next job.
+  mr::RecordTable previous;
+
+  // Decodes one round's serialized output into stats + index.
+  auto drain_round = [&](const mr::RecordTable& output) -> Status {
+    auto reader = output.NewReader();
+    TermSequence seq;
+    PostingList list;
+    while (reader->Next()) {
+      if (!Serde<TermSequence>::Decode(reader->key(), &seq) ||
+          !Serde<PostingList>::Decode(reader->value(), &list)) {
+        return Status::Corruption("apriori-index: bad (k-gram, postings)");
+      }
+      result.run.stats.Add(seq,
+                           FrequencyOfList(list, options.frequency_mode));
+      result.index.Add(seq, list);
+    }
+    return reader->status();
+  };
 
   // ----- Phase 1: k = 1 .. min(K, sigma), scanning the input each time.
   const uint32_t phase1_end = std::min(cap_k, sigma);
   for (uint32_t k = 1; k <= phase1_end; ++k) {
     mr::JobConfig config =
         MakeBaseJobConfig(options, "apriori-index-scan-k" + std::to_string(k));
-    mr::MemoryTable<TermSequence, PostingList> output;
+    mr::RecordTable output;
     auto metrics = mr::RunJob<IndexScanMapper, IndexBuildReducer>(
-        config, ctx.input,
+        config, ctx.records,
         [&options, &ctx, k] {
           return std::make_unique<IndexScanMapper>(options, k,
                                                    ctx.unigram_cf);
@@ -278,11 +313,7 @@ Result<AprioriIndexResult> RunAprioriIndexWithIndex(
     if (output.empty()) {
       return result;  // Nothing frequent at this length: done.
     }
-    for (const auto& [seq, list] : output.rows) {
-      result.run.stats.Add(seq,
-                           FrequencyOfList(list, options.frequency_mode));
-      result.index.Add(seq, list);
-    }
+    NGRAM_RETURN_NOT_OK(drain_round(output));
     previous = std::move(output);
   }
 
@@ -292,7 +323,7 @@ Result<AprioriIndexResult> RunAprioriIndexWithIndex(
         spill_root + "/join-k" + std::to_string(k);
     mr::JobConfig config =
         MakeBaseJobConfig(options, "apriori-index-join-k" + std::to_string(k));
-    mr::MemoryTable<TermSequence, PostingList> output;
+    mr::RecordTable output;
     auto metrics = mr::RunJob<IndexJoinMapper, IndexJoinReducer>(
         config, previous, [] { return std::make_unique<IndexJoinMapper>(); },
         [&options, &spill_dir, k] {
@@ -306,11 +337,7 @@ Result<AprioriIndexResult> RunAprioriIndexWithIndex(
     if (output.empty()) {
       break;
     }
-    for (const auto& [seq, list] : output.rows) {
-      result.run.stats.Add(seq,
-                           FrequencyOfList(list, options.frequency_mode));
-      result.index.Add(seq, list);
-    }
+    NGRAM_RETURN_NOT_OK(drain_round(output));
     previous = std::move(output);
   }
   return result;

@@ -10,8 +10,14 @@ namespace {
 
 /// The k-th scan's mapper: emits k-grams surviving the APRIORI check
 /// against the dictionary of frequent (k-1)-grams.
-class AprioriScanMapper final
-    : public mr::Mapper<uint64_t, Fragment, TermSequence, uint64_t> {
+///
+/// Runs raw over the serialized input row: term ids and byte offsets come
+/// from one varint scan, every k-gram window is a sub-slice of the input
+/// bytes, and — because the dictionary stores *encoded* sequences — the
+/// two APRIORI probes test sub-slices directly, with no per-window scratch
+/// encode. The dictionary itself was built from the previous round's
+/// serialized reducer output without re-encoding (see RunAprioriScan).
+class AprioriScanMapper final : public mr::RawMapper<TermSequence, uint64_t> {
  public:
   AprioriScanMapper(const NgramJobOptions& options, uint32_t k,
                     std::shared_ptr<const UnigramFrequencies> unigram_cf,
@@ -21,39 +27,47 @@ class AprioriScanMapper final
         unigram_cf_(std::move(unigram_cf)),
         dict_(std::move(dict)) {}
 
-  Status Map(const uint64_t& doc_id, const Fragment& fragment,
-             Context* ctx) override {
-    const uint64_t value = CountingValue(options_.frequency_mode, doc_id);
+  Status Map(Slice key, Slice value, Context* ctx) override {
+    if (!cursor_.Parse(key, value)) {
+      return Status::Corruption("AprioriScanMapper: bad input row");
+    }
+    value_scratch_.clear();
+    Serde<uint64_t>::Encode(
+        CountingValue(options_.frequency_mode, cursor_.doc_id()),
+        &value_scratch_);
     Status status;
-    ForEachPiece(fragment, options_.document_splits, *unigram_cf_,
-                 options_.tau, [&](const Fragment& piece) {
-                   if (!status.ok()) {
-                     return;
-                   }
-                   status = MapPiece(piece.terms, value, ctx);
-                 });
+    ForEachPieceRange(cursor_.terms(), options_.document_splits,
+                      *unigram_cf_, options_.tau,
+                      [&](size_t pb, size_t pe) {
+                        if (!status.ok()) {
+                          return;
+                        }
+                        status = MapPiece(pb, pe, ctx);
+                      });
     return status;
   }
 
  private:
-  Status MapPiece(const TermSequence& terms, uint64_t value, Context* ctx) {
-    if (terms.size() < k_) {
+  Status MapPiece(size_t pb, size_t pe, Context* ctx) {
+    if (pe - pb < k_) {
       return Status::OK();
     }
-    // Every k-gram window is a contiguous byte range of the piece's
-    // encoding: encode once, emit sub-slices.
-    encoder_.Encode(terms);
-    for (size_t b = 0; b + k_ <= terms.size(); ++b) {
-      // Algorithm 2 lines 3-5: k = 1, or both constituent (k-1)-grams
-      // frequent.
+    // Algorithm 2 lines 3-5: k = 1, or both constituent (k-1)-grams
+    // frequent. The probes are sub-slices of the input bytes, and window
+    // b's trailing (k-1)-gram is window b+1's leading one, so each window
+    // costs one dictionary probe, not two — the previous result carries.
+    bool lead_ok =
+        k_ > 1 ? dict_->Contains(cursor_.Range(pb, pb + k_ - 1)) : true;
+    for (size_t b = pb; b + k_ <= pe; ++b) {
+      bool trail_ok = true;
       if (k_ > 1) {
-        if (!dict_->ContainsRange(terms, b, b + k_ - 1, &scratch_) ||
-            !dict_->ContainsRange(terms, b + 1, b + k_, &scratch_)) {
-          continue;
-        }
+        trail_ok = dict_->Contains(cursor_.Range(b + 1, b + k_));
       }
-      NGRAM_RETURN_NOT_OK(
-          ctx->EmitEncodedKey(encoder_.Range(b, b + k_), value));
+      if (lead_ok && trail_ok) {
+        NGRAM_RETURN_NOT_OK(
+            ctx->EmitRaw(cursor_.Range(b, b + k_), value_scratch_));
+      }
+      lead_ok = trail_ok;
     }
     return Status::OK();
   }
@@ -62,8 +76,8 @@ class AprioriScanMapper final
   const uint32_t k_;
   const std::shared_ptr<const UnigramFrequencies> unigram_cf_;
   const std::shared_ptr<const SequenceSet> dict_;
-  std::string scratch_;
-  SequenceRangeEncoder encoder_;
+  FragmentCursor cursor_;
+  std::string value_scratch_;
 };
 
 }  // namespace
@@ -84,9 +98,9 @@ Result<NgramRun> RunAprioriScan(const CorpusContext& ctx,
     mr::JobConfig config =
         MakeBaseJobConfig(options, "apriori-scan-k" + std::to_string(k));
 
-    mr::MemoryTable<TermSequence, uint64_t> output;
+    mr::RecordTable output;
     auto metrics = mr::RunJob<AprioriScanMapper, CountReducer>(
-        config, ctx.input,
+        config, ctx.records,
         [&options, &ctx, k, dict] {
           return std::make_unique<AprioriScanMapper>(options, k,
                                                      ctx.unigram_cf, dict);
@@ -111,8 +125,9 @@ Result<NgramRun> RunAprioriScan(const CorpusContext& ctx,
     }
     const bool last_iteration = (k + 1 > sigma);
     if (!last_iteration) {
-      // Build the dictionary for iteration k+1 from this iteration's
-      // output.
+      // Build the dictionary for iteration k+1 straight from this
+      // iteration's serialized output: the record keys already ARE the
+      // encoded k-grams, so inserts are slice copies, not re-encodes.
       SequenceSet::Options dict_options;
       dict_options.memory_budget_bytes = options.reducer_memory_budget_bytes;
       if (!options.work_dir.empty()) {
@@ -123,17 +138,14 @@ Result<NgramRun> RunAprioriScan(const CorpusContext& ctx,
         dict_options.memory_budget_bytes = SIZE_MAX;  // No spill target.
       }
       auto next_dict = std::make_shared<SequenceSet>(dict_options);
-      std::string encoded;
-      for (const auto& [seq, cf] : output.rows) {
-        encoded.clear();
-        SequenceCodec::Encode(seq, &encoded);
-        NGRAM_RETURN_NOT_OK(next_dict->Insert(Slice(encoded)));
+      auto reader = output.NewReader();
+      while (reader->Next()) {
+        NGRAM_RETURN_NOT_OK(next_dict->Insert(reader->key()));
       }
+      NGRAM_RETURN_NOT_OK(reader->status());
       dict = std::move(next_dict);
     }
-    for (auto& [seq, cf] : output.rows) {
-      run.stats.Add(std::move(seq), cf);
-    }
+    NGRAM_RETURN_NOT_OK(DrainCounts(output, &run.stats));
     if (last_iteration) {
       break;
     }

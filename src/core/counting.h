@@ -8,6 +8,7 @@
 
 #include "core/input.h"
 #include "core/options.h"
+#include "core/stats.h"
 #include "mapreduce/job.h"
 
 namespace ngram {
@@ -17,13 +18,14 @@ namespace ngram {
 /// counts); in document mode, values are doc ids and distinct ones are
 /// counted. Emits (n-gram, frequency) when frequency >= tau.
 ///
-/// Runs on the raw grouped pipeline: values are decoded straight off the
-/// merge stream's slices, and the n-gram key is decoded only for groups
-/// that pass the threshold — infrequent n-grams (the vast majority under a
-/// selective tau) are counted and dropped without a single key decode or
-/// copy. group->key() is safe to decode after draining the values because
-/// both comparators used here (bytewise, reverse-lex) make grouping-equal
-/// keys byte-identical.
+/// Runs on the raw grouped pipeline end to end: values are decoded
+/// straight off the merge stream's slices, and n-gram keys are never
+/// decoded at all — groups that pass the threshold re-emit their key bytes
+/// verbatim through EmitRaw (sound because both comparators used here,
+/// bytewise and reverse-lex, make grouping-equal keys byte-identical, and
+/// group->key() stays valid across the drain). Infrequent n-grams (the
+/// vast majority under a selective tau) are counted and dropped without a
+/// single key decode or copy.
 class CountReducer final : public mr::RawReducer<TermSequence, uint64_t> {
  public:
   CountReducer(uint64_t tau, FrequencyMode mode) : tau_(tau), mode_(mode) {}
@@ -50,10 +52,11 @@ class CountReducer final : public mr::RawReducer<TermSequence, uint64_t> {
       frequency = distinct_.size();
     }
     if (frequency >= tau_) {
-      if (!Serde<TermSequence>::Decode(group->key(), &key_)) {
-        return Status::Corruption("CountReducer: bad n-gram key");
-      }
-      return ctx->Emit(key_, frequency);
+      // Serde<uint64_t> wire form is a varint; encode into a stack buffer.
+      char buf[kMaxVarint64Bytes];
+      char* end = EncodeVarint64To(buf, frequency);
+      return ctx->EmitRaw(group->key(),
+                          Slice(buf, static_cast<size_t>(end - buf)));
     }
     return Status::OK();
   }
@@ -62,8 +65,26 @@ class CountReducer final : public mr::RawReducer<TermSequence, uint64_t> {
   const uint64_t tau_;
   const FrequencyMode mode_;
   std::unordered_set<uint64_t> distinct_;  // Reused across groups.
-  TermSequence key_;                       // Reused across groups.
 };
+
+/// Decodes a serialized (n-gram, frequency) job output into the run's
+/// statistics table — the single typed decode at the end of a chained
+/// pipeline.
+inline Status DrainCounts(const mr::RecordTable& table,
+                          NgramStatistics* stats) {
+  stats->entries.reserve(stats->entries.size() + table.num_records());
+  auto reader = table.NewReader();
+  while (reader->Next()) {
+    TermSequence seq;
+    uint64_t frequency = 0;
+    if (!Serde<TermSequence>::Decode(reader->key(), &seq) ||
+        !Serde<uint64_t>::Decode(reader->value(), &frequency)) {
+      return Status::Corruption("DrainCounts: bad (n-gram, count) row");
+    }
+    stats->Add(std::move(seq), frequency);
+  }
+  return reader->status();
+}
 
 /// Value a counting mapper emits for one n-gram occurrence: a unit count in
 /// collection mode (so the SumCombiner can pre-aggregate), the document id

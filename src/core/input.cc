@@ -13,24 +13,22 @@ CorpusContext BuildCorpusContext(const Corpus& corpus) {
   auto years = std::make_shared<std::vector<int32_t>>();
   years->assign(max_doc_id + 1, 0);
 
-  uint64_t num_rows = 0;
-  for (const auto& doc : corpus.docs) {
-    num_rows += doc.sentences.size();
-  }
-  ctx.input.rows.reserve(num_rows);
-
+  // Rows are serialized straight into the context's RecordTable — every
+  // job of every method (and every APRIORI round) maps over it, and no
+  // typed copy of the corpus is kept alive.
+  Fragment fragment;
+  std::string scratch;
   for (const auto& doc : corpus.docs) {
     (*years)[doc.id] = doc.year;
     uint32_t base = 0;
     for (const auto& sentence : doc.sentences) {
-      Fragment fragment;
       fragment.base = base;
       fragment.terms = sentence;
       ctx.total_term_occurrences += sentence.size();
       // +1 gap so fragments are never position-adjacent (barrier safety
       // for positional joins).
       base += static_cast<uint32_t>(sentence.size()) + 1;
-      ctx.input.Add(doc.id, std::move(fragment));
+      mr::AppendTypedRow(&ctx.records, doc.id, fragment, &scratch);
     }
   }
 
@@ -44,29 +42,19 @@ void ForEachPiece(const Fragment& fragment, bool document_splits,
                   const UnigramFrequencies& unigram_cf, uint64_t tau,
                   const std::function<void(const Fragment&)>& fn) {
   if (!document_splits || tau <= 1) {
-    fn(fragment);
+    fn(fragment);  // Hand over the fragment itself: no copy.
     return;
   }
+  // Delegate the splitting invariant to ForEachPieceRange so the typed
+  // and raw mappers share one definition of what a piece is.
   Fragment piece;
-  bool open = false;
-  for (size_t i = 0; i < fragment.terms.size(); ++i) {
-    const TermId t = fragment.terms[i];
-    const uint64_t cf = t < unigram_cf.size() ? unigram_cf[t] : 0;
-    if (cf >= tau) {
-      if (!open) {
-        piece.base = fragment.base + static_cast<uint32_t>(i);
-        piece.terms.clear();
-        open = true;
-      }
-      piece.terms.push_back(t);
-    } else if (open) {
-      fn(piece);
-      open = false;
-    }
-  }
-  if (open) {
-    fn(piece);
-  }
+  ForEachPieceRange(fragment.terms, document_splits, unigram_cf, tau,
+                    [&](size_t b, size_t e) {
+                      piece.base = fragment.base + static_cast<uint32_t>(b);
+                      piece.terms.assign(fragment.terms.begin() + b,
+                                         fragment.terms.begin() + e);
+                      fn(piece);
+                    });
 }
 
 }  // namespace ngram

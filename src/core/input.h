@@ -46,13 +46,19 @@ struct Serde<Fragment> {
   }
 };
 
-/// The input table type every method's first job consumes.
+/// The typed input row shape ((doc_id, Fragment) pairs); the context
+/// stores rows serialized, so this alias mostly serves tests that build
+/// small typed tables by hand.
 using InputTable = mr::MemoryTable<uint64_t, Fragment>;
 
 /// Immutable per-run context shared by mapper instances (the moral
 /// equivalent of Hadoop's distributed cache for side data).
 struct CorpusContext {
-  InputTable input;
+  /// The input rows — one per sentence — in serialized form: the
+  /// RecordTable every method's first job maps over. Encoded once per
+  /// context, reused across every job and round (APRIORI-SCAN's repeated
+  /// scans included); no typed copy of the corpus is retained.
+  mr::RecordTable records;
   /// Unigram collection frequencies (for document splitting).
   std::shared_ptr<const UnigramFrequencies> unigram_cf;
   /// doc id -> publication year (time-series extension); empty if no
@@ -70,5 +76,93 @@ CorpusContext BuildCorpusContext(const Corpus& corpus);
 void ForEachPiece(const Fragment& fragment, bool document_splits,
                   const UnigramFrequencies& unigram_cf, uint64_t tau,
                   const std::function<void(const Fragment&)>& fn);
+
+/// \brief Zero-copy cursor over one serialized input row (doc-id key +
+/// Fragment value) for raw n-gram mappers.
+///
+/// One varint scan recovers the term ids (needed for document splitting
+/// and dictionary probes) together with each term's byte offset inside the
+/// encoded terms — which are a sub-slice of the input value, so any
+/// contiguous piece (n-gram window, truncated suffix) can be emitted as a
+/// slice of the *input* bytes: no Fragment decode into a typed row, no
+/// re-encode before emitting. Buffers are reused across rows.
+class FragmentCursor {
+ public:
+  /// Parses the key/value slices of one input record. Returns false on
+  /// malformed input. Slices handed out below stay valid until the next
+  /// Parse() call (they point into `value`).
+  bool Parse(Slice key, Slice value) {
+    terms_.clear();
+    offsets_.clear();
+    if (!GetVarint64(&key, &doc_id_) || !key.empty()) {
+      return false;
+    }
+    if (!GetVarint32(&value, &base_)) {
+      return false;
+    }
+    terms_bytes_ = value;
+    const char* start = value.data();
+    while (!value.empty()) {
+      offsets_.push_back(static_cast<uint32_t>(value.data() - start));
+      TermId t = 0;
+      if (!GetVarint32(&value, &t)) {
+        return false;
+      }
+      terms_.push_back(t);
+    }
+    offsets_.push_back(static_cast<uint32_t>(value.data() - start));
+    return true;
+  }
+
+  uint64_t doc_id() const { return doc_id_; }
+  uint32_t base() const { return base_; }
+  const TermSequence& terms() const { return terms_; }
+
+  /// Encoded bytes of terms [b, e) — a sub-slice of the parsed value.
+  Slice Range(size_t b, size_t e) const {
+    return Slice(terms_bytes_.data() + offsets_[b],
+                 offsets_[e] - offsets_[b]);
+  }
+
+ private:
+  uint64_t doc_id_ = 0;
+  uint32_t base_ = 0;
+  Slice terms_bytes_;
+  TermSequence terms_;             // Reused across rows.
+  std::vector<uint32_t> offsets_;  // terms_.size() + 1 entries.
+};
+
+/// Raw counterpart of ForEachPiece: invokes fn(begin, end) with the index
+/// range of every piece of `terms` (the whole range when splitting is
+/// disabled). Splitting semantics are identical to ForEachPiece — pieces
+/// are the maximal runs of terms with unigram cf >= tau — so a raw mapper
+/// emits byte-identical records to its typed predecessor.
+template <typename Fn>
+inline void ForEachPieceRange(const TermSequence& terms, bool document_splits,
+                              const UnigramFrequencies& unigram_cf,
+                              uint64_t tau, const Fn& fn) {
+  if (!document_splits || tau <= 1) {
+    fn(static_cast<size_t>(0), terms.size());
+    return;
+  }
+  size_t begin = 0;
+  bool open = false;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const TermId t = terms[i];
+    const uint64_t cf = t < unigram_cf.size() ? unigram_cf[t] : 0;
+    if (cf >= tau) {
+      if (!open) {
+        begin = i;
+        open = true;
+      }
+    } else if (open) {
+      fn(begin, i);
+      open = false;
+    }
+  }
+  if (open) {
+    fn(begin, terms.size());
+  }
+}
 
 }  // namespace ngram

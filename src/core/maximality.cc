@@ -12,15 +12,27 @@ namespace ngram {
 namespace {
 
 /// Post-filter mapper: reverses n-grams so suffix relations become prefix
-/// relations.
-class ReverseMapper final
-    : public mr::Mapper<TermSequence, uint64_t, TermSequence, uint64_t> {
+/// relations. Runs raw over job 1's serialized output — the reversed key
+/// is assembled by copying the key's term byte ranges in reverse order
+/// (one varint boundary scan, no decode), and the frequency value passes
+/// through as untouched bytes.
+class ReverseMapper final : public mr::RawMapper<TermSequence, uint64_t> {
  public:
-  Status Map(const TermSequence& seq, const uint64_t& cf,
-             Context* ctx) override {
-    TermSequence reversed(seq.rbegin(), seq.rend());
-    return ctx->Emit(reversed, cf);
+  Status Map(Slice key, Slice value, Context* ctx) override {
+    if (!SequenceCodec::TermOffsets(key, &offsets_)) {
+      return Status::Corruption("ReverseMapper: bad n-gram key");
+    }
+    reversed_.clear();
+    for (size_t i = offsets_.size() - 1; i > 0; --i) {
+      reversed_.append(key.data() + offsets_[i - 1],
+                       offsets_[i] - offsets_[i - 1]);
+    }
+    return ctx->EmitRaw(reversed_, value);
   }
+
+ private:
+  std::vector<uint32_t> offsets_;  // Reused across records.
+  std::string reversed_;           // Reused across records.
 };
 
 /// Post-filter reducer: PrefixFilterStack over reversed n-grams; emits
@@ -63,14 +75,18 @@ class SuffixFilterReducer final
 
 Result<NgramRun> RunWithMode(const CorpusContext& ctx,
                              const NgramJobOptions& options, EmitMode mode) {
-  // Job 1: SUFFIX-sigma with prefix filtering.
-  auto first = RunSuffixSigma(ctx, options, mode);
+  NgramRun run;
+
+  // Job 1: SUFFIX-sigma with prefix filtering, output left serialized.
+  auto first = RunSuffixSigmaJob(ctx, options, mode, &run.metrics);
   if (!first.ok()) {
     return first.status();
   }
-  NgramRun run = std::move(first).ValueOrDie();
+  const mr::RecordTable stage = std::move(first).ValueOrDie();
 
-  // Job 2: suffix filtering on reversed n-grams.
+  // Job 2: suffix filtering on reversed n-grams. Job 1's reducer output
+  // feeds these mappers as serialized slices — no decode/re-encode at the
+  // job boundary.
   mr::JobConfig config = MakeBaseJobConfig(
       options,
       mode == EmitMode::kPrefixMaximal ? "maximality-filter"
@@ -78,18 +94,16 @@ Result<NgramRun> RunWithMode(const CorpusContext& ctx,
   config.partitioner = FirstTermPartitioner::Instance();
   config.sort_comparator = ReverseLexSequenceComparator::Instance();
 
-  mr::MemoryTable<TermSequence, uint64_t> input;
-  input.rows = std::move(run.stats.entries);
-  mr::MemoryTable<TermSequence, uint64_t> output;
+  mr::RecordTable output;
   auto metrics = mr::RunJob<ReverseMapper, SuffixFilterReducer>(
-      config, input, [] { return std::make_unique<ReverseMapper>(); },
+      config, stage, [] { return std::make_unique<ReverseMapper>(); },
       [mode] { return std::make_unique<SuffixFilterReducer>(mode); },
       &output);
   if (!metrics.ok()) {
     return metrics.status();
   }
   run.metrics.Add(std::move(metrics).ValueOrDie());
-  run.stats.entries = std::move(output.rows);
+  NGRAM_RETURN_NOT_OK(DrainCounts(output, &run.stats));
   return run;
 }
 

@@ -7,46 +7,49 @@ namespace ngram {
 namespace {
 
 /// Algorithm 1's mapper: all n-grams up to length sigma, per fragment
-/// piece.
-class NaiveMapper final
-    : public mr::Mapper<uint64_t, Fragment, TermSequence, uint64_t> {
+/// piece. Runs raw over the serialized input row: one varint scan recovers
+/// term ids and offsets, and every n-gram window is emitted as a sub-slice
+/// of the *input* bytes — no Fragment decode, no re-encode.
+class NaiveMapper final : public mr::RawMapper<TermSequence, uint64_t> {
  public:
   NaiveMapper(const NgramJobOptions& options,
               std::shared_ptr<const UnigramFrequencies> unigram_cf)
       : options_(options), unigram_cf_(std::move(unigram_cf)) {}
 
-  Status Map(const uint64_t& doc_id, const Fragment& fragment,
-             Context* ctx) override {
+  Status Map(Slice key, Slice value, Context* ctx) override {
+    if (!cursor_.Parse(key, value)) {
+      return Status::Corruption("NaiveMapper: bad input row");
+    }
     const uint64_t sigma = options_.sigma_or_max();
-    const uint64_t value = CountingValue(options_.frequency_mode, doc_id);
+    // The value varint is constant for the whole row; encode it once.
+    value_scratch_.clear();
+    Serde<uint64_t>::Encode(
+        CountingValue(options_.frequency_mode, cursor_.doc_id()),
+        &value_scratch_);
     Status status;
-    ForEachPiece(fragment, options_.document_splits, *unigram_cf_,
-                 options_.tau, [&](const Fragment& piece) {
-                   if (!status.ok()) {
-                     return;
-                   }
-                   // Every n-gram window is a contiguous byte range of the
-                   // piece's encoding: encode once, emit sub-slices.
-                   const auto& terms = piece.terms;
-                   encoder_.Encode(terms);
-                   for (size_t b = 0; b < terms.size(); ++b) {
-                     for (size_t e = b + 1;
-                          e <= terms.size() && (e - b) <= sigma; ++e) {
-                       status = ctx->EmitEncodedKey(encoder_.Range(b, e),
-                                                    value);
-                       if (!status.ok()) {
-                         return;
-                       }
-                     }
-                   }
-                 });
+    ForEachPieceRange(
+        cursor_.terms(), options_.document_splits, *unigram_cf_,
+        options_.tau, [&](size_t pb, size_t pe) {
+          if (!status.ok()) {
+            return;
+          }
+          for (size_t b = pb; b < pe; ++b) {
+            for (size_t e = b + 1; e <= pe && (e - b) <= sigma; ++e) {
+              status = ctx->EmitRaw(cursor_.Range(b, e), value_scratch_);
+              if (!status.ok()) {
+                return;
+              }
+            }
+          }
+        });
     return status;
   }
 
  private:
   const NgramJobOptions options_;
   const std::shared_ptr<const UnigramFrequencies> unigram_cf_;
-  SequenceRangeEncoder encoder_;
+  FragmentCursor cursor_;
+  std::string value_scratch_;
 };
 
 }  // namespace
@@ -61,9 +64,9 @@ Result<NgramRun> RunNaive(const CorpusContext& ctx,
     combiner = mr::SumCombiner();
   }
 
-  mr::MemoryTable<TermSequence, uint64_t> output;
+  mr::RecordTable output;
   auto metrics = mr::RunJob<NaiveMapper, CountReducer>(
-      config, ctx.input,
+      config, ctx.records,
       [&options, &ctx] {
         return std::make_unique<NaiveMapper>(options, ctx.unigram_cf);
       },
@@ -78,7 +81,7 @@ Result<NgramRun> RunNaive(const CorpusContext& ctx,
 
   NgramRun run;
   run.metrics.Add(std::move(metrics).ValueOrDie());
-  run.stats.entries = std::move(output.rows);
+  NGRAM_RETURN_NOT_OK(DrainCounts(output, &run.stats));
   return run;
 }
 

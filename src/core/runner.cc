@@ -4,6 +4,7 @@
 #include "core/apriori_scan.h"
 #include "core/naive.h"
 #include "core/suffix_sigma.h"
+#include "util/logging.h"
 
 namespace ngram {
 
@@ -41,9 +42,10 @@ Status ValidateOptions(const NgramJobOptions& options) {
   return Status::OK();
 }
 
-Result<NgramRun> ComputeNgramStatistics(const CorpusContext& ctx,
-                                        const NgramJobOptions& options) {
-  NGRAM_RETURN_NOT_OK(ValidateOptions(options));
+namespace {
+
+Result<NgramRun> Dispatch(const CorpusContext& ctx,
+                          const NgramJobOptions& options) {
   switch (options.method) {
     case Method::kNaive:
       return RunNaive(ctx, options);
@@ -55,6 +57,22 @@ Result<NgramRun> ComputeNgramStatistics(const CorpusContext& ctx,
       return RunSuffixSigma(ctx, options);
   }
   return Status::InvalidArgument("unknown method");
+}
+
+}  // namespace
+
+Result<NgramRun> ComputeNgramStatistics(const CorpusContext& ctx,
+                                        const NgramJobOptions& options) {
+  NGRAM_RETURN_NOT_OK(ValidateOptions(options));
+  auto run = Dispatch(ctx, options);
+  if (run.ok() && run->metrics.num_jobs() > 1) {
+    // Chained pipelines report every round's boundary/shuffle split, not
+    // just the aggregate — the per-round view is what exposes job-boundary
+    // cost on the APRIORI methods.
+    NGRAM_LOG_INFO << MethodName(options.method) << " pipeline:\n"
+                   << run->metrics.pipeline().ToString();
+  }
+  return run;
 }
 
 Result<NgramRun> ComputeNgramStatistics(const Corpus& corpus,

@@ -173,7 +173,7 @@ Result<SuffixIndexRun> RunSuffixSigmaIndex(const CorpusContext& ctx,
 
   SuffixIndexRun run;
   auto metrics = mr::RunJob<IndexSuffixMapper, IndexSuffixReducer>(
-      config, ctx.input,
+      config, ctx.records,
       [&options, &ctx] {
         return std::make_unique<IndexSuffixMapper>(options, ctx.unigram_cf);
       },

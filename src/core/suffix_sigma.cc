@@ -10,44 +10,47 @@ namespace ngram {
 
 namespace {
 
-/// Algorithm 4's mapper: one truncated suffix per position.
-class SuffixMapper final
-    : public mr::Mapper<uint64_t, Fragment, TermSequence, uint64_t> {
+/// Algorithm 4's mapper: one truncated suffix per position. Runs raw over
+/// the serialized input row — every truncated suffix is a contiguous byte
+/// range of the *input* bytes, so one varint scan replaces the Fragment
+/// decode and the per-piece re-encode entirely.
+class SuffixMapper final : public mr::RawMapper<TermSequence, uint64_t> {
  public:
   SuffixMapper(const NgramJobOptions& options,
                std::shared_ptr<const UnigramFrequencies> unigram_cf)
       : options_(options), unigram_cf_(std::move(unigram_cf)) {}
 
-  Status Map(const uint64_t& doc_id, const Fragment& fragment,
-             Context* ctx) override {
+  Status Map(Slice key, Slice value, Context* ctx) override {
+    if (!cursor_.Parse(key, value)) {
+      return Status::Corruption("SuffixMapper: bad input row");
+    }
     const uint64_t sigma = options_.sigma_or_max();
+    // The doc-id value varint is constant for the row; encode it once.
+    value_scratch_.clear();
+    Serde<uint64_t>::Encode(cursor_.doc_id(), &value_scratch_);
     Status status;
-    ForEachPiece(fragment, options_.document_splits, *unigram_cf_,
-                 options_.tau, [&](const Fragment& piece) {
-                   if (!status.ok()) {
-                     return;
-                   }
-                   // Every truncated suffix is a contiguous byte range of
-                   // the piece's encoding: encode once, emit sub-slices.
-                   const auto& terms = piece.terms;
-                   encoder_.Encode(terms);
-                   for (size_t b = 0; b < terms.size(); ++b) {
-                     const size_t end =
-                         std::min<size_t>(terms.size(), b + sigma);
-                     status =
-                         ctx->EmitEncodedKey(encoder_.Range(b, end), doc_id);
-                     if (!status.ok()) {
-                       return;
-                     }
-                   }
-                 });
+    ForEachPieceRange(
+        cursor_.terms(), options_.document_splits, *unigram_cf_,
+        options_.tau, [&](size_t pb, size_t pe) {
+          if (!status.ok()) {
+            return;
+          }
+          for (size_t b = pb; b < pe; ++b) {
+            const size_t end = std::min<size_t>(pe, b + sigma);
+            status = ctx->EmitRaw(cursor_.Range(b, end), value_scratch_);
+            if (!status.ok()) {
+              return;
+            }
+          }
+        });
     return status;
   }
 
  private:
   const NgramJobOptions options_;
   const std::shared_ptr<const UnigramFrequencies> unigram_cf_;
-  SequenceRangeEncoder encoder_;
+  FragmentCursor cursor_;
+  std::string value_scratch_;
 };
 
 /// Algorithm 4's reducer: feeds the two-stack automaton; Cleanup() is the
@@ -174,14 +177,15 @@ class HashAggregationSuffixReducer final
 
 }  // namespace
 
-Result<NgramRun> RunSuffixSigma(const CorpusContext& ctx,
-                                const NgramJobOptions& options,
-                                EmitMode emit_mode) {
+Result<mr::RecordTable> RunSuffixSigmaJob(const CorpusContext& ctx,
+                                          const NgramJobOptions& options,
+                                          EmitMode emit_mode,
+                                          mr::RunMetrics* metrics) {
   mr::JobConfig config = MakeBaseJobConfig(options, "suffix-sigma");
   config.partitioner = FirstTermPartitioner::Instance();
   config.sort_comparator = ReverseLexSequenceComparator::Instance();
 
-  mr::MemoryTable<TermSequence, uint64_t> output;
+  mr::RecordTable output;
   auto run_job = [&]() -> Result<mr::JobMetrics> {
     if (options.suffix_aggregation == SuffixAggregation::kHashMap) {
       if (options.frequency_mode != FrequencyMode::kCollection) {
@@ -194,7 +198,7 @@ Result<NgramRun> RunSuffixSigma(const CorpusContext& ctx,
             "maximality/closedness require stack aggregation");
       }
       return mr::RunJob<SuffixMapper, HashAggregationSuffixReducer>(
-          config, ctx.input,
+          config, ctx.records,
           [&options, &ctx] {
             return std::make_unique<SuffixMapper>(options, ctx.unigram_cf);
           },
@@ -204,7 +208,7 @@ Result<NgramRun> RunSuffixSigma(const CorpusContext& ctx,
           &output);
     }
     return mr::RunJob<SuffixMapper, SuffixReducer>(
-        config, ctx.input,
+        config, ctx.records,
         [&options, &ctx] {
           return std::make_unique<SuffixMapper>(options, ctx.unigram_cf);
         },
@@ -213,14 +217,23 @@ Result<NgramRun> RunSuffixSigma(const CorpusContext& ctx,
         },
         &output);
   };
-  auto metrics = run_job();
-  if (!metrics.ok()) {
-    return metrics.status();
+  auto job_metrics = run_job();
+  if (!job_metrics.ok()) {
+    return job_metrics.status();
   }
+  metrics->Add(std::move(job_metrics).ValueOrDie());
+  return std::move(output);
+}
 
+Result<NgramRun> RunSuffixSigma(const CorpusContext& ctx,
+                                const NgramJobOptions& options,
+                                EmitMode emit_mode) {
   NgramRun run;
-  run.metrics.Add(std::move(metrics).ValueOrDie());
-  run.stats.entries = std::move(output.rows);
+  auto output = RunSuffixSigmaJob(ctx, options, emit_mode, &run.metrics);
+  if (!output.ok()) {
+    return output.status();
+  }
+  NGRAM_RETURN_NOT_OK(DrainCounts(*output, &run.stats));
   return run;
 }
 

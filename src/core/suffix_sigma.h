@@ -30,4 +30,13 @@ Result<NgramRun> RunSuffixSigma(const CorpusContext& ctx,
                                 const NgramJobOptions& options,
                                 EmitMode emit_mode = EmitMode::kAll);
 
+/// The single SUFFIX-sigma job with its output left serialized — the
+/// chaining form: the maximality/closedness post-filter feeds this table
+/// straight into its second job without a decode/re-encode round-trip.
+/// Appends the job's metrics to `*metrics`.
+Result<mr::RecordTable> RunSuffixSigmaJob(const CorpusContext& ctx,
+                                          const NgramJobOptions& options,
+                                          EmitMode emit_mode,
+                                          mr::RunMetrics* metrics);
+
 }  // namespace ngram

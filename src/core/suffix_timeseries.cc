@@ -14,8 +14,11 @@ namespace {
 /// timestamp" suffix value.
 using DocYear = std::pair<uint64_t, int64_t>;
 
+/// Raw over the serialized input row: suffixes are emitted as sub-slices
+/// of the input bytes, and the (doc id, year) value is encoded once per
+/// row instead of once per suffix.
 class TimeSeriesSuffixMapper final
-    : public mr::Mapper<uint64_t, Fragment, TermSequence, DocYear> {
+    : public mr::RawMapper<TermSequence, DocYear> {
  public:
   TimeSeriesSuffixMapper(const NgramJobOptions& options,
                          std::shared_ptr<const UnigramFrequencies> unigram_cf,
@@ -24,30 +27,30 @@ class TimeSeriesSuffixMapper final
         unigram_cf_(std::move(unigram_cf)),
         years_(std::move(years)) {}
 
-  Status Map(const uint64_t& doc_id, const Fragment& fragment,
-             Context* ctx) override {
+  Status Map(Slice key, Slice value, Context* ctx) override {
+    if (!cursor_.Parse(key, value)) {
+      return Status::Corruption("TimeSeriesSuffixMapper: bad input row");
+    }
     const uint64_t sigma = options_.sigma_or_max();
-    const int64_t year =
-        doc_id < years_->size() ? (*years_)[doc_id] : 0;
-    const DocYear value{doc_id, year};
+    const uint64_t doc_id = cursor_.doc_id();
+    const int64_t year = doc_id < years_->size() ? (*years_)[doc_id] : 0;
+    value_scratch_.clear();
+    Serde<DocYear>::Encode(DocYear{doc_id, year}, &value_scratch_);
     Status status;
-    ForEachPiece(fragment, options_.document_splits, *unigram_cf_,
-                 options_.tau, [&](const Fragment& piece) {
-                   if (!status.ok()) {
-                     return;
-                   }
-                   const auto& terms = piece.terms;
-                   TermSequence suffix;
-                   for (size_t b = 0; b < terms.size(); ++b) {
-                     const size_t end =
-                         std::min<size_t>(terms.size(), b + sigma);
-                     suffix.assign(terms.begin() + b, terms.begin() + end);
-                     status = ctx->Emit(suffix, value);
-                     if (!status.ok()) {
-                       return;
-                     }
-                   }
-                 });
+    ForEachPieceRange(
+        cursor_.terms(), options_.document_splits, *unigram_cf_,
+        options_.tau, [&](size_t pb, size_t pe) {
+          if (!status.ok()) {
+            return;
+          }
+          for (size_t b = pb; b < pe; ++b) {
+            const size_t end = std::min<size_t>(pe, b + sigma);
+            status = ctx->EmitRaw(cursor_.Range(b, end), value_scratch_);
+            if (!status.ok()) {
+              return;
+            }
+          }
+        });
     return status;
   }
 
@@ -55,6 +58,8 @@ class TimeSeriesSuffixMapper final
   const NgramJobOptions options_;
   const std::shared_ptr<const UnigramFrequencies> unigram_cf_;
   const std::shared_ptr<const std::vector<int32_t>> years_;
+  FragmentCursor cursor_;
+  std::string value_scratch_;
 };
 
 /// Raw pipeline: (doc id, year) values decode straight off the merge
@@ -108,7 +113,7 @@ Result<TimeSeriesRun> RunSuffixSigmaTimeSeries(
 
   TimeSeriesRun run;
   auto metrics = mr::RunJob<TimeSeriesSuffixMapper, TimeSeriesSuffixReducer>(
-      config, ctx.input,
+      config, ctx.records,
       [&options, &ctx] {
         return std::make_unique<TimeSeriesSuffixMapper>(
             options, ctx.unigram_cf, ctx.doc_years);

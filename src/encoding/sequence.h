@@ -59,6 +59,26 @@ struct SequenceCodec {
     offsets->push_back(static_cast<uint32_t>(out->size()));
   }
 
+  /// Scans an encoded sequence and records each term's starting byte
+  /// offset plus the total size as a final sentinel (same layout as
+  /// EncodeWithTermOffsets, but over already-encoded bytes): the encoding
+  /// of terms [b, e) is the byte range [offsets[b], offsets[e]) of `in`.
+  /// Raw mappers over serialized job boundaries use this to re-slice a key
+  /// without decoding it. Returns false on malformed input.
+  static bool TermOffsets(Slice in, std::vector<uint32_t>* offsets) {
+    offsets->clear();
+    const char* base = in.data();
+    while (!in.empty()) {
+      offsets->push_back(static_cast<uint32_t>(in.data() - base));
+      TermId t = 0;
+      if (!GetVarint32(&in, &t)) {
+        return false;
+      }
+    }
+    offsets->push_back(static_cast<uint32_t>(in.data() - base));
+    return true;
+  }
+
   /// Decodes an entire slice into `seq` (cleared first). Returns false on
   /// malformed input.
   static bool Decode(Slice in, TermSequence* seq) {

@@ -17,17 +17,19 @@ uint64_t HashEncoded(Slice encoded) {
 
 SequenceSet::SequenceSet(Options options) : options_(std::move(options)) {
   buckets_.assign(kInitialBuckets, 0);
+  tags_.assign(kInitialBuckets, 0);
 }
 
 SequenceSet::~SequenceSet() = default;
 
 size_t SequenceSet::MemoryBytes() const {
-  return arena_.size() + buckets_.size() * sizeof(uint64_t);
+  return arena_.size() + buckets_.size() * sizeof(uint64_t) + tags_.size();
 }
 
 bool SequenceSet::FindInMemory(Slice encoded, uint64_t hash,
                                size_t* bucket) const {
   const size_t mask = buckets_.size() - 1;
+  const uint8_t tag = Tag(hash);
   size_t b = static_cast<size_t>(hash) & mask;
   for (;;) {
     const uint64_t slot = buckets_[b];
@@ -35,13 +37,18 @@ bool SequenceSet::FindInMemory(Slice encoded, uint64_t hash,
       *bucket = b;
       return false;
     }
-    // Decode the arena entry at offset slot - 1.
-    Slice entry(arena_.data() + (slot - 1), arena_.size() - (slot - 1));
-    uint64_t len = 0;
-    GetVarint64(&entry, &len);
-    if (Slice(entry.data(), len) == encoded) {
-      *bucket = b;
-      return true;
+    // The 1-byte hash tag rejects almost every non-matching occupied
+    // bucket without chasing into the arena (the mapper's APRIORI probe
+    // is this function's hot caller).
+    if (tags_[b] == tag) {
+      // Decode the arena entry at offset slot - 1.
+      Slice entry(arena_.data() + (slot - 1), arena_.size() - (slot - 1));
+      uint64_t len = 0;
+      GetVarint64(&entry, &len);
+      if (Slice(entry.data(), len) == encoded) {
+        *bucket = b;
+        return true;
+      }
     }
     b = (b + 1) & mask;
   }
@@ -50,6 +57,7 @@ bool SequenceSet::FindInMemory(Slice encoded, uint64_t hash,
 void SequenceSet::GrowBuckets() {
   std::vector<uint64_t> old = std::move(buckets_);
   buckets_.assign(old.size() * 2, 0);
+  tags_.assign(buckets_.size(), 0);
   const size_t mask = buckets_.size() - 1;
   // Rehash by replaying arena entries (offsets in `old` point into arena_).
   for (uint64_t slot : old) {
@@ -65,6 +73,7 @@ void SequenceSet::GrowBuckets() {
       b = (b + 1) & mask;
     }
     buckets_[b] = slot;
+    tags_[b] = Tag(hash);
   }
 }
 
@@ -90,6 +99,7 @@ Status SequenceSet::SpillToStore() {
   arena_.clear();
   arena_.shrink_to_fit();
   buckets_.assign(kInitialBuckets, 0);
+  tags_.assign(kInitialBuckets, 0);
   in_memory_size_ = 0;
   return Status::OK();
 }
@@ -111,6 +121,7 @@ Status SequenceSet::Insert(Slice encoded) {
   PutVarint64(&arena_, encoded.size());
   arena_.append(encoded.data(), encoded.size());
   buckets_[bucket] = offset + 1;
+  tags_[bucket] = Tag(hash);
   ++size_;
   ++in_memory_size_;
   if (static_cast<double>(in_memory_size_) >

@@ -65,11 +65,19 @@ class SequenceSet {
   void GrowBuckets();
   Status SpillToStore();
 
+  /// 1-byte hash tag stored per occupied bucket: probes reject almost all
+  /// non-matching buckets on the tag alone, skipping the arena read.
+  static uint8_t Tag(uint64_t hash) {
+    return static_cast<uint8_t>(hash >> 56);
+  }
+
   Options options_;
   // Arena entries: [len varint][bytes]...
   std::string arena_;
   // Bucket table: offset + 1 into arena_, 0 = empty. Power-of-two size.
   std::vector<uint64_t> buckets_;
+  // Hash tags, parallel to buckets_ (meaningful where buckets_[b] != 0).
+  std::vector<uint8_t> tags_;
   uint64_t size_ = 0;
   uint64_t in_memory_size_ = 0;
   mutable std::unique_ptr<kv::KVStore> store_;  // Non-null once spilled.

@@ -54,14 +54,30 @@ class MapContext {
     return EmitFramed(key_bytes, Slice(scratch_));
   }
 
+  /// Fully raw emit: both sides already in Serde wire form (chained-input
+  /// mappers forwarding or re-slicing serialized records). Bytes are
+  /// consumed before this returns.
+  Status EmitRaw(Slice key_bytes, Slice value_bytes) {
+    return EmitFramed(key_bytes, value_bytes);
+  }
+
   TaskCounters* counters() { return counters_; }
   uint32_t task_id() const { return task_id_; }
 
+  /// Publishes the emit counters accumulated by this context. Called by
+  /// the driver once per task attempt, after Cleanup() — per-emit counter
+  /// bookkeeping stays two plain member additions on the hot path.
+  void FlushCounters() {
+    counters_->Increment(kMapOutputRecords, emitted_records_);
+    counters_->Increment(kMapOutputBytes, emitted_bytes_);
+    emitted_records_ = 0;
+    emitted_bytes_ = 0;
+  }
+
  private:
   Status EmitFramed(Slice key_bytes, Slice value_bytes) {
-    counters_->Increment(kMapOutputRecords);
-    counters_->Increment(kMapOutputBytes,
-                         key_bytes.size() + value_bytes.size());
+    ++emitted_records_;
+    emitted_bytes_ += key_bytes.size() + value_bytes.size();
     const uint32_t p = partitioner_->Partition(key_bytes, num_partitions_);
     return buffer_->Add(p, key_bytes, value_bytes);
   }
@@ -71,19 +87,41 @@ class MapContext {
   SortBuffer* buffer_;
   TaskCounters* counters_;
   uint32_t task_id_;
+  uint64_t emitted_records_ = 0;
+  uint64_t emitted_bytes_ = 0;
   std::string scratch_;
 };
 
-/// \brief Output context passed to reducers; collects typed rows.
+/// \brief Output context passed to reducers; appends serialized records to
+/// the job's output RecordTable.
+///
+/// Emit() serializes the typed pair through one reusable scratch buffer.
+/// EmitRaw() is the zero-copy path for raw reducers that already hold the
+/// serialized bytes — counting/aggregation reducers re-emit the group's
+/// key slice verbatim and never decode it. Either way the output stays
+/// serialized across the job boundary; typed consumers decode once at the
+/// end of the pipeline (or through RunJob's MemoryTable shim).
 template <typename K, typename V>
 class ReduceContext {
  public:
-  ReduceContext(MemoryTable<K, V>* output, TaskCounters* counters,
+  ReduceContext(RecordTable* output, TaskCounters* counters,
                 uint32_t reducer_id)
       : output_(output), counters_(counters), reducer_id_(reducer_id) {}
 
-  Status Emit(K key, V value) {
-    output_->Add(std::move(key), std::move(value));
+  Status Emit(const K& key, const V& value) {
+    scratch_.clear();
+    Serde<K>::Encode(key, &scratch_);
+    const size_t key_len = scratch_.size();
+    Serde<V>::Encode(value, &scratch_);
+    return EmitRaw(Slice(scratch_.data(), key_len),
+                   Slice(scratch_.data() + key_len,
+                         scratch_.size() - key_len));
+  }
+
+  /// Emits a record already in Serde<K>/Serde<V> wire form. Bytes are
+  /// copied into the output table before this returns.
+  Status EmitRaw(Slice key_bytes, Slice value_bytes) {
+    output_->Append(key_bytes, value_bytes);
     counters_->Increment(kReduceOutputRecords);
     return Status::OK();
   }
@@ -92,9 +130,10 @@ class ReduceContext {
   uint32_t reducer_id() const { return reducer_id_; }
 
  private:
-  MemoryTable<K, V>* output_;
+  RecordTable* output_;
   TaskCounters* counters_;
   uint32_t reducer_id_;
+  std::string scratch_;
 };
 
 /// \brief Zero-copy iterator over one key group of the merge stream.

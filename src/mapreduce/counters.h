@@ -14,6 +14,9 @@ namespace ngram::mr {
 
 /// Well-known counter names (kept string-typed so user jobs can add theirs).
 inline constexpr const char* kMapInputRecords = "MAP_INPUT_RECORDS";
+/// Serialized bytes fed to mappers — for chained jobs this is the size of
+/// the previous round's output, i.e. the job-boundary traffic.
+inline constexpr const char* kMapInputBytes = "MAP_INPUT_BYTES";
 inline constexpr const char* kMapOutputRecords = "MAP_OUTPUT_RECORDS";
 inline constexpr const char* kMapOutputBytes = "MAP_OUTPUT_BYTES";
 inline constexpr const char* kCombineInputRecords = "COMBINE_INPUT_RECORDS";

@@ -1,8 +1,12 @@
-// The typed MapReduce job driver.
+// The MapReduce job driver.
 //
 // Execution model (mirroring Hadoop's local semantics):
-//   1. The input table is split into contiguous row ranges, one per map
-//      task. Map tasks run on up to `map_slots` threads; each owns a
+//   1. The input is a RecordTable of serialized records, split into
+//      contiguous byte-balanced ranges at record boundaries, one per map
+//      task (byte-size splitting cuts skew when record sizes vary). Map
+//      tasks run on up to `map_slots` threads; raw mappers consume
+//      key/value slices directly, typed Mappers run through
+//      TypedMapAdapter (one key+value decode per record). Each task owns a
 //      SortBuffer whose per-partition buckets collect serialized records.
 //      Past the byte budget the buckets are sorted independently under the
 //      job's sort comparator and streamed through a fixed-size SpillWriter
@@ -17,8 +21,16 @@
 //      reducers run through TypedReduceAdapter, which decodes the leading
 //      key once per group. File-backed segments are read through buffered
 //      zero-copy readers honoring a one-record lookback contract.
-//   3. Reducer outputs are concatenated in reducer order into the output
-//      table; counters and phase wallclocks land in JobMetrics.
+//   3. Reducers append serialized records to a per-reducer RecordTable;
+//      the output table is assembled by moving whole reducer partitions in
+//      reducer order (no per-row copy); counters and phase wallclocks land
+//      in JobMetrics.
+//
+// Job boundaries are serialized: chained pipelines (the APRIORI methods,
+// the maximality post-filter) hand round k's output RecordTable straight
+// to round k+1 as map input, with no typed decode/re-encode in between.
+// MemoryTable overloads below adapt typed tables on and off this native
+// path for user-facing code and tests.
 //
 // Map and reduce phases are barrier-separated, and equal keys preserve map
 // emission order (stable per-bucket sort + merge ties broken by source
@@ -63,6 +75,68 @@ class Mapper {
   virtual Status Setup(Context* ctx) { return Status::OK(); }
   virtual Status Map(const KIn& key, const VIn& value, Context* ctx) = 0;
   virtual Status Cleanup(Context* ctx) { return Status::OK(); }
+};
+
+/// \brief Tag base marking mappers that consume serialized records
+/// directly (used for compile-time dispatch in RunJob).
+class RawMapperBase {};
+
+/// \brief Base class for raw mappers: map input arrives as serialized
+/// key/value slices off the input RecordTable, valid for the duration of
+/// the Map() call (plus one further record, per the reader lookback
+/// contract).
+///
+/// This is the native map path for chained jobs: a mapper that re-keys or
+/// re-slices serialized records (the n-gram window/suffix mappers, the
+/// posting-join re-keyer, the maximality reverser) emits sub-slices of its
+/// input through MapContext::EmitRaw / EmitEncodedKey without a typed
+/// decode or re-encode. Typed Mappers run through TypedMapAdapter.
+template <typename KOut, typename VOut>
+class RawMapper : public RawMapperBase {
+ public:
+  using KeyOut = KOut;
+  using ValueOut = VOut;
+  using Context = MapContext<KOut, VOut>;
+
+  virtual ~RawMapper() = default;
+  virtual Status Setup(Context* ctx) { return Status::OK(); }
+  virtual Status Map(Slice key, Slice value, Context* ctx) = 0;
+  virtual Status Cleanup(Context* ctx) { return Status::OK(); }
+};
+
+template <typename M>
+inline constexpr bool kIsRawMapper = std::is_base_of_v<RawMapperBase, M>;
+
+/// \brief Adapts a typed Mapper onto the raw record pipeline: decodes each
+/// input record's key and value into reused typed fields (no per-record
+/// allocation once warm) and forwards to the typed Map().
+template <typename M>
+class TypedMapAdapter final
+    : public RawMapper<typename M::KeyOut, typename M::ValueOut> {
+ public:
+  using Context = typename M::Context;
+
+  explicit TypedMapAdapter(std::unique_ptr<M> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Setup(Context* ctx) override { return inner_->Setup(ctx); }
+
+  Status Map(Slice key, Slice value, Context* ctx) override {
+    if (!Serde<typename M::KeyIn>::Decode(key, &key_)) {
+      return Status::Corruption("undecodable map input key");
+    }
+    if (!Serde<typename M::ValueIn>::Decode(value, &value_)) {
+      return Status::Corruption("undecodable map input value");
+    }
+    return inner_->Map(key_, value_, ctx);
+  }
+
+  Status Cleanup(Context* ctx) override { return inner_->Cleanup(ctx); }
+
+ private:
+  std::unique_ptr<M> inner_;
+  typename M::KeyIn key_{};      // Reused across records.
+  typename M::ValueIn value_{};  // Reused across records.
 };
 
 /// \brief Tag base marking reducers that consume serialized groups
@@ -193,28 +267,34 @@ inline uint32_t DeriveNumMapTasks(const JobConfig& config,
 
 }  // namespace internal
 
-/// Runs one MapReduce job.
+/// Runs one MapReduce job over serialized datasets (the native overload).
 ///
 /// \param config    runtime knobs (slots, reducers, comparator, ...).
-/// \param input     typed input rows; map task i sees a contiguous range.
+/// \param input     serialized input records; map task i sees a contiguous
+///        byte-balanced range (split at record boundaries).
 /// \param make_mapper / make_reducer  factories, invoked once per task, so
 ///        user code can capture parameters (tau, sigma, dictionaries).
-/// \param output    filled with reducer emissions, reducer order.
+///        Mappers may be RawMapper or typed Mapper subclasses; reducers
+///        RawReducer or typed Reducer — typed ones run through adapters.
+/// \param output    filled with serialized reducer emissions, reducer
+///        order (whole reducer partitions are moved, not copied).
 /// \param combiner  optional local aggregation run during every spill.
 template <typename M, typename R>
 Result<JobMetrics> RunJob(
-    const JobConfig& config,
-    const MemoryTable<typename M::KeyIn, typename M::ValueIn>& input,
+    const JobConfig& config, const RecordTable& input,
     const std::function<std::unique_ptr<M>()>& make_mapper,
     const std::function<std::unique_ptr<R>()>& make_reducer,
-    MemoryTable<typename R::KeyOut, typename R::ValueOut>* output,
-    RawCombineFn combiner = nullptr) {
+    RecordTable* output, RawCombineFn combiner = nullptr) {
   if constexpr (!kIsRawReducer<R>) {
+    // Raw mappers declare KeyOut/ValueOut too, so the cross-check holds
+    // whenever the reducer is typed.
     static_assert(std::is_same_v<typename M::KeyOut, typename R::KeyIn>,
                   "mapper key-out must equal reducer key-in");
     static_assert(std::is_same_v<typename M::ValueOut, typename R::ValueIn>,
                   "mapper value-out must equal reducer value-in");
   }
+  using MKOut = typename M::KeyOut;
+  using MVOut = typename M::ValueOut;
 
   Stopwatch job_clock;
   Counters counters;
@@ -234,22 +314,24 @@ Result<JobMetrics> RunJob(
   }
 
   const uint32_t num_map_tasks =
-      internal::DeriveNumMapTasks(config, input.size());
+      internal::DeriveNumMapTasks(config, input.num_records());
   const uint32_t num_reducers = config.num_reducers == 0 ? 1
                                                          : config.num_reducers;
 
   // ---------------------------------------------------------------- map --
+  // Tasks are byte-balanced over the serialized input: with variable-size
+  // records (posting lists, chained reducer output) equal row counts can
+  // be wildly unequal work, and the byte share tracks work much closer.
   Stopwatch map_clock;
+  const std::vector<RecordTable::View> splits =
+      input.SplitByBytes(num_map_tasks);
   std::vector<std::vector<SpillRun>> task_runs(num_map_tasks);
   std::vector<Status> map_status(num_map_tasks);
   {
     ThreadPool pool(config.map_slots);
-    const uint64_t rows = input.size();
     const uint32_t max_attempts = std::max(1u, config.max_task_attempts);
     for (uint32_t t = 0; t < num_map_tasks; ++t) {
-      const uint64_t lo = rows * t / num_map_tasks;
-      const uint64_t hi = rows * (t + 1) / num_map_tasks;
-      pool.Submit([&, t, lo, hi] {
+      pool.Submit([&, t] {
         Status st;
         for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
           // Each attempt starts from scratch: fresh mapper, fresh buffer,
@@ -266,17 +348,40 @@ Result<JobMetrics> RunJob(
           opts.checksum_spills = config.checksum_spills;
           opts.spill_name_prefix = "map-" + std::to_string(t);
           SortBuffer buffer(opts, &tc);
-          typename M::Context ctx(config.partitioner, num_reducers, &buffer,
-                                  &tc, t);
-          std::unique_ptr<M> mapper = make_mapper();
-          st = mapper->Setup(&ctx);
-          for (uint64_t i = lo; st.ok() && i < hi; ++i) {
-            tc.Increment(kMapInputRecords);
-            st = mapper->Map(input.rows[i].first, input.rows[i].second,
-                             &ctx);
-          }
-          if (st.ok()) {
-            st = mapper->Cleanup(&ctx);
+          MapContext<MKOut, MVOut> ctx(config.partitioner, num_reducers,
+                                       &buffer, &tc, t);
+          // The record loop runs against the concrete mapper type (raw
+          // mappers directly, typed ones through a stack-local adapter)
+          // so every Map() call devirtualizes and inlines.
+          auto run_task = [&](auto& mapper) -> Status {
+            Status s = mapper.Setup(&ctx);
+            std::unique_ptr<RecordReader> reader =
+                input.NewReader(splits[t]);
+            uint64_t records = 0;
+            while (s.ok() && reader->Next()) {
+              ++records;
+              s = mapper.Map(reader->key(), reader->value(), &ctx);
+            }
+            tc.Increment(kMapInputRecords, records);
+            // A successful attempt consumed its whole view, so the framed
+            // bytes read equal the view's share of the boundary table
+            // (failed attempts discard their counters either way).
+            tc.Increment(kMapInputBytes, splits[t].bytes);
+            if (s.ok()) {
+              s = reader->status();
+            }
+            if (s.ok()) {
+              s = mapper.Cleanup(&ctx);
+            }
+            ctx.FlushCounters();
+            return s;
+          };
+          if constexpr (kIsRawMapper<M>) {
+            std::unique_ptr<M> mapper = make_mapper();
+            st = run_task(*mapper);
+          } else {
+            TypedMapAdapter<M> adapter(make_mapper());
+            st = run_task(adapter);
           }
           if (st.ok()) {
             st = buffer.Finish(&task_runs[t]);
@@ -324,7 +429,7 @@ Result<JobMetrics> RunJob(
   Stopwatch reduce_clock;
   using KOut = typename R::KeyOut;
   using VOut = typename R::ValueOut;
-  std::vector<MemoryTable<KOut, VOut>> reducer_outputs(num_reducers);
+  std::vector<RecordTable> reducer_outputs(num_reducers);
   std::vector<Status> reduce_status(num_reducers);
   {
     ThreadPool pool(config.reduce_slots);
@@ -349,7 +454,7 @@ Result<JobMetrics> RunJob(
           // conclusive for group-boundary detection.
           const bool grouping_is_sort = grouping == config.sort_comparator;
 
-          typename R::Context rctx(&reducer_outputs[r], &tc, r);
+          ReduceContext<KOut, VOut> rctx(&reducer_outputs[r], &tc, r);
           std::unique_ptr<RawReducer<KOut, VOut>> reducer;
           if constexpr (kIsRawReducer<R>) {
             reducer = make_reducer();
@@ -412,17 +517,12 @@ Result<JobMetrics> RunJob(
   }
   metrics.reduce_phase_ms = reduce_clock.ElapsedMillis();
 
-  // Concatenate reducer outputs in reducer order.
+  // Assemble the output by moving whole reducer partitions, in reducer
+  // order — no per-row copy and no counting pre-pass (tables track their
+  // own sizes).
   output->Clear();
-  uint64_t total_rows = 0;
-  for (const auto& part : reducer_outputs) {
-    total_rows += part.size();
-  }
-  output->rows.reserve(total_rows);
   for (auto& part : reducer_outputs) {
-    for (auto& row : part.rows) {
-      output->rows.push_back(std::move(row));
-    }
+    output->AppendTable(std::move(part));
   }
 
   metrics.counters = counters.Snapshot();
@@ -431,8 +531,56 @@ Result<JobMetrics> RunJob(
                  << metrics.wallclock_ms << " ms: "
                  << metrics.Counter(kMapOutputRecords) << " map records, "
                  << metrics.Counter(kMapOutputBytes) << " map bytes, "
-                 << output->size() << " output rows";
+                 << output->num_records() << " output rows";
   return metrics;
+}
+
+/// Serialized input, typed output: runs the native job and decodes the
+/// output table once (the end-of-pipeline drain).
+template <typename M, typename R>
+Result<JobMetrics> RunJob(
+    const JobConfig& config, const RecordTable& input,
+    const std::function<std::unique_ptr<M>()>& make_mapper,
+    const std::function<std::unique_ptr<R>()>& make_reducer,
+    MemoryTable<typename R::KeyOut, typename R::ValueOut>* output,
+    RawCombineFn combiner = nullptr) {
+  RecordTable raw_output;
+  auto metrics = RunJob<M, R>(config, input, make_mapper, make_reducer,
+                              &raw_output, combiner);
+  if (!metrics.ok()) {
+    return metrics;
+  }
+  NGRAM_RETURN_NOT_OK(DecodeTable(raw_output, output)
+                          .WithContext(config.name + " output decode"));
+  return metrics;
+}
+
+/// Typed input, serialized output: encodes the input once, then runs the
+/// native job (chained pipelines keep the output serialized).
+template <typename M, typename R>
+Result<JobMetrics> RunJob(
+    const JobConfig& config,
+    const MemoryTable<typename M::KeyIn, typename M::ValueIn>& input,
+    const std::function<std::unique_ptr<M>()>& make_mapper,
+    const std::function<std::unique_ptr<R>()>& make_reducer,
+    RecordTable* output, RawCombineFn combiner = nullptr) {
+  const RecordTable raw_input = EncodeTable(input);
+  return RunJob<M, R>(config, raw_input, make_mapper, make_reducer, output,
+                      combiner);
+}
+
+/// Typed input and output: the convenience shim for user code and tests.
+template <typename M, typename R>
+Result<JobMetrics> RunJob(
+    const JobConfig& config,
+    const MemoryTable<typename M::KeyIn, typename M::ValueIn>& input,
+    const std::function<std::unique_ptr<M>()>& make_mapper,
+    const std::function<std::unique_ptr<R>()>& make_reducer,
+    MemoryTable<typename R::KeyOut, typename R::ValueOut>* output,
+    RawCombineFn combiner = nullptr) {
+  const RecordTable raw_input = EncodeTable(input);
+  return RunJob<M, R>(config, raw_input, make_mapper, make_reducer, output,
+                      combiner);
 }
 
 }  // namespace ngram::mr

@@ -2,11 +2,45 @@
 
 namespace ngram::mr {
 
+namespace {
+
+/// Reader over a zero-copy in-memory run partition: records surface
+/// straight out of the sorted bucket arena through its refs — no frame
+/// parsing, no copy. The arena is stable for the run's lifetime, so the
+/// lookback contract holds trivially.
+class BucketRunReader final : public RecordReader {
+ public:
+  explicit BucketRunReader(const SpillRun::MemoryBucket* bucket)
+      : bucket_(bucket) {}
+
+  bool Next() override {
+    if (i_ >= bucket_->refs.size()) {
+      return false;
+    }
+    const SortedRecordRef& r = bucket_->refs[i_++];
+    const char* base = bucket_->arena.data() + r.key_offset;
+    key_ = Slice(base, r.key_len);
+    value_ = Slice(base + r.key_len, r.value_len);
+    has_sort_prefix_ = true;
+    sort_prefix_ = r.sort_prefix;
+    return true;
+  }
+
+ private:
+  const SpillRun::MemoryBucket* bucket_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
 std::unique_ptr<RecordReader> OpenRunPartition(const SpillRun& run,
                                                uint32_t partition) {
   const RunSegment& seg = run.segments[partition];
   if (seg.num_records == 0) {
     return nullptr;
+  }
+  if (run.zero_copy()) {
+    return std::make_unique<BucketRunReader>(&run.buckets[partition]);
   }
   if (run.in_memory()) {
     return std::make_unique<MemoryRecordReader>(
@@ -51,7 +85,8 @@ void KWayMerger::AdvanceSource(size_t s) {
   }
   if (src->Next()) {
     keys_[s] = src->key();
-    prefixes_[s] = comparator_->SortPrefix(keys_[s]);
+    prefixes_[s] = src->has_sort_prefix() ? src->sort_prefix()
+                                          : comparator_->SortPrefix(keys_[s]);
   } else {
     if (!src->status().ok() && status_.ok()) {
       status_ = src->status();

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -27,12 +28,96 @@ struct JobMetrics {
   }
 };
 
+/// Per-round accounting for a chained (multi-job) pipeline: every round's
+/// wallclock split plus its boundary traffic — the serialized bytes its
+/// mappers read (for round k+1 this is exactly round k's output, i.e. the
+/// job-boundary cost) and the bytes it shuffled. Built from RunMetrics so
+/// multi-job drivers report every round, not just the last job's counters.
+struct PipelineMetrics {
+  struct Round {
+    std::string job_name;
+    double wallclock_ms = 0;
+    double map_phase_ms = 0;
+    double reduce_phase_ms = 0;
+    uint64_t map_input_records = 0;
+    uint64_t map_input_bytes = 0;   // Job-boundary bytes read by mappers.
+    uint64_t map_output_records = 0;
+    uint64_t map_output_bytes = 0;  // Shuffle bytes.
+    uint64_t reduce_output_records = 0;
+  };
+
+  std::vector<Round> rounds;
+
+  int num_rounds() const { return static_cast<int>(rounds.size()); }
+
+  uint64_t total_boundary_bytes() const {
+    uint64_t total = 0;
+    for (const auto& r : rounds) {
+      total += r.map_input_bytes;
+    }
+    return total;
+  }
+
+  uint64_t total_shuffle_bytes() const {
+    uint64_t total = 0;
+    for (const auto& r : rounds) {
+      total += r.map_output_bytes;
+    }
+    return total;
+  }
+
+  double total_wallclock_ms() const {
+    double total = 0;
+    for (const auto& r : rounds) {
+      total += r.wallclock_ms;
+    }
+    return total;
+  }
+
+  /// One line per round, e.g. for the end-of-run driver log.
+  std::string ToString() const {
+    std::ostringstream out;
+    for (size_t i = 0; i < rounds.size(); ++i) {
+      const Round& r = rounds[i];
+      out << "round " << i + 1 << "/" << rounds.size() << " '" << r.job_name
+          << "': " << r.wallclock_ms << " ms (map " << r.map_phase_ms
+          << " / reduce " << r.reduce_phase_ms << "), boundary-in "
+          << r.map_input_bytes << " B, shuffle " << r.map_output_bytes
+          << " B, out " << r.reduce_output_records << " records";
+      if (i + 1 < rounds.size()) {
+        out << "\n";
+      }
+    }
+    return out.str();
+  }
+};
+
 /// Aggregate over every job a method launched (the paper's measures sum
 /// over all Hadoop jobs of APRIORI methods).
 struct RunMetrics {
   std::vector<JobMetrics> jobs;
 
   void Add(JobMetrics m) { jobs.push_back(std::move(m)); }
+
+  /// Per-round pipeline view of this run's jobs.
+  PipelineMetrics pipeline() const {
+    PipelineMetrics p;
+    p.rounds.reserve(jobs.size());
+    for (const auto& j : jobs) {
+      PipelineMetrics::Round r;
+      r.job_name = j.job_name;
+      r.wallclock_ms = j.wallclock_ms;
+      r.map_phase_ms = j.map_phase_ms;
+      r.reduce_phase_ms = j.reduce_phase_ms;
+      r.map_input_records = j.Counter(kMapInputRecords);
+      r.map_input_bytes = j.Counter(kMapInputBytes);
+      r.map_output_records = j.Counter(kMapOutputRecords);
+      r.map_output_bytes = j.Counter(kMapOutputBytes);
+      r.reduce_output_records = j.Counter(kReduceOutputRecords);
+      p.rounds.push_back(std::move(r));
+    }
+    return p;
+  }
 
   int num_jobs() const { return static_cast<int>(jobs.size()); }
 

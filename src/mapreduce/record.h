@@ -47,10 +47,19 @@ class RecordReader {
   Slice value() const { return value_; }
   const Status& status() const { return status_; }
 
+  /// True when sort_prefix() holds RawComparator::SortPrefix of key()
+  /// under the job's sort comparator — sources that already computed it
+  /// (zero-copy bucket runs cache it per record) hand it to the merge,
+  /// which otherwise recomputes it per record.
+  bool has_sort_prefix() const { return has_sort_prefix_; }
+  uint64_t sort_prefix() const { return sort_prefix_; }
+
  protected:
   Slice key_;
   Slice value_;
   Status status_;
+  bool has_sort_prefix_ = false;
+  uint64_t sort_prefix_ = 0;
 };
 
 /// Zero-copy reader over records resident in memory. Slices point into the

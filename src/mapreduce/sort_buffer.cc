@@ -122,6 +122,7 @@ Status SortBuffer::Add(uint32_t partition, Slice key, Slice value) {
   ref.key_offset = static_cast<uint32_t>(bucket.arena.size());
   ref.key_len = static_cast<uint32_t>(key.size());
   ref.value_len = static_cast<uint32_t>(value.size());
+  ref.seq = static_cast<uint32_t>(bucket.refs.size());
   bucket.arena.append(key.data(), key.size());
   bucket.arena.append(value.data(), value.size());
   bucket.refs.push_back(ref);
@@ -140,15 +141,21 @@ void SortBuffer::SortBuckets() {
       continue;
     }
     const char* arena = bucket.arena.data();
-    std::stable_sort(bucket.refs.begin(), bucket.refs.end(),
-                     [cmp, arena](const RecordRef& a, const RecordRef& b) {
-                       if (a.sort_prefix != b.sort_prefix) {
-                         return a.sort_prefix < b.sort_prefix;
-                       }
-                       return cmp->Compare(
-                                  Slice(arena + a.key_offset, a.key_len),
-                                  Slice(arena + b.key_offset, b.key_len)) < 0;
-                     });
+    // Plain sort + insertion-sequence tie-break == stable sort, without
+    // stable_sort's merge passes and temp-buffer allocation.
+    std::sort(bucket.refs.begin(), bucket.refs.end(),
+              [cmp, arena](const RecordRef& a, const RecordRef& b) {
+                if (a.sort_prefix != b.sort_prefix) {
+                  return a.sort_prefix < b.sort_prefix;
+                }
+                const int c = cmp->Compare(
+                    Slice(arena + a.key_offset, a.key_len),
+                    Slice(arena + b.key_offset, b.key_len));
+                if (c != 0) {
+                  return c < 0;
+                }
+                return a.seq < b.seq;
+              });
   }
 }
 
@@ -179,6 +186,18 @@ Status SortBuffer::EmitBucket(const Bucket& bucket, RecordSink* sink) {
 
 Status SortBuffer::WriteRunToMemory(SpillRun* run) {
   run->segments.assign(options_.num_partitions, RunSegment{});
+  if (!options_.combiner) {
+    // Zero-copy: hand the sorted bucket arenas to the run as-is. The
+    // merge reads records in place through the refs — no framed copy of
+    // the map output is ever materialized.
+    run->buckets.resize(options_.num_partitions);
+    for (uint32_t p = 0; p < options_.num_partitions; ++p) {
+      run->segments[p].num_records = buckets_[p].refs.size();
+      run->buckets[p].arena = std::move(buckets_[p].arena);
+      run->buckets[p].refs = std::move(buckets_[p].refs);
+    }
+    return Status::OK();
+  }
   std::string& data = run->memory_data;
   for (uint32_t p = 0; p < options_.num_partitions; ++p) {
     RunSegment& seg = run->segments[p];
@@ -187,9 +206,7 @@ Status SortBuffer::WriteRunToMemory(SpillRun* run) {
     NGRAM_RETURN_NOT_OK(EmitBucket(buckets_[p], &sink));
     seg.length = data.size() - seg.offset;
     seg.num_records = sink.num_records();
-    if (options_.combiner) {
-      counters_->Increment(kCombineOutputRecords, sink.num_records());
-    }
+    counters_->Increment(kCombineOutputRecords, sink.num_records());
   }
   return Status::OK();
 }

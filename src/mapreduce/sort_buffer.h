@@ -32,16 +32,40 @@ struct RunSegment {
   uint64_t num_records = 0;
 };
 
-/// One sorted run: per-partition contiguous record groups, either in memory
-/// (small map outputs) or in a spill file.
+/// Reference to one record inside its bucket's arena. Value bytes
+/// immediately follow the key bytes, so one offset locates both. The
+/// cached sort-key prefix resolves most comparisons without touching
+/// the arena. `seq` (the insertion index, free inside the struct's
+/// padding) breaks ties so a plain std::sort is stable — no
+/// stable_sort merge passes or temp buffer.
+struct SortedRecordRef {
+  uint64_t sort_prefix;  // RawComparator::SortPrefix of the key.
+  uint32_t key_offset;   // Into the bucket's arena.
+  uint32_t key_len;
+  uint32_t value_len;
+  uint32_t seq;          // Insertion order within the bucket.
+};
+
+/// One sorted run: per-partition contiguous record groups — in a spill
+/// file, in framed memory (combined final flushes), or zero-copy as the
+/// sorted bucket arenas themselves (uncombined final flushes: the merge
+/// reads records in place through the refs; no framed copy is ever made).
 struct SpillRun {
+  /// Zero-copy form: one entry per partition.
+  struct MemoryBucket {
+    std::string arena;
+    std::vector<SortedRecordRef> refs;  // Sorted record order.
+  };
+
   std::string file_path;        // Empty when in-memory.
-  std::string memory_data;      // Used when file_path is empty.
+  std::string memory_data;      // Framed in-memory form.
+  std::vector<MemoryBucket> buckets;  // Zero-copy in-memory form.
   std::vector<RunSegment> segments;  // Indexed by partition.
   uint32_t crc32 = 0;           // Whole-file CRC when checksummed.
   bool has_crc = false;
 
   bool in_memory() const { return file_path.empty(); }
+  bool zero_copy() const { return !buckets.empty(); }
 };
 
 /// Raw (serialized) view of a combiner: receives one key group — the
@@ -92,21 +116,14 @@ class SortBuffer {
   uint64_t spill_count() const { return spill_count_; }
 
  private:
-  /// Reference to one record inside its bucket's arena. Value bytes
-  /// immediately follow the key bytes, so one offset locates both. The
-  /// cached sort-key prefix resolves most comparisons without touching
-  /// the arena.
-  struct RecordRef {
-    uint64_t sort_prefix;  // RawComparator::SortPrefix of the key.
-    uint32_t key_offset;   // Into the bucket's arena.
-    uint32_t key_len;
-    uint32_t value_len;
-  };
+  using RecordRef = SortedRecordRef;
 
   /// Bytes a record occupies in the buffer beyond its key/value payload.
   static constexpr size_t kRecordOverhead = sizeof(RecordRef);
 
   /// Per-partition record storage; sorted independently of other buckets.
+  /// (Same shape as SpillRun::MemoryBucket — an uncombined final flush
+  /// moves these wholesale into the run.)
   struct Bucket {
     std::string arena;
     std::vector<RecordRef> refs;

@@ -55,8 +55,11 @@ class Slice {
   }
 
   bool starts_with(const Slice& prefix) const {
+    // The zero-size guard keeps memcmp away from null data pointers
+    // (empty slices may carry nullptr; passing that to memcmp is UB).
     return size_ >= prefix.size_ &&
-           memcmp(data_, prefix.data_, prefix.size_) == 0;
+           (prefix.size_ == 0 ||
+            memcmp(data_, prefix.data_, prefix.size_) == 0);
   }
 
  private:

@@ -80,14 +80,17 @@ TEST(CorpusTest, SampleIsDeterministicAndSorted) {
 
 TEST(CorpusContextTest, RowsPerSentenceWithPositionGaps) {
   const CorpusContext ctx = BuildCorpusContext(TwoDocCorpus());
-  ASSERT_EQ(ctx.input.size(), 3u);
-  EXPECT_EQ(ctx.input.rows[0].first, 1u);
-  EXPECT_EQ(ctx.input.rows[0].second.base, 0u);
-  EXPECT_EQ(ctx.input.rows[1].first, 1u);
+  // Rows live serialized in ctx.records; decode them back for the check.
+  InputTable rows;
+  ASSERT_TRUE(mr::DecodeTable(ctx.records, &rows).ok());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows.rows[0].first, 1u);
+  EXPECT_EQ(rows.rows[0].second.base, 0u);
+  EXPECT_EQ(rows.rows[1].first, 1u);
   // Second sentence starts past a +1 gap: 3 terms + 1.
-  EXPECT_EQ(ctx.input.rows[1].second.base, 4u);
-  EXPECT_EQ(ctx.input.rows[2].first, 2u);
-  EXPECT_EQ(ctx.input.rows[2].second.base, 0u);
+  EXPECT_EQ(rows.rows[1].second.base, 4u);
+  EXPECT_EQ(rows.rows[2].first, 2u);
+  EXPECT_EQ(rows.rows[2].second.base, 0u);
   EXPECT_EQ(ctx.total_term_occurrences, 7u);
   // Year lookup table.
   ASSERT_EQ(ctx.doc_years->size(), 3u);
