@@ -1,0 +1,75 @@
+// Spill-heavy shuffle scenario: the fig6 corpora pushed through a sort
+// buffer orders of magnitude smaller than the map output, so every map
+// task spills dozens of runs. Sweeps JobConfig::merge_factor — mf=0 is
+// the unbounded pre-bounded-merge baseline (every run opened at once),
+// bounded values exercise the map-side final merge + reduce-side
+// multi-pass merge. Reported counters show the trade: spills stay equal,
+// intermediate_mb is the extra sequential I/O the bound costs, open
+// sources per reduce task drop from `spills` to `merge_factor`.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace ngram::bench {
+namespace {
+
+void RegisterSpillSweep(const Dataset& dataset) {
+  const Method methods[] = {Method::kNaive, Method::kSuffixSigma};
+  for (Method method : methods) {
+    for (uint32_t merge_factor : {0u, 16u}) {
+      const std::string name =
+          std::string("SpillMerge/") + dataset.name + "/" +
+          MethodName(method) + "/mf=" + std::to_string(merge_factor);
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&dataset, method, merge_factor](::benchmark::State& state) {
+            NgramJobOptions options =
+                BenchOptions(method, dataset.default_tau, 5);
+            // ~128 KiB of sort buffer against multi-MiB map output:
+            // every task spills heavily (the fig6 corpora shuffle a few
+            // hundred runs at this setting).
+            options.sort_buffer_bytes = 128 << 10;
+            options.merge_factor = merge_factor;
+            const CorpusContext& ctx = dataset.context();
+            for (auto _ : state) {
+              auto run = ComputeNgramStatistics(ctx, options);
+              if (!run.ok()) {
+                state.SkipWithError(run.status().ToString().c_str());
+                return;
+              }
+              state.SetIterationTime(run->metrics.total_wallclock_ms() /
+                                     1000.0);
+              state.counters["spills"] = static_cast<double>(
+                  run->metrics.TotalCounter(mr::kSpillFiles));
+              state.counters["merge_passes"] = static_cast<double>(
+                  run->metrics.TotalCounter(mr::kMergePasses));
+              state.counters["intermediate_mb"] =
+                  static_cast<double>(run->metrics.TotalCounter(
+                      mr::kIntermediateMergeBytes)) /
+                  (1024.0 * 1024.0);
+              state.counters["reduce_ms"] =
+                  run->metrics.total_reduce_phase_ms();
+              state.counters["map_ms"] = run->metrics.total_map_phase_ms();
+            }
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ngram::bench
+
+int main(int argc, char** argv) {
+  using namespace ngram::bench;
+  ::benchmark::Initialize(&argc, argv);
+  RegisterSpillSweep(Nyt());
+  RegisterSpillSweep(Cw());
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

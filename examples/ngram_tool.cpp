@@ -4,7 +4,8 @@
 //   ngram_tool generate (nyt|cw) <docs> <out.ngc> [seed]
 //   ngram_tool stats <in.ngc> <out.ngs> --method=suffix-sigma --tau=10
 //               [--sigma=5] [--mode=cf|df] [--reducers=8] [--slots=4]
-//               [--no-splits] [--maximal|--closed]
+//               [--sort-buffer-kb=N] [--merge-factor=N] [--checksum]
+//               [--no-splits] [--maximal|--closed] [--verbose]
 //   ngram_tool top <in.ngs> [k]
 //   ngram_tool info <in.ngc>
 #include <cstdio>
@@ -29,7 +30,9 @@ int Usage() {
           "  ngram_tool generate (nyt|cw) <docs> <out.ngc> [seed]\n"
           "  ngram_tool stats <in.ngc> <out.ngs> [--method=M] [--tau=N]\n"
           "             [--sigma=N] [--mode=cf|df] [--reducers=N]\n"
-          "             [--slots=N] [--no-splits] [--maximal|--closed]\n"
+          "             [--slots=N] [--sort-buffer-kb=N] [--merge-factor=N]\n"
+          "             [--checksum] [--no-splits] [--maximal|--closed]\n"
+          "             [--verbose]\n"
           "  ngram_tool top <in.ngs> [k]\n"
           "  ngram_tool info <in.ngc>\n"
           "methods: naive, apriori-scan, apriori-index, suffix-sigma\n");
@@ -83,6 +86,7 @@ int CmdStats(const std::vector<std::string>& args) {
   options.tau = 10;
   options.sigma = 5;
   enum { kAll, kMaximal, kClosed } filter = kAll;
+  bool verbose = false;
   for (size_t i = 2; i < args.size(); ++i) {
     std::string value;
     if (ParseFlag(args[i], "method", &value)) {
@@ -109,6 +113,15 @@ int CmdStats(const std::vector<std::string>& args) {
     } else if (ParseFlag(args[i], "slots", &value)) {
       options.map_slots = options.reduce_slots =
           static_cast<uint32_t>(atoi(value.c_str()));
+    } else if (ParseFlag(args[i], "sort-buffer-kb", &value)) {
+      options.sort_buffer_bytes =
+          static_cast<size_t>(atoll(value.c_str())) * 1024;
+    } else if (ParseFlag(args[i], "merge-factor", &value)) {
+      options.merge_factor = static_cast<uint32_t>(atoi(value.c_str()));
+    } else if (args[i] == "--checksum") {
+      options.checksum_spills = true;
+    } else if (args[i] == "--verbose") {
+      verbose = true;
     } else if (args[i] == "--no-splits") {
       options.document_splits = false;
     } else if (args[i] == "--maximal") {
@@ -150,6 +163,24 @@ int CmdStats(const std::vector<std::string>& args) {
          static_cast<unsigned long long>(run->metrics.map_output_records()),
          static_cast<unsigned long long>(run->metrics.map_output_bytes()),
          out.c_str());
+  if (verbose) {
+    // Spill/merge observability: how much shuffle data hit disk and how
+    // hard the bounded-fan-in merge had to work to read it back.
+    const char* counter_names[] = {
+        mr::kSpillFiles,         mr::kSpilledRecords,
+        mr::kMergePasses,        mr::kIntermediateMergeBytes,
+        mr::kCombineInputRecords, mr::kCombineOutputRecords,
+        mr::kReduceInputRecords, mr::kTaskRetries,
+    };
+    printf("  shuffle: sort-buffer=%llu KiB merge-factor=%u checksum=%s\n",
+           static_cast<unsigned long long>(options.sort_buffer_bytes / 1024),
+           options.merge_factor, options.checksum_spills ? "on" : "off");
+    for (const char* name : counter_names) {
+      printf("  %-26s %llu\n", name,
+             static_cast<unsigned long long>(
+                 run->metrics.TotalCounter(name)));
+    }
+  }
   return 0;
 }
 

@@ -103,6 +103,8 @@ inline mr::JobConfig MakeBaseJobConfig(const NgramJobOptions& options,
   config.reduce_slots = options.reduce_slots;
   config.num_map_tasks = options.num_map_tasks;
   config.sort_buffer_bytes = options.sort_buffer_bytes;
+  config.merge_factor = options.merge_factor;
+  config.checksum_spills = options.checksum_spills;
   config.job_overhead_ms = options.job_overhead_ms;
   config.work_dir = options.work_dir;
   config.max_task_attempts = options.max_task_attempts;

@@ -77,6 +77,15 @@ struct NgramJobOptions {
   uint32_t num_map_tasks = 0;  // 0 = auto.
   size_t sort_buffer_bytes = 64ULL << 20;
 
+  /// Maximum merge fan-in anywhere in the shuffle (Hadoop's
+  /// `io.sort.factor`): spill-heavy tasks merge runs in bounded passes
+  /// instead of opening every run at once. 0 = unbounded.
+  uint32_t merge_factor = 16;
+
+  /// CRC-32 every spill run and verify it before it is read back
+  /// (end-to-end shuffle integrity; costs one table lookup per byte).
+  bool checksum_spills = false;
+
   /// Fixed per-job overhead (ms) modelling Hadoop job launch/teardown; the
   /// "administrative fix cost" that penalizes multi-job methods.
   double job_overhead_ms = 0.0;

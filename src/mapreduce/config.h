@@ -44,8 +44,29 @@ struct JobConfig {
   size_t spill_buffer_bytes = SpillWriter::kDefaultBufferBytes;
 
   /// Maintain a CRC-32 per spill file (integrity checking for long jobs;
-  /// off by default — it costs one table lookup per spilled byte).
+  /// off by default — it costs one table lookup per spilled byte). When
+  /// on, every checksummed run is verified once before its first
+  /// reduce-side open (and every intermediate merge output before it is
+  /// re-read); a mismatch fails the reading task with Corruption, which
+  /// flows through the normal task-retry machinery.
   bool checksum_spills = false;
+
+  /// Maximum merge fan-in (Hadoop's `io.sort.factor`). Bounds how many
+  /// runs are opened simultaneously anywhere in the pipeline:
+  ///   - a map task that finishes with more than `merge_factor` runs
+  ///     merges them (bounded-fan-in, re-running the combiner) into one
+  ///     partition-segmented run file before the reduce phase;
+  ///   - a reduce task merges its sources in consecutive groups of at
+  ///     most `merge_factor`, streaming intermediate single-partition
+  ///     runs to disk until one final pass of <= `merge_factor` sources
+  ///     feeds the reducer.
+  /// Group boundaries always cover consecutive source indices, so the
+  /// source-order tie-break — and therefore byte-identical deterministic
+  /// output — survives multi-pass merging. 0 disables the bound
+  /// (unbounded fan-in: every run is opened at once, the pre-bounded
+  /// behavior; spill-heavy jobs can exhaust fds). Values < 2 that are
+  /// not 0 are treated as 2 (a 1-way "merge" would never converge).
+  uint32_t merge_factor = 16;
 
   /// Total order for the shuffle sort (Hadoop: setSortComparatorClass).
   const RawComparator* sort_comparator = BytewiseComparator::Instance();

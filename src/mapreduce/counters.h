@@ -26,6 +26,14 @@ inline constexpr const char* kReduceInputRecords = "REDUCE_INPUT_RECORDS";
 inline constexpr const char* kReduceOutputRecords = "REDUCE_OUTPUT_RECORDS";
 inline constexpr const char* kSpilledRecords = "SPILLED_RECORDS";
 inline constexpr const char* kSpillFiles = "SPILL_FILES";
+/// Bounded-fan-in merge operations that wrote an intermediate run to disk
+/// (map-side final merges and reduce-side intermediate passes). Zero when
+/// every task stayed within `merge_factor` sources.
+inline constexpr const char* kMergePasses = "MERGE_PASSES";
+/// Bytes written to intermediate merge outputs (re-spilled shuffle data;
+/// the I/O price of bounding the fan-in).
+inline constexpr const char* kIntermediateMergeBytes =
+    "INTERMEDIATE_MERGE_BYTES";
 inline constexpr const char* kTaskRetries = "TASK_RETRIES";
 /// Maximum records any single reduce task consumed (partition skew).
 inline constexpr const char* kReduceInputRecordsMax =

@@ -11,9 +11,14 @@
 //      Past the byte budget the buckets are sorted independently under the
 //      job's sort comparator and streamed through a fixed-size SpillWriter
 //      buffer to a run file (partition-major); the final flush stays in
-//      memory only if nothing was ever spilled.
+//      memory only if nothing was ever spilled. A task that ends with more
+//      than JobConfig::merge_factor runs merges them (bounded fan-in,
+//      combiner re-run across runs) into one run file before committing.
 //   2. Reduce task r merges partition r of every map run with a loser-tree
-//      k-way merge under the sort comparator and streams each key group to
+//      k-way merge under the sort comparator — never opening more than
+//      merge_factor sources at once: excess sources first go through
+//      intermediate on-disk merge passes over consecutive source groups
+//      (see merge.h) — and streams each key group to
 //      the reducer as a zero-copy GroupValueIterator: group boundaries are
 //      detected by comparing adjacent records under the grouping
 //      comparator on the merger's cached key slices (no per-group key copy
@@ -326,6 +331,17 @@ Result<JobMetrics> RunJob(
   const std::vector<RecordTable::View> splits =
       input.SplitByBytes(num_map_tasks);
   std::vector<std::vector<SpillRun>> task_runs(num_map_tasks);
+  // Shuffle runs are job-private: whatever run files are still on disk
+  // when the driver leaves — success or any early error return — are
+  // removed, so a user-provided work_dir comes back clean.
+  struct RunFileCleanup {
+    std::vector<std::vector<SpillRun>>* runs;
+    ~RunFileCleanup() {
+      for (const auto& task : *runs) {
+        RemoveRunFiles(task);
+      }
+    }
+  } run_file_cleanup{&task_runs};
   std::vector<Status> map_status(num_map_tasks);
   {
     ThreadPool pool(config.map_slots);
@@ -346,7 +362,11 @@ Result<JobMetrics> RunJob(
           opts.work_dir = work_dir;
           opts.spill_buffer_bytes = config.spill_buffer_bytes;
           opts.checksum_spills = config.checksum_spills;
-          opts.spill_name_prefix = "map-" + std::to_string(t);
+          // Attempt-scoped run names: a retried attempt can never collide
+          // with (and silently reuse or orphan) a discarded attempt's
+          // files.
+          opts.spill_name_prefix =
+              "map-" + std::to_string(t) + "-a" + std::to_string(attempt);
           SortBuffer buffer(opts, &tc);
           MapContext<MKOut, MVOut> ctx(config.partitioner, num_reducers,
                                        &buffer, &tc, t);
@@ -386,6 +406,25 @@ Result<JobMetrics> RunJob(
           if (st.ok()) {
             st = buffer.Finish(&task_runs[t]);
           }
+          // Map-side final merge (Hadoop's per-task spill merge): a task
+          // that finished with more runs than the merge bound collapses
+          // them into one partition-segmented run file, re-running the
+          // combiner across runs. Reduce tasks then see at most one
+          // file-backed source per map task.
+          if (st.ok() && config.merge_factor != 0 &&
+              task_runs[t].size() > config.merge_factor) {
+            ExternalMergeOptions merge_options;
+            merge_options.comparator = config.sort_comparator;
+            merge_options.merge_factor = config.merge_factor;
+            merge_options.work_dir = work_dir;
+            merge_options.name_prefix =
+                "map-" + std::to_string(t) + "-a" + std::to_string(attempt);
+            merge_options.spill_buffer_bytes = config.spill_buffer_bytes;
+            merge_options.checksum = config.checksum_spills;
+            merge_options.combiner = combiner;
+            merge_options.counters = &tc;
+            st = MergeMapRuns(merge_options, num_reducers, &task_runs[t]);
+          }
           // The injector simulates a crash after the work but before the
           // task commits — the strongest point to lose an attempt.
           if (st.ok() && config.failure_injector &&
@@ -396,6 +435,7 @@ Result<JobMetrics> RunJob(
             break;
           }
           tc.DiscardPending();
+          RemoveRunFiles(task_runs[t]);  // Discarded attempts leave no files.
           task_runs[t].clear();
           if (attempt + 1 < max_attempts) {
             counters.Increment(kTaskRetries);
@@ -429,6 +469,9 @@ Result<JobMetrics> RunJob(
   Stopwatch reduce_clock;
   using KOut = typename R::KeyOut;
   using VOut = typename R::ValueOut;
+  // Each checksummed run is CRC-verified once per job, by whichever
+  // reduce task opens it first (a no-op registry unless checksum_spills).
+  RunCrcVerifier crc_verifier(all_runs.size());
   std::vector<RecordTable> reducer_outputs(num_reducers);
   std::vector<Status> reduce_status(num_reducers);
   {
@@ -440,15 +483,24 @@ Result<JobMetrics> RunJob(
         for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
           reducer_outputs[r].Clear();
           TaskCounters tc(&counters);
-          std::vector<std::unique_ptr<RecordReader>> sources;
-          sources.reserve(all_runs.size());
-          for (const SpillRun* run : all_runs) {
-            auto reader = OpenRunPartition(*run, r);
-            if (reader != nullptr) {
-              sources.push_back(std::move(reader));
-            }
-          }
-          KWayMerger merger(std::move(sources), config.sort_comparator);
+          // Bounded fan-in: intermediate passes merge consecutive groups
+          // of at most merge_factor sources to disk until one final pass
+          // of <= merge_factor sources can feed the reducer — fds and
+          // read buffers stay O(merge_factor), not O(runs).
+          ExternalMergeOptions merge_options;
+          merge_options.comparator = config.sort_comparator;
+          merge_options.merge_factor = config.merge_factor;
+          merge_options.work_dir = work_dir;
+          merge_options.name_prefix =
+              "reduce-" + std::to_string(r) + "-a" + std::to_string(attempt);
+          merge_options.spill_buffer_bytes = config.spill_buffer_bytes;
+          merge_options.checksum = config.checksum_spills;
+          merge_options.verifier = &crc_verifier;
+          merge_options.counters = &tc;
+          ReduceMergeResult merge_inputs;
+          st = PrepareReduceMerge(merge_options, all_runs, r, &merge_inputs);
+          KWayMerger merger(std::move(merge_inputs.sources),
+                            config.sort_comparator);
           const RawComparator* grouping = config.EffectiveGrouping();
           // When grouping order == sort order, cached sort prefixes are
           // conclusive for group-boundary detection.
@@ -462,7 +514,9 @@ Result<JobMetrics> RunJob(
             reducer =
                 std::make_unique<TypedReduceAdapter<R>>(make_reducer());
           }
-          st = reducer->Setup(&rctx);
+          if (st.ok()) {
+            st = reducer->Setup(&rctx);
+          }
 
           uint64_t task_input_records = 0;
           bool have_record = st.ok() && merger.Next();
@@ -490,6 +544,9 @@ Result<JobMetrics> RunJob(
               config.failure_injector("reduce", r, attempt)) {
             st = Status::Internal("injected reduce task failure");
           }
+          // Intermediate merge outputs are attempt-private scratch: gone
+          // as soon as the attempt is over, successful or not.
+          RemoveFiles(merge_inputs.intermediate_files);
           if (st.ok()) {
             // Partition-skew visibility: the heaviest reduce task.
             tc.UpdateSharedMax(kReduceInputRecordsMax, task_input_records);

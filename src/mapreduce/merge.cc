@@ -1,5 +1,13 @@
 #include "mapreduce/merge.h"
 
+#include <algorithm>
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "mapreduce/context.h"
+#include "mapreduce/spill_writer.h"
+
 namespace ngram::mr {
 
 namespace {
@@ -30,6 +38,198 @@ class BucketRunReader final : public RecordReader {
   const SpillRun::MemoryBucket* bucket_;
   size_t i_ = 0;
 };
+
+/// Drains `merger` into `sink`. Without a combiner, records are copied
+/// verbatim (order already merged-stable). With one, each sort-equal key
+/// group streams through it — the merge-pass equivalent of the spill-time
+/// combiner, now aggregating *across* runs. The leading key is copied
+/// once per group: unlike the bucket-arena combiner path, merge sources
+/// only keep a key alive across one advance (the lookback contract),
+/// which is shorter than a whole group.
+Status DrainMerger(KWayMerger* merger, const RawCombineFn& combiner,
+                   const RawComparator* comparator, RecordSink* sink,
+                   TaskCounters* counters) {
+  Status st;
+  if (!combiner) {
+    while (merger->Next()) {
+      NGRAM_RETURN_NOT_OK(sink->Append(merger->key(), merger->value()));
+    }
+    return merger->status();
+  }
+  std::string key_scratch;  // Reused across this stream's groups.
+  bool have_record = merger->Next();
+  while (st.ok() && have_record) {
+    GroupValueIterator group(merger, comparator,
+                             /*grouping_is_sort_order=*/true);
+    key_scratch.assign(merger->key().data(), merger->key().size());
+    st = combiner(Slice(key_scratch), &group, sink);
+    if (st.ok()) {
+      group.SkipRemaining();
+    }
+    counters->Increment(kCombineInputRecords, group.consumed());
+    have_record = group.next_group_ready();
+  }
+  if (st.ok()) {
+    st = merger->status();
+  }
+  return st;
+}
+
+SpillWriter::Options MergeWriterOptions(const ExternalMergeOptions& options) {
+  SpillWriter::Options writer_options;
+  writer_options.buffer_bytes =
+      std::max<size_t>(1, options.spill_buffer_bytes);
+  writer_options.checksum = options.checksum;
+  return writer_options;
+}
+
+/// Books one completed merge pass: the operation itself plus the
+/// re-spilled bytes it wrote.
+void ChargeMergePass(const ExternalMergeOptions& options, uint64_t bytes) {
+  options.counters->Increment(kMergePasses, 1);
+  options.counters->Increment(kIntermediateMergeBytes, bytes);
+}
+
+std::string MergeOutputPath(const ExternalMergeOptions& options,
+                            uint64_t seq) {
+  char name[64];
+  snprintf(name, sizeof(name), "/%s-merge-%06llu.run",
+           options.name_prefix.c_str(),
+           static_cast<unsigned long long>(seq));
+  return options.work_dir + name;
+}
+
+/// Merges whole runs (every partition) of `group` into one
+/// partition-segmented run file — the unit of work of the map-side final
+/// merge. At most |group| <= merge_factor sources are open at a time (one
+/// partition's readers, reopened per partition), plus the output file.
+Status MergeRunGroup(const ExternalMergeOptions& options,
+                     uint32_t num_partitions,
+                     const std::vector<const SpillRun*>& group,
+                     uint64_t seq, SpillRun* out) {
+  if (options.checksum) {
+    // Map-side merge inputs are task-local; each is read (and therefore
+    // verified) exactly once, no shared registry needed.
+    for (const SpillRun* run : group) {
+      if (run->has_crc && !run->in_memory()) {
+        NGRAM_RETURN_NOT_OK(
+            VerifySpillFileCrc32(run->file_path, run->crc32));
+      }
+    }
+  }
+  out->segments.assign(num_partitions, RunSegment{});
+  out->file_path = MergeOutputPath(options, seq);
+
+  SpillWriter writer(out->file_path, MergeWriterOptions(options));
+  NGRAM_RETURN_NOT_OK(writer.Open());
+
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    std::vector<std::unique_ptr<RecordReader>> sources;
+    sources.reserve(group.size());
+    for (const SpillRun* run : group) {
+      auto reader = OpenRunPartition(*run, p);
+      if (reader != nullptr) {
+        sources.push_back(std::move(reader));
+      }
+    }
+    KWayMerger merger(std::move(sources), options.comparator);
+    RunSegment& seg = out->segments[p];
+    seg.offset = writer.bytes_written();
+    const uint64_t records_before = writer.records_written();
+    SpillWriterSink sink(&writer);
+    Status st = DrainMerger(&merger, options.combiner, options.comparator,
+                            &sink, options.counters);
+    if (!st.ok()) {
+      writer.Abandon();  // Unlinks the partial merge output.
+      return st;
+    }
+    seg.length = writer.bytes_written() - seg.offset;
+    seg.num_records = writer.records_written() - records_before;
+    if (options.combiner) {
+      options.counters->Increment(kCombineOutputRecords, seg.num_records);
+    }
+  }
+  NGRAM_RETURN_NOT_OK(writer.Close());  // Close() unlinks on failure.
+  if (options.checksum) {
+    out->crc32 = writer.crc32();
+    out->has_crc = true;
+  }
+  ChargeMergePass(options, writer.bytes_written());
+  return Status::OK();
+}
+
+/// One reduce-merge input that has not been opened yet: either partition
+/// `partition` of a map run (opened through OpenRunPartition, costing an
+/// fd only for file-backed runs) or a whole intermediate single-partition
+/// run file from an earlier pass. Deferred opening is what bounds a
+/// reduce task's fds to one merge group at a time.
+struct PendingSource {
+  const SpillRun* run = nullptr;  // Null for intermediates.
+  size_t run_index = 0;           // Job-wide index (CRC registry key).
+  std::string path;               // Intermediate file.
+  uint64_t length = 0;
+  uint32_t crc32 = 0;
+  bool has_crc = false;
+};
+
+/// True when opening this source costs an fd and a read buffer — the two
+/// resources merge_factor exists to bound. In-memory runs (zero-copy
+/// bucket arenas, framed memory) cost neither and ride along free.
+bool CostsFd(const PendingSource& source) {
+  return source.run == nullptr || !source.run->in_memory();
+}
+
+size_t CountFdSources(const std::vector<PendingSource>& pending) {
+  size_t n = 0;
+  for (const PendingSource& source : pending) {
+    n += CostsFd(source) ? 1 : 0;
+  }
+  return n;
+}
+
+/// Merges already-open `sources` into one single-partition intermediate
+/// run file at `merged->path`, filling in its extent and CRC.
+Status MergeToIntermediate(const ExternalMergeOptions& options,
+                           std::vector<std::unique_ptr<RecordReader>> sources,
+                           PendingSource* merged) {
+  SpillWriter writer(merged->path, MergeWriterOptions(options));
+  NGRAM_RETURN_NOT_OK(writer.Open());
+  KWayMerger merger(std::move(sources), options.comparator);
+  SpillWriterSink sink(&writer);
+  Status st = DrainMerger(&merger, /*combiner=*/nullptr, options.comparator,
+                          &sink, options.counters);
+  if (!st.ok()) {
+    writer.Abandon();
+    return st;
+  }
+  NGRAM_RETURN_NOT_OK(writer.Close());
+  merged->length = writer.bytes_written();
+  if (options.checksum) {
+    merged->crc32 = writer.crc32();
+    merged->has_crc = true;
+  }
+  ChargeMergePass(options, writer.bytes_written());
+  return Status::OK();
+}
+
+Status OpenPendingSource(const ExternalMergeOptions& options,
+                         const PendingSource& source, uint32_t partition,
+                         std::unique_ptr<RecordReader>* reader) {
+  if (source.run != nullptr) {
+    if (options.verifier != nullptr) {
+      NGRAM_RETURN_NOT_OK(
+          options.verifier->Verify(source.run_index, *source.run));
+    }
+    *reader = OpenRunPartition(*source.run, partition);
+    return Status::OK();
+  }
+  if (source.has_crc) {
+    // Intermediate outputs are consumed exactly once, right here.
+    NGRAM_RETURN_NOT_OK(VerifySpillFileCrc32(source.path, source.crc32));
+  }
+  *reader = std::make_unique<FileRecordReader>(source.path, 0, source.length);
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -155,6 +355,160 @@ bool KWayMerger::Next() {
   current_value_ = sources_[winner_]->value();
   current_prefix_ = prefixes_[winner_];
   return true;
+}
+
+Status RunCrcVerifier::Verify(size_t run_index, const SpillRun& run) {
+  if (!run.has_crc || run.in_memory()) {
+    return Status::OK();
+  }
+  std::call_once(flags_[run_index], [&] {
+    results_[run_index] = VerifySpillFileCrc32(run.file_path, run.crc32);
+  });
+  return results_[run_index];
+}
+
+Status MergeMapRuns(const ExternalMergeOptions& options,
+                    uint32_t num_partitions, std::vector<SpillRun>* runs) {
+  const size_t factor = std::max<uint32_t>(2, options.merge_factor);
+  uint64_t seq = 0;
+  std::vector<SpillRun> current = std::move(*runs);
+  runs->clear();
+  // Merge consecutive groups of at most `factor` runs per pass until one
+  // run remains. Consecutive grouping keeps the run-order tie-break — and
+  // with it byte-identical output — intact across passes.
+  while (current.size() > 1) {
+    std::vector<SpillRun> next;
+    next.reserve((current.size() + factor - 1) / factor);
+    for (size_t i = 0; i < current.size(); i += factor) {
+      const size_t group_end = std::min(current.size(), i + factor);
+      if (group_end - i == 1) {
+        next.push_back(std::move(current[i]));
+        continue;
+      }
+      std::vector<const SpillRun*> group;
+      group.reserve(group_end - i);
+      for (size_t g = i; g < group_end; ++g) {
+        group.push_back(&current[g]);
+      }
+      SpillRun merged;
+      Status st = MergeRunGroup(options, num_partitions, group, seq++,
+                                &merged);
+      if (!st.ok()) {
+        // Hand every file still on disk back to the caller for cleanup:
+        // outputs produced so far plus the unconsumed inputs (the failed
+        // group's output was already unlinked by MergeRunGroup).
+        *runs = std::move(next);
+        for (size_t g = i; g < current.size(); ++g) {
+          runs->push_back(std::move(current[g]));
+        }
+        return st;
+      }
+      for (size_t g = i; g < group_end; ++g) {
+        if (!current[g].file_path.empty()) {
+          unlink(current[g].file_path.c_str());
+        }
+      }
+      next.push_back(std::move(merged));
+    }
+    current = std::move(next);
+  }
+  *runs = std::move(current);
+  return Status::OK();
+}
+
+Status PrepareReduceMerge(const ExternalMergeOptions& options,
+                          const std::vector<const SpillRun*>& runs,
+                          uint32_t partition, ReduceMergeResult* result) {
+  std::vector<PendingSource> pending;
+  pending.reserve(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i]->segments[partition].num_records == 0) {
+      continue;  // Keeps relative order of the non-empty sources.
+    }
+    PendingSource source;
+    source.run = runs[i];
+    source.run_index = i;
+    pending.push_back(std::move(source));
+  }
+
+  const size_t factor = options.merge_factor == 0
+                            ? 0
+                            : std::max<uint32_t>(2, options.merge_factor);
+  uint64_t seq = 0;
+  // Pass until no more than `factor` fd-costing sources remain. Groups
+  // cover consecutive source indices and close once they hold `factor`
+  // file-backed members; in-memory members join whichever group spans
+  // their position (keeping ranges consecutive is what preserves the
+  // source-order tie-break). A group without at least two file-backed
+  // members has no fan-in worth reducing: its members pass through as
+  // their own singleton ranges — in particular, a no-spill job (every
+  // source an in-memory zero-copy run) never re-spills here at all.
+  while (factor != 0 && CountFdSources(pending) > factor) {
+    std::vector<PendingSource> next;
+    next.reserve(pending.size());
+    size_t i = 0;
+    while (i < pending.size()) {
+      size_t group_end = i;
+      size_t group_files = 0;
+      while (group_end < pending.size() && group_files < factor) {
+        group_files += CostsFd(pending[group_end]) ? 1 : 0;
+        ++group_end;
+      }
+      if (group_files < 2) {
+        for (; i < group_end; ++i) {
+          next.push_back(std::move(pending[i]));
+        }
+        continue;
+      }
+      std::vector<std::unique_ptr<RecordReader>> sources;
+      sources.reserve(group_end - i);
+      for (size_t g = i; g < group_end; ++g) {
+        std::unique_ptr<RecordReader> reader;
+        NGRAM_RETURN_NOT_OK(
+            OpenPendingSource(options, pending[g], partition, &reader));
+        if (reader != nullptr) {
+          sources.push_back(std::move(reader));
+        }
+      }
+      PendingSource merged;
+      merged.path = MergeOutputPath(options, seq++);
+      // Every created intermediate is registered for caller cleanup
+      // before it is written, so no failure path can leak it.
+      result->intermediate_files.push_back(merged.path);
+      NGRAM_RETURN_NOT_OK(
+          MergeToIntermediate(options, std::move(sources), &merged));
+      // Intermediates consumed by this group are done for good; unlink
+      // now so disk usage stays one pass deep (their paths remain in the
+      // cleanup list — a second unlink is a harmless no-op).
+      for (size_t g = i; g < group_end; ++g) {
+        if (pending[g].run == nullptr) {
+          unlink(pending[g].path.c_str());
+        }
+      }
+      next.push_back(std::move(merged));
+      i = group_end;
+    }
+    pending = std::move(next);
+  }
+
+  result->sources.reserve(pending.size());
+  for (const PendingSource& source : pending) {
+    std::unique_ptr<RecordReader> reader;
+    NGRAM_RETURN_NOT_OK(
+        OpenPendingSource(options, source, partition, &reader));
+    if (reader != nullptr) {
+      result->sources.push_back(std::move(reader));
+    }
+  }
+  return Status::OK();
+}
+
+void RemoveFiles(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    if (!path.empty()) {
+      unlink(path.c_str());
+    }
+  }
 }
 
 }  // namespace ngram::mr

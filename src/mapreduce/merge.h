@@ -1,18 +1,30 @@
-// Reduce-side k-way merge over sorted run segments, preserving the map
-// task emission order for equal keys (stable by source index) so reducer
-// input is deterministic.
+// External merging over sorted run segments, preserving the map task
+// emission order for equal keys (stable by source index) so reducer input
+// is deterministic.
 //
-// The merge is a loser tree (tournament tree): advancing the winner costs
-// exactly ceil(log2 k) comparisons — half of a binary heap's sift-down +
-// sift-up — and every comparison reads the cached encoded-key slice of a
-// source instead of a virtual key() call.
+// Two layers live here:
+//
+//   - KWayMerger, the in-memory k-way merge: a loser tree (tournament
+//     tree) where advancing the winner costs exactly ceil(log2 k)
+//     comparisons — half of a binary heap's sift-down + sift-up — and
+//     every comparison reads the cached encoded-key slice of a source
+//     instead of a virtual key() call.
+//   - The bounded-fan-in external merge (MergeMapRuns /
+//     PrepareReduceMerge): no single KWayMerger is ever built over more
+//     than `merge_factor` sources (Hadoop's `io.sort.factor`). Excess
+//     runs are merged in *consecutive-index* groups through intermediate
+//     on-disk passes, so open fds and read buffers stay O(merge_factor)
+//     per task instead of O(total runs) — and the source-order tie-break
+//     (hence byte-identical output) survives multi-pass merging.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "mapreduce/comparator.h"
+#include "mapreduce/counters.h"
 #include "mapreduce/record.h"
 #include "mapreduce/sort_buffer.h"
 #include "util/macros.h"
@@ -78,5 +90,98 @@ class KWayMerger {
 /// file). Returns nullptr for empty segments.
 std::unique_ptr<RecordReader> OpenRunPartition(const SpillRun& run,
                                                uint32_t partition);
+
+/// \brief Verifies each checksummed file-backed run at most once per job.
+///
+/// Shared by all reduce tasks: the first task to open any partition of a
+/// run pays the whole-file CRC re-read; later opens (other partitions,
+/// other tasks, retried attempts) see the cached result. A mismatch is
+/// sticky Corruption, so every task reading the damaged run fails and the
+/// job surfaces the corruption through the normal retry machinery.
+class RunCrcVerifier {
+ public:
+  explicit RunCrcVerifier(size_t num_runs)
+      : flags_(std::make_unique<std::once_flag[]>(num_runs)),
+        results_(num_runs) {}
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(RunCrcVerifier);
+
+  /// Verifies run `run_index` (a job-wide index) if it carries a CRC and
+  /// is file-backed; in-memory and unchecksummed runs pass trivially.
+  Status Verify(size_t run_index, const SpillRun& run);
+
+ private:
+  std::unique_ptr<std::once_flag[]> flags_;
+  std::vector<Status> results_;
+};
+
+/// Knobs shared by the map-side final merge and the reduce-side
+/// multi-pass merge. Lifetimes: `combiner`, `verifier`, and `counters`
+/// must outlive the call they are passed to.
+struct ExternalMergeOptions {
+  const RawComparator* comparator = BytewiseComparator::Instance();
+  /// Maximum fan-in per merge pass; values < 2 are treated as 2 (the
+  /// caller gates on JobConfig::merge_factor == 0 for "unbounded").
+  uint32_t merge_factor = 16;
+  /// Directory for intermediate merge outputs (same as the spill dir).
+  std::string work_dir;
+  /// Attempt-scoped file-name prefix, e.g. "map-3-a0" / "reduce-2-a1" —
+  /// retried attempts never collide with a discarded attempt's files.
+  std::string name_prefix;
+  size_t spill_buffer_bytes = SpillWriter::kDefaultBufferBytes;
+  /// Checksum intermediate outputs and verify checksummed inputs before
+  /// reading them (JobConfig::checksum_spills).
+  bool checksum = false;
+  /// Map-side only: re-run the combiner across runs while merging.
+  RawCombineFn combiner;
+  /// Reduce-side only: once-per-job CRC verification of the map runs.
+  RunCrcVerifier* verifier = nullptr;
+  /// Charged with kMergePasses / kIntermediateMergeBytes (and combine
+  /// counters on the map side). Required.
+  TaskCounters* counters = nullptr;
+};
+
+/// \brief Map-side final merge (Hadoop's per-task spill merge).
+///
+/// Merges a finished map task's runs — all partitions — into ONE
+/// partition-segmented run file, with at most `merge_factor` runs open in
+/// any pass (excess runs go through intermediate whole-run passes first,
+/// over consecutive run indices). The combiner, if configured, is re-run
+/// across runs in every pass. Consumed input files are unlinked; on
+/// success `*runs` holds exactly the merged run. On failure partially
+/// written outputs are unlinked and `*runs` keeps the not-yet-consumed
+/// inputs (the caller discards them with RemoveRunFiles).
+Status MergeMapRuns(const ExternalMergeOptions& options,
+                    uint32_t num_partitions, std::vector<SpillRun>* runs);
+
+/// \brief Bounded-fan-in source preparation for one reduce task.
+///
+/// Result of PrepareReduceMerge: at most `merge_factor` open sources for
+/// the final (reducer-feeding) merge, plus the intermediate files backing
+/// them. The caller unlinks `intermediate_files` once the reduce attempt
+/// is done with the sources (success or failure).
+struct ReduceMergeResult {
+  std::vector<std::unique_ptr<RecordReader>> sources;
+  std::vector<std::string> intermediate_files;
+};
+
+/// Opens partition `partition` of `runs` for merging, running
+/// intermediate single-partition merge passes until no more than
+/// `merge_factor` *fd-costing* (file-backed) sources remain. Groups
+/// cover consecutive source indices — that is what preserves the
+/// source-order tie-break — and close once they hold `merge_factor`
+/// file-backed members; in-memory runs cost no fd or read buffer, so
+/// they never count against the bound and a no-spill job is never
+/// re-spilled (groups without two file-backed members pass through
+/// untouched). With `merge_factor` == 0 every non-empty segment is
+/// opened at once (unbounded). Checksummed map runs are verified
+/// through `options.verifier` before their first open; intermediate
+/// outputs carry their own CRC and are re-verified before the next
+/// pass reads them.
+Status PrepareReduceMerge(const ExternalMergeOptions& options,
+                          const std::vector<const SpillRun*>& runs,
+                          uint32_t partition, ReduceMergeResult* result);
+
+/// Unlinks the files behind `paths` (ignoring missing ones).
+void RemoveFiles(const std::vector<std::string>& paths);
 
 }  // namespace ngram::mr

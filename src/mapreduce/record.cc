@@ -66,7 +66,15 @@ bool FileRecordReader::FillAtLeast(size_t n) {
         std::min<uint64_t>(buffer_capacity_ - limit_, remaining_file_bytes_));
     const size_t got = fread(buffer_.data() + limit_, 1, want, file_);
     if (got == 0) {
-      status_ = Status::Corruption("unexpected EOF in spill file");
+      // A short read is only "truncated file" corruption when the stream
+      // really hit EOF; a failed read is an I/O error and must surface as
+      // one (with errno) instead of masquerading as corruption.
+      if (ferror(file_) != 0) {
+        status_ = Status::IOError(std::string("read spill file: ") +
+                                  strerror(errno));
+      } else {
+        status_ = Status::Corruption("unexpected EOF in spill file");
+      }
       return false;
     }
     limit_ += got;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include <unistd.h>
+
 #include "util/logging.h"
 
 namespace ngram::mr {
@@ -23,18 +25,6 @@ class StringRunSink final : public RecordSink {
  private:
   std::string* out_;
   uint64_t num_records_ = 0;
-};
-
-/// Sink that streams framed records through a SpillWriter.
-class SpillWriterSink final : public RecordSink {
- public:
-  explicit SpillWriterSink(SpillWriter* writer) : writer_(writer) {}
-  Status Append(Slice key, Slice value) override {
-    return writer_->Append(key, value);
-  }
-
- private:
-  SpillWriter* writer_;
 };
 
 }  // namespace
@@ -91,9 +81,23 @@ class SortBuffer::GroupIterator final : public RawValueIterator {
   size_t next_;     // Next ref to consume.
 };
 
+void RemoveRunFiles(const std::vector<SpillRun>& runs) {
+  for (const SpillRun& run : runs) {
+    if (!run.file_path.empty()) {
+      unlink(run.file_path.c_str());
+    }
+  }
+}
+
 SortBuffer::SortBuffer(Options options, TaskCounters* counters)
     : options_(std::move(options)), counters_(counters) {
   buckets_.resize(options_.num_partitions);
+}
+
+SortBuffer::~SortBuffer() {
+  // A successful Finish() moved the runs out; anything left here belongs
+  // to an abandoned attempt.
+  RemoveRunFiles(runs_);
 }
 
 Status SortBuffer::Add(uint32_t partition, Slice key, Slice value) {

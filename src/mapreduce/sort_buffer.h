@@ -68,6 +68,13 @@ struct SpillRun {
   bool zero_copy() const { return !buckets.empty(); }
 };
 
+/// Unlinks the spill files (if any) behind `runs`; in-memory runs are
+/// untouched and the vector itself is left alone. Shuffle runs are
+/// job-private, so the driver removes them for discarded task attempts
+/// and when the job finishes — a user-provided work_dir is never left
+/// with orphaned run files.
+void RemoveRunFiles(const std::vector<SpillRun>& runs);
+
 /// Raw (serialized) view of a combiner: receives one key group — the
 /// leading key plus a lazily-advancing zero-copy value iterator — and
 /// appends combined records to the sink. `key` points into the bucket
@@ -102,6 +109,9 @@ class SortBuffer {
   };
 
   SortBuffer(Options options, TaskCounters* counters);
+  /// Unlinks any spill files still held (i.e. Finish() was never reached:
+  /// the task attempt failed mid-map and is being discarded).
+  ~SortBuffer();
   NGRAM_DISALLOW_COPY_AND_ASSIGN(SortBuffer);
 
   /// Appends one record destined for `partition`. Records larger than the

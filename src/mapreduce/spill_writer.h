@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "mapreduce/record.h"
 #include "util/macros.h"
 #include "util/slice.h"
 #include "util/status.h"
@@ -93,6 +94,19 @@ class SpillWriter {
   bool opened_ = false;  // This writer created the file at path_.
   bool closed_ = false;
   Status close_status_;
+};
+
+/// RecordSink adapter over a SpillWriter — the glue every writer-backed
+/// emit path (spills, merge passes) uses to stream framed records.
+class SpillWriterSink final : public RecordSink {
+ public:
+  explicit SpillWriterSink(SpillWriter* writer) : writer_(writer) {}
+  Status Append(Slice key, Slice value) override {
+    return writer_->Append(key, value);
+  }
+
+ private:
+  SpillWriter* writer_;
 };
 
 /// Recomputes the CRC-32 of `path` and checks it against `expected`.

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <map>
 
 #include "mapreduce/job.h"
+#include "util/temp_dir.h"
 
 namespace ngram::mr {
 namespace {
@@ -152,6 +154,106 @@ TEST(FaultToleranceTest, RealTaskErrorsAreAlsoRetried) {
   ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
   EXPECT_EQ(metrics->Counter(kTaskRetries), 1u);
   EXPECT_EQ(output.rows.size(), 7u);
+}
+
+size_t FilesIn(const std::string& dir) {
+  size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+TEST(FaultToleranceTest, RetriedSpillingTasksLeaveWorkDirClean) {
+  // Every task fails its first attempt *after* spilling run files into a
+  // user-provided work_dir. Attempt-scoped run names keep retries from
+  // colliding with the discarded attempt's files, and discarded runs are
+  // unlinked — the job must succeed and leave the directory empty.
+  auto dir = TempDir::Create("retry-clean");
+  ASSERT_TRUE(dir.ok());
+  JobConfig config;
+  config.work_dir = dir->path().string();
+  config.sort_buffer_bytes = 128;  // Spill on nearly every record.
+  config.num_map_tasks = 4;
+  config.max_task_attempts = 3;
+  config.failure_injector = [](const char*, uint32_t, uint32_t attempt) {
+    return attempt == 0;
+  };
+  std::map<std::string, uint64_t> baseline, counts;
+  JobConfig clean_config = config;
+  clean_config.failure_injector = nullptr;
+  clean_config.max_task_attempts = 1;
+  ASSERT_TRUE(RunCountJob(clean_config, &baseline).ok());
+  auto metrics = RunCountJob(config, &counts);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(counts, baseline);
+  EXPECT_GT(metrics->Counter(kSpillFiles), 0u);
+  EXPECT_EQ(FilesIn(config.work_dir), 0u);
+}
+
+TEST(FaultToleranceTest, MidMapFailureLeavesWorkDirClean) {
+  // The mapper dies after emitting (and spilling) but before the task
+  // commits its runs — the SortBuffer still holds them, and discarding
+  // the attempt must unlink them.
+  class CleanupFailingMapper final
+      : public Mapper<uint64_t, std::string, std::string, uint64_t> {
+   public:
+    explicit CleanupFailingMapper(std::atomic<int>* attempts)
+        : attempts_(attempts) {}
+    Status Map(const uint64_t& id, const std::string& word,
+               Context* ctx) override {
+      return ctx->Emit(word, 1);
+    }
+    Status Cleanup(Context* ctx) override {
+      if (attempts_->fetch_add(1) == 0) {
+        return Status::IOError("flaky cleanup");
+      }
+      return Status::OK();
+    }
+
+   private:
+    std::atomic<int>* attempts_;
+  };
+
+  auto dir = TempDir::Create("midmap-clean");
+  ASSERT_TRUE(dir.ok());
+  JobConfig config;
+  config.work_dir = dir->path().string();
+  config.sort_buffer_bytes = 128;
+  config.num_map_tasks = 1;
+  config.max_task_attempts = 2;
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<CleanupFailingMapper, SumReducer>(
+      config, Input(),
+      [attempts] {
+        return std::make_unique<CleanupFailingMapper>(attempts.get());
+      },
+      [] { return std::make_unique<SumReducer>(); }, &output);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->Counter(kTaskRetries), 1u);
+  EXPECT_EQ(FilesIn(config.work_dir), 0u);
+}
+
+TEST(FaultToleranceTest, FailedJobLeavesWorkDirClean) {
+  // Exhausted attempts fail the whole job; runs of the tasks that did
+  // succeed must not be orphaned in a user-provided work_dir either.
+  auto dir = TempDir::Create("failed-clean");
+  ASSERT_TRUE(dir.ok());
+  JobConfig config;
+  config.work_dir = dir->path().string();
+  config.sort_buffer_bytes = 128;
+  config.num_map_tasks = 4;
+  config.map_slots = 1;  // Task 0..2 commit their runs before 3 fails.
+  config.max_task_attempts = 2;
+  config.failure_injector = [](const char* phase, uint32_t task, uint32_t) {
+    return std::string(phase) == "map" && task == 3;
+  };
+  std::map<std::string, uint64_t> counts;
+  auto metrics = RunCountJob(config, &counts);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_EQ(FilesIn(config.work_dir), 0u);
 }
 
 TEST(FaultToleranceTest, SkewCounterReportsHeaviestReducer) {

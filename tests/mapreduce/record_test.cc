@@ -178,5 +178,15 @@ TEST_F(FileRecordTest, TruncatedSegmentReportsCorruption) {
   EXPECT_TRUE(reader.status().IsCorruption());
 }
 
+TEST_F(FileRecordTest, ReadFailureReportsIOErrorNotCorruption) {
+  // fopen() on a directory succeeds on Linux but every fread() fails with
+  // EISDIR — a genuine I/O error, which must not be mislabeled as a
+  // truncated ("corrupt") spill file.
+  FileRecordReader reader(dir_->path().string(), 0, 10);
+  EXPECT_FALSE(reader.Next());
+  EXPECT_TRUE(reader.status().IsIOError()) << reader.status().ToString();
+  EXPECT_FALSE(reader.status().IsCorruption());
+}
+
 }  // namespace
 }  // namespace ngram::mr
