@@ -4,7 +4,8 @@
 //   ngram_tool generate (nyt|cw) <docs> <out.ngc> [seed]
 //   ngram_tool stats <in.ngc> <out.ngs> --method=suffix-sigma --tau=10
 //               [--sigma=5] [--mode=cf|df] [--reducers=8] [--slots=4]
-//               [--sort-buffer-kb=N] [--merge-factor=N] [--checksum]
+//               [--sort-buffer-kb=N] [--merge-factor=N]
+//               [--compress|--no-compress] [--checksum]
 //               [--no-splits] [--maximal|--closed] [--verbose]
 //   ngram_tool top <in.ngs> [k]
 //   ngram_tool info <in.ngc>
@@ -31,8 +32,8 @@ int Usage() {
           "  ngram_tool stats <in.ngc> <out.ngs> [--method=M] [--tau=N]\n"
           "             [--sigma=N] [--mode=cf|df] [--reducers=N]\n"
           "             [--slots=N] [--sort-buffer-kb=N] [--merge-factor=N]\n"
-          "             [--checksum] [--no-splits] [--maximal|--closed]\n"
-          "             [--verbose]\n"
+          "             [--compress|--no-compress] [--checksum]\n"
+          "             [--no-splits] [--maximal|--closed] [--verbose]\n"
           "  ngram_tool top <in.ngs> [k]\n"
           "  ngram_tool info <in.ngc>\n"
           "methods: naive, apriori-scan, apriori-index, suffix-sigma\n");
@@ -118,6 +119,10 @@ int CmdStats(const std::vector<std::string>& args) {
           static_cast<size_t>(atoll(value.c_str())) * 1024;
     } else if (ParseFlag(args[i], "merge-factor", &value)) {
       options.merge_factor = static_cast<uint32_t>(atoi(value.c_str()));
+    } else if (args[i] == "--compress") {
+      options.compress_runs = true;  // The default; kept for symmetry.
+    } else if (args[i] == "--no-compress") {
+      options.compress_runs = false;
     } else if (args[i] == "--checksum") {
       options.checksum_spills = true;
     } else if (args[i] == "--verbose") {
@@ -167,18 +172,30 @@ int CmdStats(const std::vector<std::string>& args) {
     // Spill/merge observability: how much shuffle data hit disk and how
     // hard the bounded-fan-in merge had to work to read it back.
     const char* counter_names[] = {
-        mr::kSpillFiles,         mr::kSpilledRecords,
-        mr::kMergePasses,        mr::kIntermediateMergeBytes,
+        mr::kSpillFiles,          mr::kSpilledRecords,
+        mr::kMergePasses,         mr::kIntermediateMergeBytes,
+        mr::kMapMergePasses,      mr::kMapIntermediateMergeBytes,
+        mr::kReduceMergePasses,   mr::kReduceIntermediateMergeBytes,
+        mr::kRunBytesRaw,         mr::kRunBytesWritten,
         mr::kCombineInputRecords, mr::kCombineOutputRecords,
-        mr::kReduceInputRecords, mr::kTaskRetries,
+        mr::kReduceInputRecords,  mr::kTaskRetries,
     };
-    printf("  shuffle: sort-buffer=%llu KiB merge-factor=%u checksum=%s\n",
+    printf("  shuffle: sort-buffer=%llu KiB merge-factor=%u compress=%s "
+           "checksum=%s\n",
            static_cast<unsigned long long>(options.sort_buffer_bytes / 1024),
-           options.merge_factor, options.checksum_spills ? "on" : "off");
+           options.merge_factor, options.compress_runs ? "on" : "off",
+           options.checksum_spills ? "on" : "off");
     for (const char* name : counter_names) {
-      printf("  %-26s %llu\n", name,
+      printf("  %-31s %llu\n", name,
              static_cast<unsigned long long>(
                  run->metrics.TotalCounter(name)));
+    }
+    const uint64_t raw = run->metrics.TotalCounter(mr::kRunBytesRaw);
+    const uint64_t written = run->metrics.TotalCounter(mr::kRunBytesWritten);
+    if (raw > 0) {
+      printf("  run compression ratio: %.2fx (%.1f%% of raw)\n",
+             written > 0 ? static_cast<double>(raw) / written : 0.0,
+             100.0 * static_cast<double>(written) / raw);
     }
   }
   return 0;

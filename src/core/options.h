@@ -82,8 +82,16 @@ struct NgramJobOptions {
   /// instead of opening every run at once. 0 = unbounded.
   uint32_t merge_factor = 16;
 
-  /// CRC-32 every spill run and verify it before it is read back
-  /// (end-to-end shuffle integrity; costs one table lookup per byte).
+  /// Persist shuffle runs (spills, merge outputs) in the prefix-compressed
+  /// block format with per-block CRC-32s verified as runs are read back
+  /// (see mapreduce/runfile.h). Sorted runs share long key prefixes, so
+  /// spill-heavy methods write far fewer intermediate bytes. Off = raw
+  /// framed records. Output is byte-identical either way.
+  bool compress_runs = true;
+
+  /// CRC-32 every *raw-format* spill run and verify it before it is read
+  /// back (end-to-end shuffle integrity with compress_runs off; costs one
+  /// table lookup per byte). Compressed runs are always CRC-protected.
   bool checksum_spills = false;
 
   /// Fixed per-job overhead (ms) modelling Hadoop job launch/teardown; the

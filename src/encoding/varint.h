@@ -113,6 +113,16 @@ inline void PutFixed32(std::string* out, uint32_t v) {
   out->append(buf, 4);
 }
 
+/// Encodes `v` little-endian directly into `dst` (4 bytes); returns one
+/// past the last byte written.
+inline char* EncodeFixed32To(char* dst, uint32_t v) {
+  dst[0] = static_cast<char>(v & 0xff);
+  dst[1] = static_cast<char>((v >> 8) & 0xff);
+  dst[2] = static_cast<char>((v >> 16) & 0xff);
+  dst[3] = static_cast<char>((v >> 24) & 0xff);
+  return dst + 4;
+}
+
 inline uint32_t DecodeFixed32(const char* p) {
   const uint8_t* u = reinterpret_cast<const uint8_t*>(p);
   return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |

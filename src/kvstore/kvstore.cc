@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "encoding/varint.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace ngram::kv {
@@ -93,34 +94,50 @@ Status KVStore::OpenSegments() {
     const off_t sz = ::lseek(seg->fd, 0, SEEK_END);
     seg->size = static_cast<uint64_t>(sz < 0 ? 0 : sz);
 
-    // Replay the segment to rebuild the index.
+    // Replay the segment to rebuild the index, verifying each record's
+    // CRC trailer as it goes by — corruption anywhere in a segment fails
+    // the open instead of resurrecting damaged state. Segments carry no
+    // format version: stores are job-ephemeral (spilled reducer state in
+    // a per-job work dir), so there are no cross-build segments to
+    // migrate and a pre-CRC-format file can only mean corruption.
     std::string content;
     NGRAM_RETURN_NOT_OK(ReadAt(*seg, 0, seg->size, &content));
     Slice in(content);
     uint64_t pos = 0;
     while (!in.empty()) {
       const size_t before = in.size();
-      if (in.size() < 1) {
-        return Status::Corruption("truncated record header in " + seg->path);
-      }
       const uint8_t type = static_cast<uint8_t>(in[0]);
       in.RemovePrefix(1);
       uint64_t klen = 0, vlen = 0;
+      // Bounds checked term by term: corrupt near-2^64 varints (read
+      // before any CRC has been verified) would wrap a summed check and
+      // hand std::string a giant length instead of failing cleanly.
       if (!GetVarint64(&in, &klen) || !GetVarint64(&in, &vlen) ||
-          klen + vlen > in.size()) {
-        return Status::Corruption("truncated record body in " + seg->path);
+          klen > in.size() || vlen > in.size() - klen ||
+          in.size() - klen - vlen < 4) {
+        return Status::Corruption("truncated record body in " + seg->path +
+                                  " at offset " + std::to_string(pos));
       }
       const std::string key(in.data(), klen);
-      in.RemovePrefix(klen);
-      const uint64_t header_bytes = before - in.size();
+      in.RemovePrefix(klen + vlen);
+      const uint64_t covered = (before - in.size());
+      const uint32_t expected = DecodeFixed32(in.data());
+      in.RemovePrefix(4);
+      const uint32_t actual =
+          Crc32(0, content.data() + pos, static_cast<size_t>(covered));
+      if (actual != expected) {
+        return Status::Corruption("record CRC mismatch in " + seg->path +
+                                  " at offset " + std::to_string(pos));
+      }
+      const uint64_t record_size = covered + 4;
       if (type == kRecordPut) {
-        index_[key] = Location{seg->id, pos + header_bytes,
+        index_[key] = Location{seg->id, pos,
+                               static_cast<uint32_t>(record_size),
                                static_cast<uint32_t>(vlen)};
       } else {
         index_.erase(key);
       }
-      in.RemovePrefix(vlen);
-      pos += header_bytes + vlen;
+      pos += record_size;
     }
     segments_.push_back(std::move(seg));
   }
@@ -156,13 +173,14 @@ Status KVStore::AppendRecord(uint8_t type, Slice key, Slice value,
   Segment& seg = *segments_.back();
 
   std::string record;
-  record.reserve(1 + 2 * kMaxVarint64Bytes + key.size() + value.size());
+  record.reserve(1 + 2 * kMaxVarint64Bytes + key.size() + value.size() + 4);
   record.push_back(static_cast<char>(type));
   PutVarint64(&record, key.size());
   PutVarint64(&record, value.size());
-  const size_t value_offset_in_record = record.size() + key.size();
   record.append(key.data(), key.size());
   record.append(value.data(), value.size());
+  // CRC trailer over header + key + value (verified on replay and Get).
+  PutFixed32(&record, Crc32(0, record.data(), record.size()));
 
   size_t written = 0;
   while (written < record.size()) {
@@ -177,7 +195,8 @@ Status KVStore::AppendRecord(uint8_t type, Slice key, Slice value,
     written += static_cast<size_t>(n);
   }
   if (value_loc != nullptr) {
-    *value_loc = Location{seg.id, seg.size + value_offset_in_record,
+    *value_loc = Location{seg.id, seg.size,
+                          static_cast<uint32_t>(record.size()),
                           static_cast<uint32_t>(value.size())};
   }
   seg.size += record.size();
@@ -225,7 +244,25 @@ Status KVStore::Get(Slice key, std::string* value) {
   if (seg == nullptr) {
     return Status::Corruption("segment missing for key " + key.ToString());
   }
-  return ReadAt(*seg, loc.offset, loc.value_size, value);
+  // Read the whole record and verify its CRC trailer, so a flipped byte
+  // anywhere — key, value, or header — surfaces as Corruption instead of
+  // silently returning damaged state. The extra key/header bytes read
+  // come through the block cache like the value bytes always did.
+  std::string record;
+  NGRAM_RETURN_NOT_OK(ReadAt(*seg, loc.offset, loc.record_size, &record));
+  if (record.size() != loc.record_size || loc.record_size < 4 ||
+      loc.record_size < 4u + loc.value_size) {
+    return Status::Corruption("short record read in " + seg->path);
+  }
+  const uint32_t expected = DecodeFixed32(record.data() + record.size() - 4);
+  const uint32_t actual = Crc32(0, record.data(), record.size() - 4);
+  if (actual != expected) {
+    return Status::Corruption("record CRC mismatch in " + seg->path +
+                              " at offset " + std::to_string(loc.offset));
+  }
+  value->assign(record.data() + record.size() - 4 - loc.value_size,
+                loc.value_size);
+  return Status::OK();
 }
 
 Status KVStore::ReadAt(Segment& seg, uint64_t offset, size_t n,

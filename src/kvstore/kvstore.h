@@ -4,6 +4,13 @@
 // This is the repo's stand-in for the paper's use of Berkeley DB JE
 // (Section V, "Key-Value Store"): reducer state that outgrows its memory
 // budget migrates here and is read back through the cache.
+//
+// Integrity: every segment record carries a CRC-32 trailer (the same
+// checksum the run-file blocks use, util/crc32.h) covering its header,
+// key, and value. The CRC is verified when segments are replayed at
+// Open() and again on every Get(), so a flipped byte anywhere in a
+// segment surfaces as Corruption instead of silently changing reducer
+// state.
 #pragma once
 
 #include <cstdint>
@@ -82,7 +89,8 @@ class KVStore {
  private:
   struct Location {
     uint32_t segment_id;
-    uint64_t offset;      // Offset of the value bytes within the segment.
+    uint64_t offset;       // Offset of the whole record within the segment.
+    uint32_t record_size;  // Header + key + value + CRC trailer.
     uint32_t value_size;
   };
   struct Segment;

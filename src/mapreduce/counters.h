@@ -34,6 +34,21 @@ inline constexpr const char* kMergePasses = "MERGE_PASSES";
 /// the I/O price of bounding the fan-in).
 inline constexpr const char* kIntermediateMergeBytes =
     "INTERMEDIATE_MERGE_BYTES";
+/// Per-phase breakout of the two counters above: map-side final merges vs
+/// reduce-side intermediate passes (kMergePasses/kIntermediateMergeBytes
+/// stay the job-level totals).
+inline constexpr const char* kMapMergePasses = "MAP_MERGE_PASSES";
+inline constexpr const char* kMapIntermediateMergeBytes =
+    "MAP_INTERMEDIATE_MERGE_BYTES";
+inline constexpr const char* kReduceMergePasses = "REDUCE_MERGE_PASSES";
+inline constexpr const char* kReduceIntermediateMergeBytes =
+    "REDUCE_INTERMEDIATE_MERGE_BYTES";
+/// Bytes every persisted run (spill, map-side final merge, reduce-side
+/// intermediate pass) would occupy in raw [klen][vlen][key][value]
+/// framing vs the bytes actually written at rest — the observable
+/// compression ratio of JobConfig::compress_runs (equal when off).
+inline constexpr const char* kRunBytesRaw = "RUN_BYTES_RAW";
+inline constexpr const char* kRunBytesWritten = "RUN_BYTES_WRITTEN";
 inline constexpr const char* kTaskRetries = "TASK_RETRIES";
 /// Maximum records any single reduce task consumed (partition skew).
 inline constexpr const char* kReduceInputRecordsMax =

@@ -1,12 +1,39 @@
 #include "mapreduce/dataset.h"
 
+#include <sys/stat.h>
+
 #include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 
 #include "encoding/varint.h"
+#include "mapreduce/runfile.h"
 
 namespace ngram::mr {
 
 namespace {
+
+// Self-describing header of a serialized RecordTable: magic, version, the
+// at-rest format of the record region, and the expected record/byte
+// counts. The counts are what make a *cleanly truncated* file detectable:
+// per-block CRCs catch flipped bits, but a file that lost whole trailing
+// blocks (partial copy, disk-full crash) still reads as a valid shorter
+// stream — Load() cross-checks what it decoded against the header.
+constexpr char kTableMagic[4] = {'N', 'G', 'R', 'T'};
+constexpr uint8_t kTableVersion = 1;
+// magic[4] version format pad[2] num_records[8] byte_size[8].
+constexpr size_t kTableHeaderBytes = 24;
+
+void AppendFixed64(std::string* out, uint64_t v) {
+  PutFixed32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutFixed32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint64_t DecodeFixed64At(const char* p) {
+  return static_cast<uint64_t>(DecodeFixed32(p)) |
+         (static_cast<uint64_t>(DecodeFixed32(p + 4)) << 32);
+}
 
 /// Zero-copy reader over a contiguous record range of a RecordTable.
 /// Chunk bytes are stable while the table is being read, so key/value
@@ -154,6 +181,78 @@ std::unique_ptr<RecordReader> RecordTable::NewReader() const {
 
 std::unique_ptr<RecordReader> RecordTable::NewReader(const View& view) const {
   return std::make_unique<RecordTableReader>(&chunks_, view);
+}
+
+Status RecordTable::Save(const std::string& path, bool compress) const {
+  RunWriterOptions options;
+  options.compress = compress;
+  options.preamble.assign(kTableMagic, sizeof(kTableMagic));
+  options.preamble.push_back(static_cast<char>(kTableVersion));
+  options.preamble.push_back(compress ? 1 : 0);
+  options.preamble.append(2, '\0');
+  AppendFixed64(&options.preamble, num_records_);
+  AppendFixed64(&options.preamble, byte_size_);
+  std::unique_ptr<RunWriter> writer = NewRunWriter(path, options);
+  NGRAM_RETURN_NOT_OK(writer->Open());
+  auto reader = NewReader();
+  while (reader->Next()) {
+    NGRAM_RETURN_NOT_OK(writer->Append(reader->key(), reader->value()));
+  }
+  NGRAM_RETURN_NOT_OK(reader->status());
+  return writer->Close();  // Failure unlinks the partial file.
+}
+
+Status RecordTable::Load(const std::string& path, RecordTable* table) {
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) {
+    return Status::IOError("stat table " + path + ": " + strerror(errno));
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < kTableHeaderBytes) {
+    return Status::Corruption("table file " + path + " shorter than header");
+  }
+  char header[kTableHeaderBytes];
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IOError("open table " + path + ": " + strerror(errno));
+    }
+    const size_t got = fread(header, 1, sizeof(header), f);
+    fclose(f);
+    if (got != sizeof(header)) {
+      return Status::IOError("read table header of " + path);
+    }
+  }
+  if (memcmp(header, kTableMagic, sizeof(kTableMagic)) != 0) {
+    return Status::Corruption("bad table magic in " + path);
+  }
+  if (static_cast<uint8_t>(header[4]) != kTableVersion) {
+    return Status::Corruption("unsupported table version in " + path);
+  }
+  const RunFormat format =
+      header[5] != 0 ? RunFormat::kBlocks : RunFormat::kRawRecords;
+  const uint64_t expected_records = DecodeFixed64At(header + 8);
+  const uint64_t expected_bytes = DecodeFixed64At(header + 16);
+
+  table->Clear();
+  FileRecordReader reader(path, kTableHeaderBytes,
+                          file_size - kTableHeaderBytes,
+                          FileRecordReader::kDefaultBufferBytes, format);
+  while (reader.Next()) {
+    table->Append(reader.key(), reader.value());
+  }
+  NGRAM_RETURN_NOT_OK(reader.status());
+  if (table->num_records() != expected_records ||
+      table->byte_size() != expected_bytes) {
+    // Structurally valid but shorter (or longer) than what Save() wrote:
+    // whole trailing blocks/records were dropped or appended.
+    return Status::Corruption(
+        "table " + path + " holds " + std::to_string(table->num_records()) +
+        " records / " + std::to_string(table->byte_size()) +
+        " bytes, header promises " + std::to_string(expected_records) +
+        " / " + std::to_string(expected_bytes));
+  }
+  return Status::OK();
 }
 
 }  // namespace ngram::mr

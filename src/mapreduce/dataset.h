@@ -109,6 +109,21 @@ class RecordTable {
   std::unique_ptr<RecordReader> NewReader() const;
   std::unique_ptr<RecordReader> NewReader(const View& view) const;
 
+  /// Serializes the table to `path` behind a self-describing header
+  /// carrying the record/byte counts. With `compress` (the default)
+  /// records are stored in the prefix-compressed block run format
+  /// (runfile.h) whose per-block CRC-32s make the boundary file
+  /// tamper-evident: Load() surfaces any flipped byte as Corruption, and
+  /// the header counts additionally catch clean truncation (whole
+  /// trailing blocks lost to a partial copy). `compress = false` writes
+  /// raw frames (count checks and structural checks only — no CRCs).
+  Status Save(const std::string& path, bool compress = true) const;
+
+  /// Loads a table serialized by Save(), replacing `*table`'s contents.
+  /// The header names the at-rest format, so callers need not know how
+  /// the file was written.
+  static Status Load(const std::string& path, RecordTable* table);
+
  private:
   friend class RecordTableReader;
 

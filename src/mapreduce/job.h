@@ -361,6 +361,7 @@ Result<JobMetrics> RunJob(
           opts.combiner = combiner;
           opts.work_dir = work_dir;
           opts.spill_buffer_bytes = config.spill_buffer_bytes;
+          opts.compress_runs = config.compress_runs;
           opts.checksum_spills = config.checksum_spills;
           // Attempt-scoped run names: a retried attempt can never collide
           // with (and silently reuse or orphan) a discarded attempt's
@@ -420,7 +421,9 @@ Result<JobMetrics> RunJob(
             merge_options.name_prefix =
                 "map-" + std::to_string(t) + "-a" + std::to_string(attempt);
             merge_options.spill_buffer_bytes = config.spill_buffer_bytes;
+            merge_options.compress = config.compress_runs;
             merge_options.checksum = config.checksum_spills;
+            merge_options.map_side = true;
             merge_options.combiner = combiner;
             merge_options.counters = &tc;
             st = MergeMapRuns(merge_options, num_reducers, &task_runs[t]);
@@ -494,6 +497,7 @@ Result<JobMetrics> RunJob(
           merge_options.name_prefix =
               "reduce-" + std::to_string(r) + "-a" + std::to_string(attempt);
           merge_options.spill_buffer_bytes = config.spill_buffer_bytes;
+          merge_options.compress = config.compress_runs;
           merge_options.checksum = config.checksum_spills;
           merge_options.verifier = &crc_verifier;
           merge_options.counters = &tc;

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include "mapreduce/context.h"
+#include "mapreduce/runfile.h"
 #include "mapreduce/spill_writer.h"
 
 namespace ngram::mr {
@@ -75,19 +76,30 @@ Status DrainMerger(KWayMerger* merger, const RawCombineFn& combiner,
   return st;
 }
 
-SpillWriter::Options MergeWriterOptions(const ExternalMergeOptions& options) {
-  SpillWriter::Options writer_options;
+RunWriterOptions MergeWriterOptions(const ExternalMergeOptions& options) {
+  RunWriterOptions writer_options;
+  writer_options.compress = options.compress;
   writer_options.buffer_bytes =
       std::max<size_t>(1, options.spill_buffer_bytes);
   writer_options.checksum = options.checksum;
   return writer_options;
 }
 
-/// Books one completed merge pass: the operation itself plus the
-/// re-spilled bytes it wrote.
-void ChargeMergePass(const ExternalMergeOptions& options, uint64_t bytes) {
+/// Books one completed merge pass: the operation itself, the re-spilled
+/// bytes it wrote (both also under the per-phase breakout), and the
+/// at-rest vs raw-framing byte split of its output.
+void ChargeMergePass(const ExternalMergeOptions& options,
+                     const RunWriter& writer) {
   options.counters->Increment(kMergePasses, 1);
-  options.counters->Increment(kIntermediateMergeBytes, bytes);
+  options.counters->Increment(kIntermediateMergeBytes,
+                              writer.bytes_written());
+  options.counters->Increment(
+      options.map_side ? kMapMergePasses : kReduceMergePasses, 1);
+  options.counters->Increment(options.map_side ? kMapIntermediateMergeBytes
+                                               : kReduceIntermediateMergeBytes,
+                              writer.bytes_written());
+  options.counters->Increment(kRunBytesRaw, writer.raw_bytes());
+  options.counters->Increment(kRunBytesWritten, writer.bytes_written());
 }
 
 std::string MergeOutputPath(const ExternalMergeOptions& options,
@@ -120,8 +132,9 @@ Status MergeRunGroup(const ExternalMergeOptions& options,
   out->segments.assign(num_partitions, RunSegment{});
   out->file_path = MergeOutputPath(options, seq);
 
-  SpillWriter writer(out->file_path, MergeWriterOptions(options));
-  NGRAM_RETURN_NOT_OK(writer.Open());
+  std::unique_ptr<RunWriter> writer =
+      NewRunWriter(out->file_path, MergeWriterOptions(options));
+  NGRAM_RETURN_NOT_OK(writer->Open());
 
   for (uint32_t p = 0; p < num_partitions; ++p) {
     std::vector<std::unique_ptr<RecordReader>> sources;
@@ -134,27 +147,31 @@ Status MergeRunGroup(const ExternalMergeOptions& options,
     }
     KWayMerger merger(std::move(sources), options.comparator);
     RunSegment& seg = out->segments[p];
-    seg.offset = writer.bytes_written();
-    const uint64_t records_before = writer.records_written();
-    SpillWriterSink sink(&writer);
+    seg.offset = writer->bytes_written();
+    const uint64_t records_before = writer->records_written();
+    RunWriterSink sink(writer.get());
     Status st = DrainMerger(&merger, options.combiner, options.comparator,
                             &sink, options.counters);
+    if (st.ok()) {
+      st = writer->FinishSegment();  // Segments cover whole blocks.
+    }
     if (!st.ok()) {
-      writer.Abandon();  // Unlinks the partial merge output.
+      writer->Abandon();  // Unlinks the partial merge output.
       return st;
     }
-    seg.length = writer.bytes_written() - seg.offset;
-    seg.num_records = writer.records_written() - records_before;
+    seg.length = writer->bytes_written() - seg.offset;
+    seg.num_records = writer->records_written() - records_before;
     if (options.combiner) {
       options.counters->Increment(kCombineOutputRecords, seg.num_records);
     }
   }
-  NGRAM_RETURN_NOT_OK(writer.Close());  // Close() unlinks on failure.
-  if (options.checksum) {
-    out->crc32 = writer.crc32();
+  NGRAM_RETURN_NOT_OK(writer->Close());  // Close() unlinks on failure.
+  out->block_format = writer->block_format();
+  if (options.checksum && !out->block_format) {
+    out->crc32 = writer->crc32();
     out->has_crc = true;
   }
-  ChargeMergePass(options, writer.bytes_written());
+  ChargeMergePass(options, *writer);
   return Status::OK();
 }
 
@@ -170,6 +187,7 @@ struct PendingSource {
   uint64_t length = 0;
   uint32_t crc32 = 0;
   bool has_crc = false;
+  bool block_format = false;      // Intermediate file's at-rest format.
 };
 
 /// True when opening this source costs an fd and a read buffer — the two
@@ -192,23 +210,25 @@ size_t CountFdSources(const std::vector<PendingSource>& pending) {
 Status MergeToIntermediate(const ExternalMergeOptions& options,
                            std::vector<std::unique_ptr<RecordReader>> sources,
                            PendingSource* merged) {
-  SpillWriter writer(merged->path, MergeWriterOptions(options));
-  NGRAM_RETURN_NOT_OK(writer.Open());
+  std::unique_ptr<RunWriter> writer =
+      NewRunWriter(merged->path, MergeWriterOptions(options));
+  NGRAM_RETURN_NOT_OK(writer->Open());
   KWayMerger merger(std::move(sources), options.comparator);
-  SpillWriterSink sink(&writer);
+  RunWriterSink sink(writer.get());
   Status st = DrainMerger(&merger, /*combiner=*/nullptr, options.comparator,
                           &sink, options.counters);
   if (!st.ok()) {
-    writer.Abandon();
+    writer->Abandon();
     return st;
   }
-  NGRAM_RETURN_NOT_OK(writer.Close());
-  merged->length = writer.bytes_written();
-  if (options.checksum) {
-    merged->crc32 = writer.crc32();
+  NGRAM_RETURN_NOT_OK(writer->Close());
+  merged->length = writer->bytes_written();
+  merged->block_format = writer->block_format();
+  if (options.checksum && !merged->block_format) {
+    merged->crc32 = writer->crc32();
     merged->has_crc = true;
   }
-  ChargeMergePass(options, writer.bytes_written());
+  ChargeMergePass(options, *writer);
   return Status::OK();
 }
 
@@ -224,10 +244,13 @@ Status OpenPendingSource(const ExternalMergeOptions& options,
     return Status::OK();
   }
   if (source.has_crc) {
-    // Intermediate outputs are consumed exactly once, right here.
+    // Raw intermediate outputs are consumed exactly once, right here;
+    // block-format intermediates verify per block while being read.
     NGRAM_RETURN_NOT_OK(VerifySpillFileCrc32(source.path, source.crc32));
   }
-  *reader = std::make_unique<FileRecordReader>(source.path, 0, source.length);
+  *reader = std::make_unique<FileRecordReader>(
+      source.path, 0, source.length, FileRecordReader::kDefaultBufferBytes,
+      source.block_format ? RunFormat::kBlocks : RunFormat::kRawRecords);
   return Status::OK();
 }
 
@@ -246,8 +269,10 @@ std::unique_ptr<RecordReader> OpenRunPartition(const SpillRun& run,
     return std::make_unique<MemoryRecordReader>(
         Slice(run.memory_data.data() + seg.offset, seg.length));
   }
-  return std::make_unique<FileRecordReader>(run.file_path, seg.offset,
-                                            seg.length);
+  return std::make_unique<FileRecordReader>(
+      run.file_path, seg.offset, seg.length,
+      FileRecordReader::kDefaultBufferBytes,
+      run.block_format ? RunFormat::kBlocks : RunFormat::kRawRecords);
 }
 
 KWayMerger::KWayMerger(std::vector<std::unique_ptr<RecordReader>> sources,

@@ -128,9 +128,19 @@ struct ExternalMergeOptions {
   /// retried attempts never collide with a discarded attempt's files.
   std::string name_prefix;
   size_t spill_buffer_bytes = SpillWriter::kDefaultBufferBytes;
-  /// Checksum intermediate outputs and verify checksummed inputs before
-  /// reading them (JobConfig::checksum_spills).
+  /// Write merge outputs in the prefix-compressed block format
+  /// (JobConfig::compress_runs). Inputs self-describe via
+  /// SpillRun::block_format / PendingSource bookkeeping, so mixed-format
+  /// source lists (e.g. raw map runs into compressed intermediates)
+  /// merge fine.
+  bool compress = true;
+  /// Checksum raw-format intermediate outputs and verify checksummed
+  /// raw inputs before reading them (JobConfig::checksum_spills).
+  /// Block-format files verify per block as they are decoded instead.
   bool checksum = false;
+  /// True for the map-side final merge: pass/byte counters are charged to
+  /// the MAP_* phase breakouts instead of REDUCE_*.
+  bool map_side = false;
   /// Map-side only: re-run the combiner across runs while merging.
   RawCombineFn combiner;
   /// Reduce-side only: once-per-job CRC verification of the map runs.

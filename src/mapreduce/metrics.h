@@ -44,6 +44,20 @@ struct PipelineMetrics {
     uint64_t map_output_records = 0;
     uint64_t map_output_bytes = 0;  // Shuffle bytes.
     uint64_t reduce_output_records = 0;
+    // Spill/merge I/O, broken out per phase: what this round's map tasks
+    // spilled, what the map-side final merges re-spilled, and what the
+    // reduce-side intermediate passes re-spilled (the job-level
+    // MERGE_PASSES / INTERMEDIATE_MERGE_BYTES split by phase).
+    uint64_t spill_files = 0;
+    uint64_t spilled_records = 0;
+    uint64_t map_merge_passes = 0;
+    uint64_t map_merge_bytes = 0;
+    uint64_t reduce_merge_passes = 0;
+    uint64_t reduce_merge_bytes = 0;
+    // At-rest run bytes: raw-framing equivalent vs actually written
+    // (the compress_runs ratio for this round; equal with the knob off).
+    uint64_t run_bytes_raw = 0;
+    uint64_t run_bytes_written = 0;
   };
 
   std::vector<Round> rounds;
@@ -84,6 +98,20 @@ struct PipelineMetrics {
           << " / reduce " << r.reduce_phase_ms << "), boundary-in "
           << r.map_input_bytes << " B, shuffle " << r.map_output_bytes
           << " B, out " << r.reduce_output_records << " records";
+      if (r.spill_files > 0) {
+        out << ", spilled " << r.spill_files << " runs / "
+            << r.spilled_records << " records";
+        if (r.run_bytes_raw > 0) {
+          out << " (" << r.run_bytes_written << " B at rest / "
+              << r.run_bytes_raw << " B raw)";
+        }
+      }
+      if (r.map_merge_passes > 0 || r.reduce_merge_passes > 0) {
+        out << ", re-spill map " << r.map_merge_bytes << " B in "
+            << r.map_merge_passes << " pass(es) + reduce "
+            << r.reduce_merge_bytes << " B in " << r.reduce_merge_passes
+            << " pass(es)";
+      }
       if (i + 1 < rounds.size()) {
         out << "\n";
       }
@@ -114,6 +142,14 @@ struct RunMetrics {
       r.map_output_records = j.Counter(kMapOutputRecords);
       r.map_output_bytes = j.Counter(kMapOutputBytes);
       r.reduce_output_records = j.Counter(kReduceOutputRecords);
+      r.spill_files = j.Counter(kSpillFiles);
+      r.spilled_records = j.Counter(kSpilledRecords);
+      r.map_merge_passes = j.Counter(kMapMergePasses);
+      r.map_merge_bytes = j.Counter(kMapIntermediateMergeBytes);
+      r.reduce_merge_passes = j.Counter(kReduceMergePasses);
+      r.reduce_merge_bytes = j.Counter(kReduceIntermediateMergeBytes);
+      r.run_bytes_raw = j.Counter(kRunBytesRaw);
+      r.run_bytes_written = j.Counter(kRunBytesWritten);
       p.rounds.push_back(std::move(r));
     }
     return p;

@@ -4,22 +4,39 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/crc32.h"
+
 namespace ngram::mr {
 
 FileRecordReader::FileRecordReader(const std::string& path, uint64_t offset,
-                                   uint64_t length, size_t buffer_size)
-    : remaining_file_bytes_(length), buffer_capacity_(buffer_size) {
+                                   uint64_t length, size_t buffer_size,
+                                   RunFormat format)
+    : path_(path),
+      format_(format),
+      remaining_file_bytes_(length),
+      buffer_capacity_(buffer_size),
+      next_block_offset_(offset) {
   file_ = fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
     status_ = Status::IOError("open spill " + path + ": " + strerror(errno));
     remaining_file_bytes_ = 0;
     return;
   }
+  if (format_ == RunFormat::kBlocks) {
+    // Block mode reads through stdio (header varints byte by byte, then
+    // one fread per ~16 KiB payload); widen the stream buffer to the
+    // reader's budget so the merge keeps issuing few large sequential
+    // reads, as the raw path's own buffer does. Must precede any other
+    // stream operation (including the seek below).
+    setvbuf(file_, nullptr, _IOFBF, buffer_capacity_);
+  }
   if (fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
     status_ = Status::IOError("seek spill " + path + ": " + strerror(errno));
     remaining_file_bytes_ = 0;
   }
-  buffer_.reserve(buffer_capacity_);
+  if (format_ == RunFormat::kRawRecords) {
+    buffer_.reserve(buffer_capacity_);
+  }
 }
 
 FileRecordReader::~FileRecordReader() {
@@ -83,10 +100,7 @@ bool FileRecordReader::FillAtLeast(size_t n) {
   return limit_ - pos_ >= n;
 }
 
-bool FileRecordReader::Next() {
-  if (!status_.ok()) {
-    return false;
-  }
+bool FileRecordReader::NextRaw() {
   swapped_this_call_ = false;
   const uint64_t total_left = (limit_ - pos_) + remaining_file_bytes_;
   if (total_left == 0) {
@@ -125,6 +139,174 @@ bool FileRecordReader::Next() {
   value_ = Slice(buffer_.data() + pos_ + klen, vlen);
   pos_ += body;
   return true;
+}
+
+bool FileRecordReader::ReadExact(char* dst, size_t n) {
+  if (remaining_file_bytes_ < n) {
+    status_ = Status::Corruption(
+        "truncated block at offset " + std::to_string(next_block_offset_) +
+        " in " + path_ + " (run extent ends mid-block)");
+    return false;
+  }
+  size_t got = 0;
+  while (got < n) {
+    const size_t r = fread(dst + got, 1, n - got, file_);
+    if (r == 0) {
+      if (ferror(file_) != 0) {
+        status_ = Status::IOError("read run file " + path_ + ": " +
+                                  strerror(errno));
+      } else {
+        status_ = Status::Corruption(
+            "truncated block at offset " +
+            std::to_string(next_block_offset_) + " in " + path_ +
+            " (unexpected EOF)");
+      }
+      return false;
+    }
+    got += r;
+    remaining_file_bytes_ -= r;
+  }
+  return true;
+}
+
+bool FileRecordReader::LoadNextBlock() {
+  const uint64_t block_offset = next_block_offset_;
+  auto corrupt = [&](const std::string& what) {
+    status_ = Status::Corruption(what + " in block at offset " +
+                                 std::to_string(block_offset) + " of " +
+                                 path_);
+    return false;
+  };
+
+  // Block length header: a varint, read byte by byte.
+  uint64_t payload_len = 0;
+  size_t header_bytes = 0;
+  for (int shift = 0;; shift += 7) {
+    char byte;
+    if (shift > 63 || !ReadExact(&byte, 1)) {
+      if (status_.ok()) {
+        return corrupt("overlong block length varint");
+      }
+      return false;
+    }
+    ++header_bytes;
+    payload_len |= static_cast<uint64_t>(static_cast<uint8_t>(byte) & 0x7f)
+                   << shift;
+    if ((static_cast<uint8_t>(byte) & 0x80) == 0) {
+      break;
+    }
+  }
+  // The smallest payload is one entry (tag + vlen for an empty key and
+  // value) plus one restart plus the restart count: 2 + 8 bytes. Compare
+  // against the extent without forming payload_len + 4, which a corrupt
+  // near-2^64 varint would wrap past the check into a giant resize().
+  if (payload_len < 10 || remaining_file_bytes_ < 4 ||
+      payload_len > remaining_file_bytes_ - 4) {
+    return corrupt("implausible block length " +
+                   std::to_string(payload_len));
+  }
+  block_scratch_.resize(static_cast<size_t>(payload_len));
+  char trailer[4];
+  if (!ReadExact(block_scratch_.data(), block_scratch_.size()) ||
+      !ReadExact(trailer, 4)) {
+    return false;
+  }
+  const uint32_t expected = DecodeFixed32(trailer);
+  const uint32_t actual =
+      Crc32(0, block_scratch_.data(), block_scratch_.size());
+  if (actual != expected) {
+    return corrupt("block CRC mismatch");
+  }
+
+  const uint32_t num_restarts =
+      DecodeFixed32(block_scratch_.data() + block_scratch_.size() - 4);
+  // Widen before the +1: num_restarts == 0xffffffff must not wrap to a
+  // zero-byte restart array and slip past the bound below.
+  const uint64_t restart_bytes =
+      4ull * (static_cast<uint64_t>(num_restarts) + 1);
+  if (num_restarts == 0 || restart_bytes > payload_len) {
+    return corrupt("malformed restart array");
+  }
+  const size_t entries_end =
+      block_scratch_.size() - static_cast<size_t>(restart_bytes);
+
+  // Decode the whole block into the scratch buffer the previous block did
+  // not use: records of the previous block keep their addresses until the
+  // block after this one is decoded, which upholds the lookback contract.
+  std::string& decoded = decoded_[1 - active_decoded_];
+  decoded.clear();
+  block_last_key_.clear();
+  Slice in(block_scratch_.data(), entries_end);
+  while (!in.empty()) {
+    // Entry header: tag byte (shared/non_shared nibbles, 15 = varint
+    // follows) plus the value length varint.
+    const uint8_t tag = static_cast<uint8_t>(in[0]);
+    in.RemovePrefix(1);
+    uint64_t shared = tag >> 4;
+    uint64_t non_shared = tag & 0x0f;
+    uint64_t vlen = 0;
+    if ((shared == 15 && !GetVarint64(&in, &shared)) ||
+        (non_shared == 15 && !GetVarint64(&in, &non_shared)) ||
+        !GetVarint64(&in, &vlen)) {
+      return corrupt("malformed entry header");
+    }
+    // Checked term by term: summing corrupt near-2^64 lengths would wrap
+    // past the bound and reach the append() below as a giant count.
+    if (shared > block_last_key_.size() || non_shared > in.size() ||
+        vlen > in.size() - non_shared) {
+      return corrupt("entry references out-of-range bytes");
+    }
+    block_last_key_.resize(static_cast<size_t>(shared));
+    block_last_key_.append(in.data(), static_cast<size_t>(non_shared));
+    in.RemovePrefix(static_cast<size_t>(non_shared));
+    PutVarint64(&decoded, block_last_key_.size());
+    PutVarint64(&decoded, vlen);
+    decoded.append(block_last_key_);
+    decoded.append(in.data(), static_cast<size_t>(vlen));
+    in.RemovePrefix(static_cast<size_t>(vlen));
+  }
+  if (decoded.empty()) {
+    // The writer never emits an entry-less block; accepting one (a
+    // CRC-valid restart-array-only payload) would make the load loop
+    // decode twice in a row and recycle the scratch buffer still backing
+    // the caller's previous record — a lookback-contract violation.
+    return corrupt("block with no entries");
+  }
+  active_decoded_ = 1 - active_decoded_;
+  decoded_cur_ = Slice(decoded);
+  next_block_offset_ = block_offset + header_bytes + payload_len + 4;
+  return true;
+}
+
+bool FileRecordReader::NextBlock() {
+  while (decoded_cur_.empty()) {
+    if (remaining_file_bytes_ == 0) {
+      return false;  // Clean end of segment.
+    }
+    if (!LoadNextBlock()) {
+      return false;
+    }
+  }
+  uint64_t klen = 0, vlen = 0;
+  if (!GetVarint64(&decoded_cur_, &klen) ||
+      !GetVarint64(&decoded_cur_, &vlen) ||
+      klen + vlen > decoded_cur_.size()) {
+    // Unreachable unless the decoder itself is broken: decoded frames are
+    // produced, not read, by this class.
+    status_ = Status::Internal("malformed decoded block frame");
+    return false;
+  }
+  key_ = Slice(decoded_cur_.data(), klen);
+  value_ = Slice(decoded_cur_.data() + klen, vlen);
+  decoded_cur_.RemovePrefix(static_cast<size_t>(klen + vlen));
+  return true;
+}
+
+bool FileRecordReader::Next() {
+  if (!status_.ok()) {
+    return false;
+  }
+  return format_ == RunFormat::kBlocks ? NextBlock() : NextRaw();
 }
 
 }  // namespace ngram::mr

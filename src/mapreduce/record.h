@@ -89,19 +89,39 @@ class MemoryRecordReader final : public RecordReader {
   Slice data_;
 };
 
+/// At-rest layout of a persisted run extent (see runfile.h for the block
+/// format specification).
+enum class RunFormat : uint8_t {
+  kRawRecords,  // Back-to-back [klen][vlen][key][value] frames.
+  kBlocks,      // Front-coded blocks with per-block CRC-32 trailers.
+};
+
 /// Buffered reader over a byte extent of a spill file.
 ///
-/// Records are surfaced zero-copy: key()/value() point straight into the
-/// read buffer. The lookback contract is honored by refilling into an
-/// alternate buffer instead of compacting in place: a refill never moves
-/// the bytes of the record surfaced by the previous Next() call, so its
-/// slices survive exactly one advance. The alternate buffer is allocated
-/// lazily — a segment that fits one buffer never pays for the second.
+/// Raw format: records are surfaced zero-copy — key()/value() point
+/// straight into the read buffer. The lookback contract is honored by
+/// refilling into an alternate buffer instead of compacting in place: a
+/// refill never moves the bytes of the record surfaced by the previous
+/// Next() call, so its slices survive exactly one advance. The alternate
+/// buffer is allocated lazily — a segment that fits one buffer never pays
+/// for the second.
+///
+/// Block format (RunFormat::kBlocks): each block is read, its CRC-32
+/// trailer verified (integrity checking is inherent to reading — a
+/// flipped bit anywhere surfaces as Corruption naming the block's file
+/// offset), and its front-coded entries decoded into one of two
+/// alternating scratch buffers. Records are then surfaced zero-copy out
+/// of the decoded buffer; because the *previous* block's buffer is only
+/// recycled when the block after next is decoded, the one-record lookback
+/// contract holds across block boundaries too.
 class FileRecordReader final : public RecordReader {
  public:
+  static constexpr size_t kDefaultBufferBytes = 256 * 1024;
+
   /// Reads `length` bytes starting at `offset` of `path`.
   FileRecordReader(const std::string& path, uint64_t offset, uint64_t length,
-                   size_t buffer_size = 256 * 1024);
+                   size_t buffer_size = kDefaultBufferBytes,
+                   RunFormat format = RunFormat::kRawRecords);
   ~FileRecordReader() override;
 
   NGRAM_DISALLOW_COPY_AND_ASSIGN(FileRecordReader);
@@ -110,7 +130,17 @@ class FileRecordReader final : public RecordReader {
 
  private:
   bool FillAtLeast(size_t n);  // Ensures n readable bytes at pos_ or EOF.
+  bool NextRaw();
+  bool NextBlock();
+  /// Reads exactly `n` bytes of the extent into `dst`, distinguishing
+  /// EOF-truncation (Corruption) from read failure (IOError).
+  bool ReadExact(char* dst, size_t n);
+  /// Reads, CRC-checks, and decodes the next block into the scratch
+  /// buffer the previous block did NOT use. False at extent end or error.
+  bool LoadNextBlock();
 
+  const std::string path_;  // For block-offset error messages.
+  const RunFormat format_;
   FILE* file_ = nullptr;
   uint64_t remaining_file_bytes_;
   std::string buffer_;
@@ -119,6 +149,14 @@ class FileRecordReader final : public RecordReader {
   size_t limit_ = 0;
   size_t buffer_capacity_;
   bool swapped_this_call_ = false;  // At most one buffer swap per Next().
+
+  // Block-format state.
+  uint64_t next_block_offset_;   // Absolute file offset of the next block.
+  std::string block_scratch_;    // One on-disk block payload.
+  std::string decoded_[2];       // Re-framed records; alternate per block.
+  int active_decoded_ = 0;
+  Slice decoded_cur_;            // Unread framed bytes of the active buffer.
+  std::string block_last_key_;   // Delta-chain state while decoding.
 };
 
 /// Destination for framed records (used by combiners and run writers).

@@ -61,8 +61,13 @@ struct SpillRun {
   std::string memory_data;      // Framed in-memory form.
   std::vector<MemoryBucket> buckets;  // Zero-copy in-memory form.
   std::vector<RunSegment> segments;  // Indexed by partition.
-  uint32_t crc32 = 0;           // Whole-file CRC when checksummed.
+  uint32_t crc32 = 0;           // Whole-file CRC when checksummed (raw).
   bool has_crc = false;
+  /// File-backed form is the prefix-compressed block format (runfile.h):
+  /// segment extents cover whole blocks, readers must decode with
+  /// RunFormat::kBlocks, and integrity is per-block (has_crc stays
+  /// false — there is no whole-file CRC to verify separately).
+  bool block_format = false;
 
   bool in_memory() const { return file_path.empty(); }
   bool zero_copy() const { return !buckets.empty(); }
@@ -100,7 +105,11 @@ class SortBuffer {
     std::string spill_name_prefix = "spill";
     /// Size of the streaming spill write buffer.
     size_t spill_buffer_bytes = SpillWriter::kDefaultBufferBytes;
-    /// Maintain a per-run CRC-32 on spill files (off on the hot path).
+    /// Spill runs in the prefix-compressed block format (runfile.h;
+    /// JobConfig::compress_runs). Off = raw framed records.
+    bool compress_runs = true;
+    /// Maintain a per-run CRC-32 on raw-format spill files (off on the
+    /// hot path; block-format runs carry per-block CRCs regardless).
     bool checksum_spills = false;
     /// Hard cap on one partition's arena: RecordRef offsets are 32-bit,
     /// so this can never exceed 4 GiB (values above are clamped). Only

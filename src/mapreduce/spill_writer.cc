@@ -9,38 +9,8 @@
 
 namespace ngram::mr {
 
-namespace {
-
-/// Lazily built table for the zlib CRC-32 polynomial (reflected).
-const uint32_t* Crc32Table() {
-  static const uint32_t* table = [] {
-    static uint32_t t[256];
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-}  // namespace
-
-uint32_t Crc32(uint32_t crc, const char* data, size_t n) {
-  const uint32_t* table = Crc32Table();
-  uint32_t c = crc ^ 0xffffffffu;
-  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
-  for (size_t i = 0; i < n; ++i) {
-    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
-  }
-  return c ^ 0xffffffffu;
-}
-
 SpillWriter::SpillWriter(std::string path, Options options)
-    : path_(std::move(path)), options_(options) {}
+    : path_(std::move(path)), options_(std::move(options)) {}
 
 SpillWriter::~SpillWriter() {
   if (!closed_) {
@@ -63,6 +33,13 @@ Status SpillWriter::Open() {
     owned_buffer_ = std::make_unique<char[]>(options_.buffer_bytes);
     buffer_ = owned_buffer_.get();
   }
+  if (!options_.preamble.empty()) {
+    Status st = AppendRawBytes(options_.preamble.data(),
+                               options_.preamble.size());
+    if (!st.ok()) {
+      return st;
+    }
+  }
   return Status::OK();
 }
 
@@ -83,6 +60,32 @@ Status SpillWriter::FlushBuffer() {
   Status st = WriteDirect(buffer_, buffered_);
   buffered_ = 0;
   return st;
+}
+
+/// Stages `data` through the write buffer (flushing as needed); bytes
+/// larger than the whole buffer bypass it. Shared by framed and raw
+/// appends. Abandons (unlinking the partial file) on write failure.
+Status SpillWriter::BufferBytes(const char* data, size_t n) {
+  if (buffered_ + n > options_.buffer_bytes) {
+    Status st = FlushBuffer();
+    if (!st.ok()) {
+      Abandon();
+      return st;
+    }
+  }
+  if (n > options_.buffer_bytes) {
+    // Oversized append: bypass the (now empty) buffer entirely.
+    Status st = WriteDirect(data, n);
+    if (!st.ok()) {
+      Abandon();
+      return st;
+    }
+  } else {
+    memcpy(buffer_ + buffered_, data, n);
+    buffered_ += n;
+  }
+  bytes_written_ += n;
+  return Status::OK();
 }
 
 Status SpillWriter::Append(Slice key, Slice value) {
@@ -126,6 +129,14 @@ Status SpillWriter::Append(Slice key, Slice value) {
   bytes_written_ += framed;
   ++records_written_;
   return Status::OK();
+}
+
+Status SpillWriter::AppendRawBytes(const char* data, size_t n) {
+  if (closed_) {
+    return close_status_.ok() ? Status::Internal("spill writer closed")
+                              : close_status_;
+  }
+  return BufferBytes(data, n);
 }
 
 Status SpillWriter::Close() {

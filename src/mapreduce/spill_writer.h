@@ -8,6 +8,11 @@
 // buffer, so each flushed block starts and ends on record boundaries and a
 // per-run CRC can be maintained incrementally as bytes leave the buffer.
 //
+// SpillWriter is the *raw-format* RunWriter (runfile.h); the
+// block-compressed writer reuses it as its physical byte sink through
+// AppendRawBytes(). Call sites that honor JobConfig::compress_runs create
+// writers through NewRunWriter() instead of instantiating this directly.
+//
 // Error handling: any write failure (and Abandon()) unlinks the partially
 // written file so failed task attempts never leak spill files.
 #pragma once
@@ -18,22 +23,20 @@
 #include <string>
 
 #include "mapreduce/record.h"
+#include "mapreduce/runfile.h"
+#include "util/crc32.h"
 #include "util/macros.h"
 #include "util/slice.h"
 #include "util/status.h"
 
 namespace ngram::mr {
 
-/// Incremental CRC-32 (zlib polynomial). `crc` is the running value,
-/// starting at 0 for a fresh stream.
-uint32_t Crc32(uint32_t crc, const char* data, size_t n);
-
-/// \brief Buffered, streaming writer for one spill run.
+/// \brief Buffered, streaming writer for one raw-format spill run.
 ///
 /// Usage: Open(), Append() records, then Close(). bytes_written() is the
 /// logical file offset (buffered bytes included), which callers use to
 /// record per-partition segment extents while streaming.
-class SpillWriter {
+class SpillWriter : public RunWriter {
  public:
   static constexpr size_t kDefaultBufferBytes = 256 * 1024;
 
@@ -48,39 +51,54 @@ class SpillWriter {
     /// buffer to successive writers (SortBuffer reuses one per-task buffer
     /// across all of a task's spills).
     char* external_buffer = nullptr;
+    /// Bytes written verbatim right after Open() (file headers). Counted
+    /// in bytes_written() and, when checksumming, in the CRC.
+    std::string preamble;
   };
 
   explicit SpillWriter(std::string path) : SpillWriter(std::move(path), {}) {}
   SpillWriter(std::string path, Options options);
-  ~SpillWriter();
+  ~SpillWriter() override;
   NGRAM_DISALLOW_COPY_AND_ASSIGN(SpillWriter);
 
   /// Creates/truncates the file. Must be called before Append().
-  Status Open();
+  Status Open() override;
 
   /// Appends one framed record.
-  Status Append(Slice key, Slice value);
+  Status Append(Slice key, Slice value) override;
+
+  /// Appends unframed bytes through the buffer (no record accounting) —
+  /// the physical byte path of the block-format writer. On failure the
+  /// partial file is unlinked, as with Append().
+  Status AppendRawBytes(const char* data, size_t n);
+
+  /// Raw framing has no block structure; segment boundaries are free.
+  Status FinishSegment() override { return Status::OK(); }
 
   /// Flushes the buffer and closes the file. On failure the partial file
   /// is unlinked. Idempotent: later calls return the first result.
-  Status Close();
+  Status Close() override;
 
   /// Closes (if open) and unlinks the file — but only a file this writer
   /// actually created; a never-opened writer leaves the path untouched.
   /// Used on task-attempt failure.
-  void Abandon();
+  void Abandon() override;
 
   /// Logical bytes appended so far (including still-buffered bytes).
-  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_written() const override { return bytes_written_; }
   /// Records appended so far.
-  uint64_t records_written() const { return records_written_; }
+  uint64_t records_written() const override { return records_written_; }
+  /// Raw format: at-rest bytes == framed bytes.
+  uint64_t raw_bytes() const override { return bytes_written_; }
   /// Running CRC-32 of all appended bytes; 0 unless options.checksum.
-  uint32_t crc32() const { return crc_; }
-  const std::string& path() const { return path_; }
+  uint32_t crc32() const override { return crc_; }
+  bool block_format() const override { return false; }
+  const std::string& path() const override { return path_; }
 
  private:
   Status FlushBuffer();
   Status WriteDirect(const char* data, size_t n);
+  Status BufferBytes(const char* data, size_t n);
 
   const std::string path_;
   const Options options_;
@@ -96,8 +114,8 @@ class SpillWriter {
   Status close_status_;
 };
 
-/// RecordSink adapter over a SpillWriter — the glue every writer-backed
-/// emit path (spills, merge passes) uses to stream framed records.
+/// RecordSink adapter over a SpillWriter — kept for call sites that are
+/// explicitly raw-format; generic paths use RunWriterSink (runfile.h).
 class SpillWriterSink final : public RecordSink {
  public:
   explicit SpillWriterSink(SpillWriter* writer) : writer_(writer) {}

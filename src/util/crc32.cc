@@ -1,0 +1,62 @@
+#include "util/crc32.h"
+
+#include <cstring>
+
+namespace ngram {
+
+namespace {
+
+/// Lazily built tables for the zlib CRC-32 polynomial (reflected),
+/// slicing-by-8: table[0] is the classic byte-at-a-time table; table[k]
+/// advances a byte through k additional zero bytes, letting the hot loop
+/// fold 8 input bytes per iteration instead of one table lookup per byte
+/// (~5x faster on the spill/merge read-and-write paths, where the CRC
+/// runs over every persisted byte).
+const uint32_t (*Crc32Tables())[256] {
+  static const uint32_t(*tables)[256] = [] {
+    static uint32_t t[8][256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xffu];
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(uint32_t crc, const char* data, size_t n) {
+  const uint32_t(*t)[256] = Crc32Tables();
+  uint32_t c = crc ^ 0xffffffffu;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    memcpy(&lo, p, 4);
+    memcpy(&hi, p + 4, 4);
+    c ^= lo;
+    c = t[7][c & 0xffu] ^ t[6][(c >> 8) & 0xffu] ^ t[5][(c >> 16) & 0xffu] ^
+        t[4][c >> 24] ^ t[3][hi & 0xffu] ^ t[2][(hi >> 8) & 0xffu] ^
+        t[1][(hi >> 16) & 0xffu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    c = t[0][(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace ngram

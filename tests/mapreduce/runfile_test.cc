@@ -1,0 +1,348 @@
+// Block-structured run format (runfile.h): round-trips over adversarial
+// key/value mixes, front-coding compression wins on sorted runs, segment
+// boundaries, the one-record lookback contract across blocks, and the
+// corruption-handling contract — a flipped bit fails with Corruption
+// naming the block offset, truncation is Corruption, a failing read is
+// IOError.
+#include "mapreduce/runfile.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/record.h"
+#include "mapreduce/spill_writer.h"
+#include "util/temp_dir.h"
+
+namespace ngram::mr {
+namespace {
+
+using KvList = std::vector<std::pair<std::string, std::string>>;
+
+class RunFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Create("runfile-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(dir).ValueOrDie());
+  }
+
+  std::string Path(const std::string& name) {
+    return dir_->path().string() + "/" + name;
+  }
+
+  /// Writes `records` as one block-format run; returns its byte length.
+  uint64_t WriteBlockRun(const std::string& path, const KvList& records,
+                         RunWriterOptions options = {}) {
+    options.compress = true;
+    auto writer = NewRunWriter(path, options);
+    EXPECT_TRUE(writer->Open().ok());
+    for (const auto& [k, v] : records) {
+      EXPECT_TRUE(writer->Append(k, v).ok());
+    }
+    EXPECT_TRUE(writer->Close().ok());
+    EXPECT_EQ(writer->records_written(), records.size());
+    return writer->bytes_written();
+  }
+
+  /// Reads a block-format extent back into a vector.
+  KvList ReadBlockRun(const std::string& path, uint64_t offset,
+                      uint64_t length, Status* status = nullptr) {
+    KvList out;
+    FileRecordReader reader(path, offset, length,
+                            FileRecordReader::kDefaultBufferBytes,
+                            RunFormat::kBlocks);
+    while (reader.Next()) {
+      out.emplace_back(reader.key().ToString(), reader.value().ToString());
+    }
+    if (status != nullptr) {
+      *status = reader.status();
+    } else {
+      EXPECT_TRUE(reader.status().ok()) << reader.status().ToString();
+    }
+    return out;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(RunFileTest, RoundTripsIncludingEmptyKeysAndValues) {
+  const KvList records = {
+      {"apple", "1"}, {"apple", ""},     {"applet", "22"},
+      {"", "empty"},  {"banana", "333"}, {"", ""},
+  };
+  const std::string path = Path("basic");
+  const uint64_t length = WriteBlockRun(path, records);
+  EXPECT_EQ(ReadBlockRun(path, 0, length), records);
+}
+
+TEST_F(RunFileTest, FrontCodingShrinksSortedRuns) {
+  // Sorted keys with long shared prefixes — the shape every spill run has
+  // — must compress; the raw-equivalent byte count is tracked alongside.
+  KvList records;
+  for (int i = 0; i < 2000; ++i) {
+    char key[64];
+    snprintf(key, sizeof(key), "user/profile/%08d/field", i);
+    records.emplace_back(key, "v");
+  }
+  const std::string path = Path("sorted");
+  RunWriterOptions options;
+  options.compress = true;
+  auto writer = NewRunWriter(path, options);
+  ASSERT_TRUE(writer->Open().ok());
+  for (const auto& [k, v] : records) {
+    ASSERT_TRUE(writer->Append(k, v).ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_LT(writer->bytes_written(), writer->raw_bytes());
+  EXPECT_EQ(ReadBlockRun(path, 0, writer->bytes_written()), records);
+}
+
+TEST_F(RunFileTest, SegmentExtentsAreIndependentlyReadable) {
+  // FinishSegment() closes the current block, so each segment's byte
+  // extent starts and ends on block boundaries and reads back alone —
+  // the invariant partition-segmented run files rely on.
+  const std::string path = Path("segments");
+  RunWriterOptions options;
+  auto writer = NewRunWriter(path, options);
+  ASSERT_TRUE(writer->Open().ok());
+  struct Extent {
+    uint64_t offset;
+    uint64_t length;
+    KvList records;
+  };
+  std::vector<Extent> extents;
+  for (int seg = 0; seg < 3; ++seg) {
+    Extent extent;
+    extent.offset = writer->bytes_written();
+    for (int i = 0; i < 50; ++i) {
+      const std::string key =
+          "seg" + std::to_string(seg) + "-key" + std::to_string(i);
+      const std::string value = "v" + std::to_string(i);
+      extent.records.emplace_back(key, value);
+      ASSERT_TRUE(writer->Append(key, value).ok());
+    }
+    ASSERT_TRUE(writer->FinishSegment().ok());
+    extent.length = writer->bytes_written() - extent.offset;
+    extents.push_back(std::move(extent));
+  }
+  ASSERT_TRUE(writer->Close().ok());
+  for (const Extent& extent : extents) {
+    EXPECT_EQ(ReadBlockRun(path, extent.offset, extent.length),
+              extent.records);
+  }
+}
+
+TEST_F(RunFileTest, FuzzRoundTripAcrossLengthMixesAndBlockSizes) {
+  // Random key/value length mixes — empty through records several times
+  // the block size — across small blocks and degenerate restart
+  // intervals. Deterministic seed per configuration.
+  for (const size_t block_bytes : {64ul, 512ul, 16384ul}) {
+    for (const uint32_t restart_interval : {1u, 3u, 16u}) {
+      std::mt19937 rng(block_bytes * 131 + restart_interval);
+      std::uniform_int_distribution<int> key_len(0, 120);
+      std::uniform_int_distribution<int> value_len(0, 64);
+      std::uniform_int_distribution<int> chars('a', 'z');
+      KvList records;
+      for (int i = 0; i < 400; ++i) {
+        std::string key(key_len(rng), '\0');
+        for (char& c : key) c = static_cast<char>(chars(rng));
+        std::string value(value_len(rng), '\0');
+        for (char& c : value) c = static_cast<char>(chars(rng));
+        if (i % 37 == 0) {
+          value.assign(block_bytes * 3, 'X');  // Larger than one block.
+        }
+        records.emplace_back(std::move(key), std::move(value));
+      }
+      const std::string path = Path(
+          "fuzz-" + std::to_string(block_bytes) + "-" +
+          std::to_string(restart_interval));
+      RunWriterOptions options;
+      options.block_bytes = block_bytes;
+      options.restart_interval = restart_interval;
+      const uint64_t length = WriteBlockRun(path, records, options);
+      EXPECT_EQ(ReadBlockRun(path, 0, length), records)
+          << "block_bytes=" << block_bytes
+          << " restart_interval=" << restart_interval;
+    }
+  }
+}
+
+TEST_F(RunFileTest, LookbackContractHoldsAcrossBlockBoundaries) {
+  // The record surfaced by the previous Next() must stay valid across one
+  // further Next() — including when that advance crosses into a new block
+  // (tiny blocks force a boundary at nearly every record).
+  KvList records;
+  for (int i = 0; i < 300; ++i) {
+    records.emplace_back("key-" + std::to_string(1000 + i),
+                         "value-" + std::to_string(i));
+  }
+  const std::string path = Path("lookback");
+  RunWriterOptions options;
+  options.block_bytes = 32;  // ~1 record per block.
+  const uint64_t length = WriteBlockRun(path, records, options);
+
+  FileRecordReader reader(path, 0, length,
+                          FileRecordReader::kDefaultBufferBytes,
+                          RunFormat::kBlocks);
+  ASSERT_TRUE(reader.Next());
+  Slice prev_key = reader.key();
+  Slice prev_value = reader.value();
+  std::string expect_key = records[0].first;
+  std::string expect_value = records[0].second;
+  size_t i = 1;
+  while (reader.Next()) {
+    // One advance later, the previous slices must still hold their bytes.
+    EXPECT_EQ(prev_key.ToString(), expect_key);
+    EXPECT_EQ(prev_value.ToString(), expect_value);
+    prev_key = reader.key();
+    prev_value = reader.value();
+    ASSERT_LT(i, records.size());
+    expect_key = records[i].first;
+    expect_value = records[i].second;
+    ++i;
+  }
+  EXPECT_TRUE(reader.status().ok());
+  EXPECT_EQ(i, records.size());
+  EXPECT_EQ(prev_key.ToString(), expect_key);
+}
+
+TEST_F(RunFileTest, BitFlipFailsWithCorruptionNamingTheBlockOffset) {
+  KvList records;
+  for (int i = 0; i < 500; ++i) {
+    records.emplace_back("key-" + std::to_string(i), "value");
+  }
+  const std::string path = Path("flip");
+  RunWriterOptions options;
+  options.block_bytes = 256;  // Several blocks.
+  const uint64_t length = WriteBlockRun(path, records, options);
+  ASSERT_GT(length, 1000u);
+
+  // Flip one byte somewhere in the middle of the file.
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(static_cast<std::streamoff>(length / 2));
+    char byte = 0;
+    file.get(byte);
+    file.seekp(static_cast<std::streamoff>(length / 2));
+    file.put(static_cast<char>(byte ^ 0x40));
+  }
+  Status status;
+  ReadBlockRun(path, 0, length, &status);
+  ASSERT_TRUE(status.IsCorruption()) << status.ToString();
+  EXPECT_NE(status.ToString().find("offset"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.ToString().find(path), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(RunFileTest, TruncatedFinalBlockIsCorruptionNotIOError) {
+  KvList records;
+  for (int i = 0; i < 200; ++i) {
+    records.emplace_back("key-" + std::to_string(i), "value");
+  }
+  const std::string path = Path("trunc");
+  const uint64_t length = WriteBlockRun(path, records);
+  // A reader whose extent claims more bytes than the file holds hits a
+  // genuine EOF mid-block: that is truncation (Corruption), not a read
+  // failure (IOError).
+  Status status;
+  ReadBlockRun(path, 0, length + 100, &status);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+
+  // Same when the file itself was cut short under an honest extent.
+  std::error_code ec;
+  std::filesystem::resize_file(path, length - 3, ec);
+  ASSERT_FALSE(ec);
+  ReadBlockRun(path, 0, length, &status);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+TEST_F(RunFileTest, HugeBlockLengthVarintIsCorruptionNotCrash) {
+  // A block-length varint decoding to ~2^64 (possible from corruption or
+  // a crafted file — it is read before any CRC check) must fail with
+  // Corruption; a naive `payload_len + 4 > remaining` bound would wrap
+  // and feed the length to a giant allocation instead.
+  const std::string path = Path("huge-len");
+  {
+    std::ofstream out(path, std::ios::binary);
+    for (int i = 0; i < 9; ++i) {
+      out.put(static_cast<char>(0xff));
+    }
+    out.put(0x01);  // Varint terminator: value ~2^63.
+    out << "trailing-bytes-so-the-extent-is-nonempty";
+  }
+  Status status;
+  ReadBlockRun(path, 0, std::filesystem::file_size(path), &status);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+TEST_F(RunFileTest, CrcValidEntrylessBlockIsCorruption) {
+  // The writer never emits an entry-less block; a crafted CRC-valid
+  // payload holding only a restart array must be rejected — accepting it
+  // would let the reader decode two blocks in one Next() and recycle the
+  // scratch buffer still backing the previous record (lookback breach).
+  std::string payload;
+  PutFixed32(&payload, 0);  // restart[0]
+  PutFixed32(&payload, 0);  // restart[1]
+  PutFixed32(&payload, 2);  // num_restarts
+  std::string file;
+  PutVarint64(&file, payload.size());
+  file += payload;
+  PutFixed32(&file, Crc32(0, payload.data(), payload.size()));
+  const std::string path = Path("entryless");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << file;
+  }
+  Status status;
+  ReadBlockRun(path, 0, file.size(), &status);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  EXPECT_NE(status.ToString().find("no entries"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(RunFileTest, FailingReadIsIOErrorNotCorruption) {
+  // fopen() on a directory succeeds on Linux but every fread() fails with
+  // EISDIR — a genuine I/O error, which must not be mislabeled as
+  // truncation/corruption in block mode either.
+  Status status;
+  FileRecordReader reader(dir_->path().string(), 0, 4096,
+                          FileRecordReader::kDefaultBufferBytes,
+                          RunFormat::kBlocks);
+  EXPECT_FALSE(reader.Next());
+  EXPECT_TRUE(reader.status().IsIOError()) << reader.status().ToString();
+}
+
+TEST_F(RunFileTest, RawFactoryWritesSpillWriterCompatibleFiles) {
+  // compress = false must produce the exact raw framing FileRecordReader
+  // reads in its default mode.
+  const std::string path = Path("raw");
+  RunWriterOptions options;
+  options.compress = false;
+  auto writer = NewRunWriter(path, options);
+  ASSERT_TRUE(writer->Open().ok());
+  ASSERT_TRUE(writer->Append("alpha", "1").ok());
+  ASSERT_TRUE(writer->Append("beta", "2").ok());
+  ASSERT_TRUE(writer->FinishSegment().ok());  // No-op for raw.
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_FALSE(writer->block_format());
+  EXPECT_EQ(writer->raw_bytes(), writer->bytes_written());
+
+  FileRecordReader reader(path, 0, writer->bytes_written());
+  ASSERT_TRUE(reader.Next());
+  EXPECT_EQ(reader.key().ToString(), "alpha");
+  ASSERT_TRUE(reader.Next());
+  EXPECT_EQ(reader.value().ToString(), "2");
+  EXPECT_FALSE(reader.Next());
+  EXPECT_TRUE(reader.status().ok());
+}
+
+}  // namespace
+}  // namespace ngram::mr

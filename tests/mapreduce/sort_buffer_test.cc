@@ -357,6 +357,7 @@ TEST_F(SortBufferTest, ChecksummedSpillsVerify) {
   Counters counters;
   TaskCounters tc(&counters);
   SortBuffer::Options opts = Opts(2, 256);
+  opts.compress_runs = false;  // Whole-run CRC is a raw-format feature.
   opts.checksum_spills = true;
   SortBuffer buffer(opts, &tc);
   for (int i = 0; i < 200; ++i) {
@@ -369,9 +370,45 @@ TEST_F(SortBufferTest, ChecksummedSpillsVerify) {
   ASSERT_GT(runs.size(), 1u);
   for (const auto& run : runs) {
     ASSERT_FALSE(run.in_memory());
+    ASSERT_FALSE(run.block_format);
     ASSERT_TRUE(run.has_crc);
     EXPECT_TRUE(VerifySpillFileCrc32(run.file_path, run.crc32).ok());
   }
+}
+
+TEST_F(SortBufferTest, CompressedSpillsShrinkAndCountRunBytes) {
+  // Spilled runs are sorted, so adjacent keys share prefixes; the block
+  // format must write fewer at-rest bytes than the raw framing and expose
+  // the split through RUN_BYTES_RAW / RUN_BYTES_WRITTEN. Default options
+  // compress; has_crc stays false (integrity is per block, not per file).
+  Counters counters;
+  TaskCounters tc(&counters);
+  SortBuffer::Options opts = Opts(2, 4096);
+  SortBuffer buffer(opts, &tc);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(buffer.Add(static_cast<uint32_t>(i % 2),
+                           "shared-prefix-key-" + std::to_string(i),
+                           "value-" + std::to_string(i))
+                    .ok());
+  }
+  std::vector<SpillRun> runs;
+  ASSERT_TRUE(buffer.Finish(&runs).ok());
+  ASSERT_GT(runs.size(), 1u);
+  uint64_t records = 0;
+  for (const auto& run : runs) {
+    ASSERT_FALSE(run.in_memory());
+    EXPECT_TRUE(run.block_format);
+    EXPECT_FALSE(run.has_crc);
+    for (uint32_t p = 0; p < 2; ++p) {
+      records += ReadPartition(run, p).size();
+    }
+  }
+  EXPECT_EQ(records, 500u);
+  tc.Flush();
+  const uint64_t raw = counters.Get(kRunBytesRaw);
+  const uint64_t written = counters.Get(kRunBytesWritten);
+  ASSERT_GT(raw, 0u);
+  EXPECT_LT(written, raw);
 }
 
 }  // namespace
