@@ -6,12 +6,14 @@
 //               [--sigma=5] [--mode=cf|df] [--reducers=8] [--slots=4]
 //               [--sort-buffer-kb=N] [--merge-factor=N]
 //               [--compress|--no-compress] [--checksum]
+//               [--max-task-attempts=N] [--chaos-seed=N]
 //               [--no-splits] [--maximal|--closed] [--verbose]
 //   ngram_tool top <in.ngs> [k]
 //   ngram_tool info <in.ngc>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "core/runner.h"
 #include "core/stats_io.h"
 #include "corpus/synthetic.h"
+#include "mapreduce/io_env.h"
 #include "text/corpus_io.h"
 
 namespace {
@@ -33,6 +36,7 @@ int Usage() {
           "             [--sigma=N] [--mode=cf|df] [--reducers=N]\n"
           "             [--slots=N] [--sort-buffer-kb=N] [--merge-factor=N]\n"
           "             [--compress|--no-compress] [--checksum]\n"
+          "             [--max-task-attempts=N] [--chaos-seed=N]\n"
           "             [--no-splits] [--maximal|--closed] [--verbose]\n"
           "  ngram_tool top <in.ngs> [k]\n"
           "  ngram_tool info <in.ngc>\n"
@@ -88,6 +92,8 @@ int CmdStats(const std::vector<std::string>& args) {
   options.sigma = 5;
   enum { kAll, kMaximal, kClosed } filter = kAll;
   bool verbose = false;
+  bool have_chaos_seed = false;
+  uint64_t chaos_seed = 0;
   for (size_t i = 2; i < args.size(); ++i) {
     std::string value;
     if (ParseFlag(args[i], "method", &value)) {
@@ -125,6 +131,11 @@ int CmdStats(const std::vector<std::string>& args) {
       options.compress_runs = false;
     } else if (args[i] == "--checksum") {
       options.checksum_spills = true;
+    } else if (ParseFlag(args[i], "max-task-attempts", &value)) {
+      options.max_task_attempts = static_cast<uint32_t>(atoi(value.c_str()));
+    } else if (ParseFlag(args[i], "chaos-seed", &value)) {
+      have_chaos_seed = true;
+      chaos_seed = static_cast<uint64_t>(atoll(value.c_str()));
     } else if (args[i] == "--verbose") {
       verbose = true;
     } else if (args[i] == "--no-splits") {
@@ -138,6 +149,18 @@ int CmdStats(const std::vector<std::string>& args) {
     }
   }
 
+  // Chaos mode: derive one deterministic fault from the seed and route all
+  // shuffle I/O through it. The env must outlive the run below.
+  std::unique_ptr<mr::FaultEnv> chaos_env;
+  if (have_chaos_seed) {
+    chaos_env = std::make_unique<mr::FaultEnv>(
+        mr::IoEnv::Default(), mr::FaultPlan::FromSeed(chaos_seed));
+    options.io_env = chaos_env.get();
+    printf("chaos: seed %llu -> %s\n",
+           static_cast<unsigned long long>(chaos_seed),
+           chaos_env->plan().ToString().c_str());
+  }
+
   Corpus corpus;
   Status st = ReadCorpusBinary(in, &corpus);
   if (!st.ok()) {
@@ -149,6 +172,15 @@ int CmdStats(const std::vector<std::string>& args) {
       filter == kMaximal  ? RunSuffixSigmaMaximal(ctx, options)
       : filter == kClosed ? RunSuffixSigmaClosed(ctx, options)
                           : ComputeNgramStatistics(ctx, options);
+  if (chaos_env != nullptr) {
+    printf("chaos: fault %s (%llu reads, %llu writes, %llu syncs, "
+           "%llu renames)\n",
+           chaos_env->fault_fired() ? "fired" : "did not fire",
+           static_cast<unsigned long long>(chaos_env->reads_seen()),
+           static_cast<unsigned long long>(chaos_env->writes_seen()),
+           static_cast<unsigned long long>(chaos_env->syncs_seen()),
+           static_cast<unsigned long long>(chaos_env->renames_seen()));
+  }
   if (!run.ok()) {
     fprintf(stderr, "%s\n", run.status().ToString().c_str());
     return 1;
@@ -179,6 +211,7 @@ int CmdStats(const std::vector<std::string>& args) {
         mr::kRunBytesRaw,         mr::kRunBytesWritten,
         mr::kCombineInputRecords, mr::kCombineOutputRecords,
         mr::kReduceInputRecords,  mr::kTaskRetries,
+        mr::kMapReexecutions,     mr::kCorruptRunsRecovered,
     };
     printf("  shuffle: sort-buffer=%llu KiB merge-factor=%u compress=%s "
            "checksum=%s\n",

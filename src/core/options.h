@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <string>
 
+namespace ngram::mr {
+class IoEnv;
+}
+
 namespace ngram {
 
 /// The four methods evaluated in the paper (Sections III and IV).
@@ -67,8 +71,19 @@ struct NgramJobOptions {
   /// kHashMap = the Section IV strawman, collection-frequency mode only).
   SuffixAggregation suffix_aggregation = SuffixAggregation::kStacks;
 
-  /// Task fault tolerance: maximum attempts per map/reduce task.
+  /// Task fault tolerance: maximum attempts per map/reduce task. Also
+  /// bounds how often a map task is re-executed when a reducer finds its
+  /// persisted run corrupt (fetch-failure recovery).
   uint32_t max_task_attempts = 1;
+
+  /// Milliseconds slept before retrying a failed task attempt (linear in
+  /// the attempt number). 0 retries immediately.
+  double task_retry_backoff_ms = 0.0;
+
+  /// I/O environment for every run file and job boundary (not owned;
+  /// nullptr = the stdio default). Chaos tooling passes a FaultEnv here
+  /// (mapreduce/io_env.h) to exercise fault recovery end to end.
+  mr::IoEnv* io_env = nullptr;
 
   // ------------------------------------------------- MapReduce runtime --
   uint32_t num_reducers = 8;

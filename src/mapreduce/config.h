@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "mapreduce/comparator.h"
@@ -15,12 +14,6 @@
 #include "mapreduce/spill_writer.h"
 
 namespace ngram::mr {
-
-/// Test/chaos hook: invoked before each task attempt with the phase
-/// ("map"/"reduce"), task id, and attempt number (0-based). Returning true
-/// makes that attempt fail, exercising the retry path.
-using FailureInjector =
-    std::function<bool(const char* phase, uint32_t task, uint32_t attempt)>;
 
 struct JobConfig {
   /// Job name, used in logs and metrics.
@@ -106,11 +99,24 @@ struct JobConfig {
   /// attempts. A task (map or reduce) is retried with fresh state until it
   /// succeeds or `max_task_attempts` is exhausted; counters from failed
   /// attempts are discarded, so results and metrics are exactly those of a
-  /// failure-free run.
+  /// failure-free run. The same bound caps how many times one map task may
+  /// be *re-executed* after a reducer finds its persisted run corrupt
+  /// (fetch-failure recovery) — with the default of 1, corruption
+  /// discovered downstream is unrecoverable and fails the job.
   uint32_t max_task_attempts = 1;
 
-  /// Optional failure-injection hook (tests / chaos benchmarks).
-  FailureInjector failure_injector;
+  /// Milliseconds slept before retrying a failed task attempt, scaled
+  /// linearly by the attempt number (attempt k waits k * backoff).
+  /// Models Hadoop's retry backoff; zero (the default) retries
+  /// immediately, which is right for the in-process runtime's
+  /// deterministic tests.
+  double task_retry_backoff_ms = 0.0;
+
+  /// I/O environment every run file, intermediate merge output, and
+  /// job-boundary table of this job goes through. nullptr (production)
+  /// means IoEnv::Default(), the stdio passthrough; tests pass a FaultEnv
+  /// to inject read/write/sync/rename faults (io_env.h). Not owned.
+  IoEnv* io_env = nullptr;
 
   const RawComparator* EffectiveGrouping() const {
     return grouping_comparator != nullptr ? grouping_comparator

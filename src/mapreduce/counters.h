@@ -50,6 +50,14 @@ inline constexpr const char* kReduceIntermediateMergeBytes =
 inline constexpr const char* kRunBytesRaw = "RUN_BYTES_RAW";
 inline constexpr const char* kRunBytesWritten = "RUN_BYTES_WRITTEN";
 inline constexpr const char* kTaskRetries = "TASK_RETRIES";
+/// Map tasks re-executed because a reduce attempt found one of their
+/// persisted runs corrupt (the fetch-failure -> producer re-execution
+/// protocol). Data counters of re-executed attempts are discarded, so
+/// together with kCorruptRunsRecovered these are the only counters
+/// allowed to differ from a failure-free run of the same job.
+inline constexpr const char* kMapReexecutions = "MAP_REEXECUTIONS";
+/// Corrupt persisted runs successfully replaced by a regenerated copy.
+inline constexpr const char* kCorruptRunsRecovered = "CORRUPT_RUNS_RECOVERED";
 /// Maximum records any single reduce task consumed (partition skew).
 inline constexpr const char* kReduceInputRecordsMax =
     "REDUCE_INPUT_RECORDS_MAX";

@@ -1,10 +1,6 @@
 #include "mapreduce/dataset.h"
 
-#include <sys/stat.h>
-
 #include <cassert>
-#include <cerrno>
-#include <cstdio>
 #include <cstring>
 
 #include "encoding/varint.h"
@@ -183,9 +179,11 @@ std::unique_ptr<RecordReader> RecordTable::NewReader(const View& view) const {
   return std::make_unique<RecordTableReader>(&chunks_, view);
 }
 
-Status RecordTable::Save(const std::string& path, bool compress) const {
+Status RecordTable::Save(const std::string& path, bool compress,
+                         IoEnv* env) const {
   RunWriterOptions options;
   options.compress = compress;
+  options.env = env;
   options.preamble.assign(kTableMagic, sizeof(kTableMagic));
   options.preamble.push_back(static_cast<char>(kTableVersion));
   options.preamble.push_back(compress ? 1 : 0);
@@ -202,25 +200,25 @@ Status RecordTable::Save(const std::string& path, bool compress) const {
   return writer->Close();  // Failure unlinks the partial file.
 }
 
-Status RecordTable::Load(const std::string& path, RecordTable* table) {
-  struct stat st;
-  if (stat(path.c_str(), &st) != 0) {
-    return Status::IOError("stat table " + path + ": " + strerror(errno));
-  }
-  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+Status RecordTable::Load(const std::string& path, RecordTable* table,
+                         IoEnv* env) {
+  env = ResolveEnv(env);
+  uint64_t file_size = 0;
+  NGRAM_RETURN_NOT_OK(
+      env->FileSize(path, &file_size).WithContext("load table"));
   if (file_size < kTableHeaderBytes) {
     return Status::Corruption("table file " + path + " shorter than header");
   }
   char header[kTableHeaderBytes];
   {
-    FILE* f = fopen(path.c_str(), "rb");
-    if (f == nullptr) {
-      return Status::IOError("open table " + path + ": " + strerror(errno));
-    }
-    const size_t got = fread(header, 1, sizeof(header), f);
-    fclose(f);
+    std::unique_ptr<ReadableFile> f;
+    NGRAM_RETURN_NOT_OK(
+        env->NewReadableFile(path, 0, &f).WithContext("load table"));
+    size_t got = 0;
+    NGRAM_RETURN_NOT_OK(f->Read(header, sizeof(header), &got)
+                            .WithContext("read table header"));
     if (got != sizeof(header)) {
-      return Status::IOError("read table header of " + path);
+      return Status::Corruption("truncated table header reading " + path);
     }
   }
   if (memcmp(header, kTableMagic, sizeof(kTableMagic)) != 0) {
@@ -237,7 +235,7 @@ Status RecordTable::Load(const std::string& path, RecordTable* table) {
   table->Clear();
   FileRecordReader reader(path, kTableHeaderBytes,
                           file_size - kTableHeaderBytes,
-                          FileRecordReader::kDefaultBufferBytes, format);
+                          FileRecordReader::kDefaultBufferBytes, format, env);
   while (reader.Next()) {
     table->Append(reader.key(), reader.value());
   }

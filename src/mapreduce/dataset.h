@@ -117,12 +117,15 @@ class RecordTable {
   /// the header counts additionally catch clean truncation (whole
   /// trailing blocks lost to a partial copy). `compress = false` writes
   /// raw frames (count checks and structural checks only — no CRCs).
-  Status Save(const std::string& path, bool compress = true) const;
+  /// I/O goes through `env` (nullptr means IoEnv::Default()).
+  Status Save(const std::string& path, bool compress = true,
+              IoEnv* env = nullptr) const;
 
   /// Loads a table serialized by Save(), replacing `*table`'s contents.
   /// The header names the at-rest format, so callers need not know how
   /// the file was written.
-  static Status Load(const std::string& path, RecordTable* table);
+  static Status Load(const std::string& path, RecordTable* table,
+                     IoEnv* env = nullptr);
 
  private:
   friend class RecordTableReader;

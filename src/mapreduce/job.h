@@ -44,9 +44,13 @@
 // See ROADMAP.md "Shuffle architecture" for the pipeline invariants.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -330,122 +334,175 @@ Result<JobMetrics> RunJob(
   Stopwatch map_clock;
   const std::vector<RecordTable::View> splits =
       input.SplitByBytes(num_map_tasks);
-  std::vector<std::vector<SpillRun>> task_runs(num_map_tasks);
+  IoEnv* const io_env = ResolveEnv(config.io_env);
+
+  // Committed map output, with the bookkeeping corruption recovery needs:
+  // each task's run vector is a shared_ptr *generation*. A reduce attempt
+  // snapshots the shared_ptrs it plans over, so re-executing a map task
+  // (which installs a fresh generation) never frees run objects a stale
+  // attempt is still reading; replaced generations are retired — their
+  // objects stay alive and their files on disk until job end, when the
+  // cleanup guard removes everything.
+  struct MapOutputs {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::shared_ptr<std::vector<SpillRun>>> runs;
+    std::vector<uint32_t> generation;   // Bumped per re-execution.
+    std::vector<uint32_t> executions;   // Completed executions of the task.
+    std::vector<uint8_t> regenerating;  // A recovery is in flight.
+    std::vector<std::shared_ptr<std::vector<SpillRun>>> retired;
+  } map_outputs;
+  map_outputs.runs.resize(num_map_tasks);
+  map_outputs.generation.assign(num_map_tasks, 0);
+  map_outputs.executions.assign(num_map_tasks, 0);
+  map_outputs.regenerating.assign(num_map_tasks, 0);
+
   // Shuffle runs are job-private: whatever run files are still on disk
   // when the driver leaves — success or any early error return — are
   // removed, so a user-provided work_dir comes back clean.
   struct RunFileCleanup {
-    std::vector<std::vector<SpillRun>>* runs;
+    MapOutputs* outputs;
     ~RunFileCleanup() {
-      for (const auto& task : *runs) {
-        RemoveRunFiles(task);
+      for (const auto& task : outputs->runs) {
+        if (task != nullptr) {
+          RemoveRunFiles(*task);
+        }
+      }
+      for (const auto& old : outputs->retired) {
+        if (old != nullptr) {
+          RemoveRunFiles(*old);
+        }
       }
     }
-  } run_file_cleanup{&task_runs};
+  } run_file_cleanup{&map_outputs};
+
+  const uint32_t max_attempts = std::max(1u, config.max_task_attempts);
+  auto retry_backoff = [&config](uint32_t failed_attempts) {
+    if (config.task_retry_backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          config.task_retry_backoff_ms * failed_attempts));
+    }
+  };
+
+  // Runs one map task to completion — its own attempt-retry loop included
+  // — leaving the committed runs in `*out`. Attempt ids start at
+  // `attempt_base`, so a re-execution (which passes a higher base) can
+  // never collide with the run names of any earlier execution. Task
+  // counters flush into `sink`: the job counters for the first execution,
+  // a throwaway for corruption-recovery re-executions (whose data the
+  // original successful execution already counted).
+  auto run_map_task = [&](uint32_t t, uint32_t attempt_base, Counters* sink,
+                          std::vector<SpillRun>* out) -> Status {
+    Status st;
+    for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+      const uint32_t attempt_id = attempt_base + attempt;
+      // Each attempt starts from scratch: fresh mapper, fresh buffer,
+      // fresh counters; previous partial output is discarded.
+      out->clear();
+      TaskCounters tc(sink);
+      SortBuffer::Options opts;
+      opts.num_partitions = num_reducers;
+      opts.budget_bytes = config.sort_buffer_bytes;
+      opts.comparator = config.sort_comparator;
+      opts.combiner = combiner;
+      opts.work_dir = work_dir;
+      opts.spill_buffer_bytes = config.spill_buffer_bytes;
+      opts.compress_runs = config.compress_runs;
+      opts.checksum_spills = config.checksum_spills;
+      opts.env = io_env;
+      // Attempt-scoped run names: a retried attempt can never collide
+      // with (and silently reuse or orphan) a discarded attempt's files.
+      opts.spill_name_prefix =
+          "map-" + std::to_string(t) + "-a" + std::to_string(attempt_id);
+      SortBuffer buffer(opts, &tc);
+      MapContext<MKOut, MVOut> ctx(config.partitioner, num_reducers,
+                                   &buffer, &tc, t);
+      // The record loop runs against the concrete mapper type (raw
+      // mappers directly, typed ones through a stack-local adapter)
+      // so every Map() call devirtualizes and inlines.
+      auto run_task = [&](auto& mapper) -> Status {
+        Status s = mapper.Setup(&ctx);
+        std::unique_ptr<RecordReader> reader = input.NewReader(splits[t]);
+        uint64_t records = 0;
+        while (s.ok() && reader->Next()) {
+          ++records;
+          s = mapper.Map(reader->key(), reader->value(), &ctx);
+        }
+        tc.Increment(kMapInputRecords, records);
+        // A successful attempt consumed its whole view, so the framed
+        // bytes read equal the view's share of the boundary table
+        // (failed attempts discard their counters either way).
+        tc.Increment(kMapInputBytes, splits[t].bytes);
+        if (s.ok()) {
+          s = reader->status();
+        }
+        if (s.ok()) {
+          s = mapper.Cleanup(&ctx);
+        }
+        ctx.FlushCounters();
+        return s;
+      };
+      if constexpr (kIsRawMapper<M>) {
+        std::unique_ptr<M> mapper = make_mapper();
+        st = run_task(*mapper);
+      } else {
+        TypedMapAdapter<M> adapter(make_mapper());
+        st = run_task(adapter);
+      }
+      if (st.ok()) {
+        st = buffer.Finish(out);
+      }
+      // Map-side final merge (Hadoop's per-task spill merge): a task
+      // that finished with more runs than the merge bound collapses
+      // them into one partition-segmented run file, re-running the
+      // combiner across runs. Reduce tasks then see at most one
+      // file-backed source per map task.
+      if (st.ok() && config.merge_factor != 0 &&
+          out->size() > config.merge_factor) {
+        ExternalMergeOptions merge_options;
+        merge_options.comparator = config.sort_comparator;
+        merge_options.merge_factor = config.merge_factor;
+        merge_options.work_dir = work_dir;
+        merge_options.name_prefix =
+            "map-" + std::to_string(t) + "-a" + std::to_string(attempt_id);
+        merge_options.spill_buffer_bytes = config.spill_buffer_bytes;
+        merge_options.compress = config.compress_runs;
+        merge_options.checksum = config.checksum_spills;
+        merge_options.map_side = true;
+        merge_options.combiner = combiner;
+        merge_options.counters = &tc;
+        merge_options.env = io_env;
+        st = MergeMapRuns(merge_options, num_reducers, out);
+      }
+      if (st.ok()) {
+        break;
+      }
+      tc.DiscardPending();
+      RemoveRunFiles(*out);  // Discarded attempts leave no files.
+      out->clear();
+      if (attempt + 1 < max_attempts) {
+        counters.Increment(kTaskRetries);
+        NGRAM_LOG_WARN << config.name << " map task " << t << " attempt "
+                       << attempt_id << " failed: " << st.ToString()
+                       << "; retrying";
+        retry_backoff(attempt + 1);
+      }
+    }
+    return st;
+  };
+
   std::vector<Status> map_status(num_map_tasks);
   {
     ThreadPool pool(config.map_slots);
-    const uint32_t max_attempts = std::max(1u, config.max_task_attempts);
     for (uint32_t t = 0; t < num_map_tasks; ++t) {
       pool.Submit([&, t] {
-        Status st;
-        for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
-          // Each attempt starts from scratch: fresh mapper, fresh buffer,
-          // fresh counters; previous partial output is discarded.
-          task_runs[t].clear();
-          TaskCounters tc(&counters);
-          SortBuffer::Options opts;
-          opts.num_partitions = num_reducers;
-          opts.budget_bytes = config.sort_buffer_bytes;
-          opts.comparator = config.sort_comparator;
-          opts.combiner = combiner;
-          opts.work_dir = work_dir;
-          opts.spill_buffer_bytes = config.spill_buffer_bytes;
-          opts.compress_runs = config.compress_runs;
-          opts.checksum_spills = config.checksum_spills;
-          // Attempt-scoped run names: a retried attempt can never collide
-          // with (and silently reuse or orphan) a discarded attempt's
-          // files.
-          opts.spill_name_prefix =
-              "map-" + std::to_string(t) + "-a" + std::to_string(attempt);
-          SortBuffer buffer(opts, &tc);
-          MapContext<MKOut, MVOut> ctx(config.partitioner, num_reducers,
-                                       &buffer, &tc, t);
-          // The record loop runs against the concrete mapper type (raw
-          // mappers directly, typed ones through a stack-local adapter)
-          // so every Map() call devirtualizes and inlines.
-          auto run_task = [&](auto& mapper) -> Status {
-            Status s = mapper.Setup(&ctx);
-            std::unique_ptr<RecordReader> reader =
-                input.NewReader(splits[t]);
-            uint64_t records = 0;
-            while (s.ok() && reader->Next()) {
-              ++records;
-              s = mapper.Map(reader->key(), reader->value(), &ctx);
-            }
-            tc.Increment(kMapInputRecords, records);
-            // A successful attempt consumed its whole view, so the framed
-            // bytes read equal the view's share of the boundary table
-            // (failed attempts discard their counters either way).
-            tc.Increment(kMapInputBytes, splits[t].bytes);
-            if (s.ok()) {
-              s = reader->status();
-            }
-            if (s.ok()) {
-              s = mapper.Cleanup(&ctx);
-            }
-            ctx.FlushCounters();
-            return s;
-          };
-          if constexpr (kIsRawMapper<M>) {
-            std::unique_ptr<M> mapper = make_mapper();
-            st = run_task(*mapper);
-          } else {
-            TypedMapAdapter<M> adapter(make_mapper());
-            st = run_task(adapter);
-          }
-          if (st.ok()) {
-            st = buffer.Finish(&task_runs[t]);
-          }
-          // Map-side final merge (Hadoop's per-task spill merge): a task
-          // that finished with more runs than the merge bound collapses
-          // them into one partition-segmented run file, re-running the
-          // combiner across runs. Reduce tasks then see at most one
-          // file-backed source per map task.
-          if (st.ok() && config.merge_factor != 0 &&
-              task_runs[t].size() > config.merge_factor) {
-            ExternalMergeOptions merge_options;
-            merge_options.comparator = config.sort_comparator;
-            merge_options.merge_factor = config.merge_factor;
-            merge_options.work_dir = work_dir;
-            merge_options.name_prefix =
-                "map-" + std::to_string(t) + "-a" + std::to_string(attempt);
-            merge_options.spill_buffer_bytes = config.spill_buffer_bytes;
-            merge_options.compress = config.compress_runs;
-            merge_options.checksum = config.checksum_spills;
-            merge_options.map_side = true;
-            merge_options.combiner = combiner;
-            merge_options.counters = &tc;
-            st = MergeMapRuns(merge_options, num_reducers, &task_runs[t]);
-          }
-          // The injector simulates a crash after the work but before the
-          // task commits — the strongest point to lose an attempt.
-          if (st.ok() && config.failure_injector &&
-              config.failure_injector("map", t, attempt)) {
-            st = Status::Internal("injected map task failure");
-          }
-          if (st.ok()) {
-            break;
-          }
-          tc.DiscardPending();
-          RemoveRunFiles(task_runs[t]);  // Discarded attempts leave no files.
-          task_runs[t].clear();
-          if (attempt + 1 < max_attempts) {
-            counters.Increment(kTaskRetries);
-            NGRAM_LOG_WARN << config.name << " map task " << t
-                           << " attempt " << attempt
-                           << " failed: " << st.ToString() << "; retrying";
-          }
+        auto runs = std::make_shared<std::vector<SpillRun>>();
+        Status st = run_map_task(t, /*attempt_base=*/0, &counters,
+                                 runs.get());
+        {
+          std::lock_guard<std::mutex> lock(map_outputs.mu);
+          map_outputs.runs[t] = std::move(runs);
+          map_outputs.executions[t] = 1;
         }
         map_status[t] = std::move(st);
       });
@@ -460,30 +517,130 @@ Result<JobMetrics> RunJob(
   }
   metrics.map_phase_ms = map_clock.ElapsedMillis();
 
-  // Flatten runs (order fixed by task id for determinism).
-  std::vector<const SpillRun*> all_runs;
-  for (const auto& runs : task_runs) {
-    for (const auto& run : runs) {
-      all_runs.push_back(&run);
-    }
-  }
-
   // ------------------------------------------------------------- reduce --
   Stopwatch reduce_clock;
   using KOut = typename R::KeyOut;
   using VOut = typename R::ValueOut;
-  // Each checksummed run is CRC-verified once per job, by whichever
-  // reduce task opens it first (a no-op registry unless checksum_spills).
-  RunCrcVerifier crc_verifier(all_runs.size());
+  // Each checksummed run file is CRC-verified once, by whichever reduce
+  // task opens it first (a no-op registry unless checksum_spills). Keyed
+  // by path, so a regenerated run — fresh attempt-scoped name — gets a
+  // fresh verification instead of inheriting the corrupt file's verdict.
+  RunCrcVerifier crc_verifier;
+
+  // Fetch-failure recovery (Hadoop's protocol for a reducer that cannot
+  // fetch a map output): re-execute the producing map task and have the
+  // discovering reducer re-plan over the regenerated run. Returns true
+  // when task `t`'s runs were replaced — or already had been by another
+  // reducer that hit the same corruption — so the caller should re-plan;
+  // false when the task's re-execution budget is exhausted or the
+  // re-execution itself failed (the corruption is then fatal).
+  auto recover_producer = [&](uint32_t t, uint32_t seen_generation) -> bool {
+    std::unique_lock<std::mutex> lock(map_outputs.mu);
+    // Another reducer may already be regenerating this task; wait it out
+    // rather than re-executing the same task twice.
+    map_outputs.cv.wait(lock,
+                        [&] { return map_outputs.regenerating[t] == 0; });
+    if (map_outputs.generation[t] != seen_generation) {
+      return true;  // Already replaced since this attempt's snapshot.
+    }
+    if (map_outputs.executions[t] >= max_attempts) {
+      return false;  // Re-execution budget exhausted.
+    }
+    map_outputs.regenerating[t] = 1;
+    const uint32_t attempt_base = map_outputs.executions[t] * max_attempts;
+    lock.unlock();
+
+    // Re-executions count into a throwaway sink: the original execution
+    // already published this task's data counters, and the regenerated
+    // output exists only once.
+    Counters scratch;
+    auto regenerated = std::make_shared<std::vector<SpillRun>>();
+    Status rst = run_map_task(t, attempt_base, &scratch, regenerated.get());
+
+    lock.lock();
+    map_outputs.regenerating[t] = 0;
+    ++map_outputs.executions[t];
+    const bool replaced = rst.ok();
+    if (replaced) {
+      // Retire the corrupt generation instead of destroying it: stale
+      // reduce attempts may still hold pointers into it. Its files are
+      // removed with everything else at job end.
+      map_outputs.retired.push_back(std::move(map_outputs.runs[t]));
+      map_outputs.runs[t] = std::move(regenerated);
+      ++map_outputs.generation[t];
+      counters.Increment(kMapReexecutions);
+      counters.Increment(kCorruptRunsRecovered);
+    } else {
+      RemoveRunFiles(*regenerated);
+      NGRAM_LOG_WARN << config.name << " map task " << t
+                     << " re-execution failed: " << rst.ToString();
+    }
+    lock.unlock();
+    map_outputs.cv.notify_all();
+    return replaced;
+  };
+
+  // Attributes a Corruption status to the map task whose committed run
+  // file the message names (readers always name the file — the
+  // error-context contract). -1 when no producer matches, e.g. corruption
+  // in an attempt-private intermediate, which a plain retry rewrites.
+  auto find_producer =
+      [](const std::string& message,
+         const std::vector<std::shared_ptr<std::vector<SpillRun>>>& snapshot)
+      -> int {
+    for (size_t t = 0; t < snapshot.size(); ++t) {
+      for (const SpillRun& run : *snapshot[t]) {
+        if (!run.file_path.empty() &&
+            message.find(run.file_path) != std::string::npos) {
+          return static_cast<int>(t);
+        }
+      }
+    }
+    return -1;
+  };
+
   std::vector<RecordTable> reducer_outputs(num_reducers);
   std::vector<Status> reduce_status(num_reducers);
   {
     ThreadPool pool(config.reduce_slots);
-    const uint32_t max_attempts = std::max(1u, config.max_task_attempts);
     for (uint32_t r = 0; r < num_reducers; ++r) {
       pool.Submit([&, r] {
         Status st;
-        for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+        uint32_t failures = 0;     // Failed attempts (recoveries excluded).
+        uint32_t recoveries = 0;   // Producer re-plans this task triggered.
+        uint32_t attempt_seq = 0;  // Unique attempt id, re-plans included.
+        while (true) {
+          // Snapshot the current run generations (shared_ptrs + flat
+          // pointer list in task-id order, the determinism contract).
+          // The snapshot keeps every planned-over run object alive even
+          // if a producer is re-executed under this attempt — the
+          // attempt then fails on the corrupt bytes and re-plans; it
+          // never reads freed memory.
+          std::vector<std::shared_ptr<std::vector<SpillRun>>> snapshot;
+          std::vector<uint32_t> generations;
+          {
+            std::unique_lock<std::mutex> lock(map_outputs.mu);
+            // Plan only over settled generations: a merge planned while
+            // a regeneration is mid-flight would mix the snapshot it
+            // wants with files about to be retired.
+            map_outputs.cv.wait(lock, [&] {
+              for (const uint8_t regen : map_outputs.regenerating) {
+                if (regen != 0) {
+                  return false;
+                }
+              }
+              return true;
+            });
+            snapshot = map_outputs.runs;
+            generations = map_outputs.generation;
+          }
+          std::vector<const SpillRun*> attempt_runs;
+          for (const auto& task : snapshot) {
+            for (const SpillRun& run : *task) {
+              attempt_runs.push_back(&run);
+            }
+          }
+
           reducer_outputs[r].Clear();
           TaskCounters tc(&counters);
           // Bounded fan-in: intermediate passes merge consecutive groups
@@ -494,15 +651,17 @@ Result<JobMetrics> RunJob(
           merge_options.comparator = config.sort_comparator;
           merge_options.merge_factor = config.merge_factor;
           merge_options.work_dir = work_dir;
-          merge_options.name_prefix =
-              "reduce-" + std::to_string(r) + "-a" + std::to_string(attempt);
+          merge_options.name_prefix = "reduce-" + std::to_string(r) + "-a" +
+                                      std::to_string(attempt_seq);
           merge_options.spill_buffer_bytes = config.spill_buffer_bytes;
           merge_options.compress = config.compress_runs;
           merge_options.checksum = config.checksum_spills;
           merge_options.verifier = &crc_verifier;
           merge_options.counters = &tc;
+          merge_options.env = io_env;
           ReduceMergeResult merge_inputs;
-          st = PrepareReduceMerge(merge_options, all_runs, r, &merge_inputs);
+          st = PrepareReduceMerge(merge_options, attempt_runs, r,
+                                  &merge_inputs);
           KWayMerger merger(std::move(merge_inputs.sources),
                             config.sort_comparator);
           const RawComparator* grouping = config.EffectiveGrouping();
@@ -544,13 +703,10 @@ Result<JobMetrics> RunJob(
           if (st.ok()) {
             st = reducer->Cleanup(&rctx);
           }
-          if (st.ok() && config.failure_injector &&
-              config.failure_injector("reduce", r, attempt)) {
-            st = Status::Internal("injected reduce task failure");
-          }
           // Intermediate merge outputs are attempt-private scratch: gone
           // as soon as the attempt is over, successful or not.
           RemoveFiles(merge_inputs.intermediate_files);
+          ++attempt_seq;
           if (st.ok()) {
             // Partition-skew visibility: the heaviest reduce task.
             tc.UpdateSharedMax(kReduceInputRecordsMax, task_input_records);
@@ -558,12 +714,33 @@ Result<JobMetrics> RunJob(
           }
           tc.DiscardPending();
           reducer_outputs[r].Clear();
-          if (attempt + 1 < max_attempts) {
-            counters.Increment(kTaskRetries);
-            NGRAM_LOG_WARN << config.name << " reduce task " << r
-                           << " attempt " << attempt
-                           << " failed: " << st.ToString() << "; retrying";
+          // Corruption naming a producer's committed run: replace that
+          // run and re-plan. A successful recovery does not consume one
+          // of this task's attempts — it is the producer's failure — but
+          // is bounded on its own (per-producer execution budget plus at
+          // most max_attempts recoveries per reduce task), so corrupt
+          // regenerations cannot loop forever.
+          if (st.IsCorruption() && recoveries < max_attempts) {
+            const int victim = find_producer(st.message(), snapshot);
+            if (victim >= 0 &&
+                recover_producer(static_cast<uint32_t>(victim),
+                                 generations[static_cast<size_t>(victim)])) {
+              ++recoveries;
+              NGRAM_LOG_WARN << config.name << " reduce task " << r
+                             << ": replaced corrupt run of map task "
+                             << victim << " (" << st.ToString()
+                             << "); re-planning";
+              continue;
+            }
           }
+          if (++failures >= max_attempts) {
+            break;
+          }
+          counters.Increment(kTaskRetries);
+          NGRAM_LOG_WARN << config.name << " reduce task " << r
+                         << " attempt " << attempt_seq - 1
+                         << " failed: " << st.ToString() << "; retrying";
+          retry_backoff(failures);
         }
         reduce_status[r] = std::move(st);
       });

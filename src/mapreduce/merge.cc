@@ -82,6 +82,7 @@ RunWriterOptions MergeWriterOptions(const ExternalMergeOptions& options) {
   writer_options.buffer_bytes =
       std::max<size_t>(1, options.spill_buffer_bytes);
   writer_options.checksum = options.checksum;
+  writer_options.env = options.env;
   return writer_options;
 }
 
@@ -125,7 +126,7 @@ Status MergeRunGroup(const ExternalMergeOptions& options,
     for (const SpillRun* run : group) {
       if (run->has_crc && !run->in_memory()) {
         NGRAM_RETURN_NOT_OK(
-            VerifySpillFileCrc32(run->file_path, run->crc32));
+            VerifySpillFileCrc32(run->file_path, run->crc32, options.env));
       }
     }
   }
@@ -140,7 +141,7 @@ Status MergeRunGroup(const ExternalMergeOptions& options,
     std::vector<std::unique_ptr<RecordReader>> sources;
     sources.reserve(group.size());
     for (const SpillRun* run : group) {
-      auto reader = OpenRunPartition(*run, p);
+      auto reader = OpenRunPartition(*run, p, options.env);
       if (reader != nullptr) {
         sources.push_back(std::move(reader));
       }
@@ -182,7 +183,6 @@ Status MergeRunGroup(const ExternalMergeOptions& options,
 /// reduce task's fds to one merge group at a time.
 struct PendingSource {
   const SpillRun* run = nullptr;  // Null for intermediates.
-  size_t run_index = 0;           // Job-wide index (CRC registry key).
   std::string path;               // Intermediate file.
   uint64_t length = 0;
   uint32_t crc32 = 0;
@@ -238,26 +238,29 @@ Status OpenPendingSource(const ExternalMergeOptions& options,
   if (source.run != nullptr) {
     if (options.verifier != nullptr) {
       NGRAM_RETURN_NOT_OK(
-          options.verifier->Verify(source.run_index, *source.run));
+          options.verifier->Verify(*source.run, options.env));
     }
-    *reader = OpenRunPartition(*source.run, partition);
+    *reader = OpenRunPartition(*source.run, partition, options.env);
     return Status::OK();
   }
   if (source.has_crc) {
     // Raw intermediate outputs are consumed exactly once, right here;
     // block-format intermediates verify per block while being read.
-    NGRAM_RETURN_NOT_OK(VerifySpillFileCrc32(source.path, source.crc32));
+    NGRAM_RETURN_NOT_OK(
+        VerifySpillFileCrc32(source.path, source.crc32, options.env));
   }
   *reader = std::make_unique<FileRecordReader>(
       source.path, 0, source.length, FileRecordReader::kDefaultBufferBytes,
-      source.block_format ? RunFormat::kBlocks : RunFormat::kRawRecords);
+      source.block_format ? RunFormat::kBlocks : RunFormat::kRawRecords,
+      options.env);
   return Status::OK();
 }
 
 }  // namespace
 
 std::unique_ptr<RecordReader> OpenRunPartition(const SpillRun& run,
-                                               uint32_t partition) {
+                                               uint32_t partition,
+                                               IoEnv* env) {
   const RunSegment& seg = run.segments[partition];
   if (seg.num_records == 0) {
     return nullptr;
@@ -272,7 +275,7 @@ std::unique_ptr<RecordReader> OpenRunPartition(const SpillRun& run,
   return std::make_unique<FileRecordReader>(
       run.file_path, seg.offset, seg.length,
       FileRecordReader::kDefaultBufferBytes,
-      run.block_format ? RunFormat::kBlocks : RunFormat::kRawRecords);
+      run.block_format ? RunFormat::kBlocks : RunFormat::kRawRecords, env);
 }
 
 KWayMerger::KWayMerger(std::vector<std::unique_ptr<RecordReader>> sources,
@@ -382,14 +385,25 @@ bool KWayMerger::Next() {
   return true;
 }
 
-Status RunCrcVerifier::Verify(size_t run_index, const SpillRun& run) {
+Status RunCrcVerifier::Verify(const SpillRun& run, IoEnv* env) {
   if (!run.has_crc || run.in_memory()) {
     return Status::OK();
   }
-  std::call_once(flags_[run_index], [&] {
-    results_[run_index] = VerifySpillFileCrc32(run.file_path, run.crc32);
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = entries_[run.file_path];
+    if (slot == nullptr) {
+      slot = std::make_shared<Entry>();
+    }
+    entry = slot;
+  }
+  // The whole-file re-read happens outside the map lock, so distinct runs
+  // still verify in parallel; call_once serializes only same-path racers.
+  std::call_once(entry->once, [&] {
+    entry->result = VerifySpillFileCrc32(run.file_path, run.crc32, env);
   });
-  return results_[run_index];
+  return entry->result;
 }
 
 Status MergeMapRuns(const ExternalMergeOptions& options,
@@ -452,7 +466,6 @@ Status PrepareReduceMerge(const ExternalMergeOptions& options,
     }
     PendingSource source;
     source.run = runs[i];
-    source.run_index = i;
     pending.push_back(std::move(source));
   }
 

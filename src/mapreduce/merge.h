@@ -21,10 +21,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mapreduce/comparator.h"
 #include "mapreduce/counters.h"
+#include "mapreduce/io_env.h"
 #include "mapreduce/record.h"
 #include "mapreduce/sort_buffer.h"
 #include "util/macros.h"
@@ -87,31 +89,39 @@ class KWayMerger {
 };
 
 /// Builds a RecordReader for partition `partition` of `run` (memory or
-/// file). Returns nullptr for empty segments.
+/// file). Returns nullptr for empty segments. File-backed runs are read
+/// through `env` (nullptr means IoEnv::Default()).
 std::unique_ptr<RecordReader> OpenRunPartition(const SpillRun& run,
-                                               uint32_t partition);
+                                               uint32_t partition,
+                                               IoEnv* env = nullptr);
 
-/// \brief Verifies each checksummed file-backed run at most once per job.
+/// \brief Verifies each checksummed file-backed run at most once per path.
 ///
 /// Shared by all reduce tasks: the first task to open any partition of a
 /// run pays the whole-file CRC re-read; later opens (other partitions,
 /// other tasks, retried attempts) see the cached result. A mismatch is
 /// sticky Corruption, so every task reading the damaged run fails and the
-/// job surfaces the corruption through the normal retry machinery.
+/// job surfaces the corruption through the retry/recovery machinery.
+/// Keying by file path (not a job-wide run index) means a run regenerated
+/// by producer re-execution — which lands under a fresh attempt-scoped
+/// name — gets a fresh verification instead of the doomed original's
+/// cached verdict.
 class RunCrcVerifier {
  public:
-  explicit RunCrcVerifier(size_t num_runs)
-      : flags_(std::make_unique<std::once_flag[]>(num_runs)),
-        results_(num_runs) {}
+  RunCrcVerifier() = default;
   NGRAM_DISALLOW_COPY_AND_ASSIGN(RunCrcVerifier);
 
-  /// Verifies run `run_index` (a job-wide index) if it carries a CRC and
-  /// is file-backed; in-memory and unchecksummed runs pass trivially.
-  Status Verify(size_t run_index, const SpillRun& run);
+  /// Verifies `run` if it carries a CRC and is file-backed; in-memory and
+  /// unchecksummed runs pass trivially.
+  Status Verify(const SpillRun& run, IoEnv* env);
 
  private:
-  std::unique_ptr<std::once_flag[]> flags_;
-  std::vector<Status> results_;
+  struct Entry {
+    std::once_flag once;
+    Status result;
+  };
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
 };
 
 /// Knobs shared by the map-side final merge and the reduce-side
@@ -148,6 +158,9 @@ struct ExternalMergeOptions {
   /// Charged with kMergePasses / kIntermediateMergeBytes (and combine
   /// counters on the map side). Required.
   TaskCounters* counters = nullptr;
+  /// I/O environment for every run read and intermediate write; nullptr
+  /// means IoEnv::Default().
+  IoEnv* env = nullptr;
 };
 
 /// \brief Map-side final merge (Hadoop's per-task spill merge).

@@ -1,7 +1,6 @@
 #include "mapreduce/record.h"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstring>
 
 #include "util/crc32.h"
@@ -10,28 +9,26 @@ namespace ngram::mr {
 
 FileRecordReader::FileRecordReader(const std::string& path, uint64_t offset,
                                    uint64_t length, size_t buffer_size,
-                                   RunFormat format)
+                                   RunFormat format, IoEnv* env)
     : path_(path),
       format_(format),
       remaining_file_bytes_(length),
       buffer_capacity_(buffer_size),
       next_block_offset_(offset) {
-  file_ = fopen(path.c_str(), "rb");
-  if (file_ == nullptr) {
-    status_ = Status::IOError("open spill " + path + ": " + strerror(errno));
+  // Block mode reads through the stream buffer (header varints byte by
+  // byte, then one read per ~16 KiB payload); hand the reader's budget to
+  // the env as the buffer hint so the merge keeps issuing few large
+  // sequential reads, as the raw path's own buffer does.
+  const size_t hint = format_ == RunFormat::kBlocks ? buffer_capacity_ : 0;
+  Status st = ResolveEnv(env)->NewReadableFile(path, hint, &file_);
+  if (!st.ok()) {
+    status_ = st.WithContext("open run for reading");
     remaining_file_bytes_ = 0;
     return;
   }
-  if (format_ == RunFormat::kBlocks) {
-    // Block mode reads through stdio (header varints byte by byte, then
-    // one fread per ~16 KiB payload); widen the stream buffer to the
-    // reader's budget so the merge keeps issuing few large sequential
-    // reads, as the raw path's own buffer does. Must precede any other
-    // stream operation (including the seek below).
-    setvbuf(file_, nullptr, _IOFBF, buffer_capacity_);
-  }
-  if (fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
-    status_ = Status::IOError("seek spill " + path + ": " + strerror(errno));
+  st = file_->Seek(offset);
+  if (!st.ok()) {
+    status_ = st.WithContext("seek to run extent");
     remaining_file_bytes_ = 0;
   }
   if (format_ == RunFormat::kRawRecords) {
@@ -39,11 +36,7 @@ FileRecordReader::FileRecordReader(const std::string& path, uint64_t offset,
   }
 }
 
-FileRecordReader::~FileRecordReader() {
-  if (file_ != nullptr) {
-    fclose(file_);
-  }
-}
+FileRecordReader::~FileRecordReader() = default;
 
 bool FileRecordReader::FillAtLeast(size_t n) {
   const size_t available = limit_ - pos_;
@@ -81,17 +74,19 @@ bool FileRecordReader::FillAtLeast(size_t n) {
   while (limit_ < target && remaining_file_bytes_ > 0) {
     const size_t want = static_cast<size_t>(
         std::min<uint64_t>(buffer_capacity_ - limit_, remaining_file_bytes_));
-    const size_t got = fread(buffer_.data() + limit_, 1, want, file_);
+    size_t got = 0;
+    // A short read is only "truncated file" corruption when the stream
+    // really hit EOF; a failed read is an I/O error and must surface as
+    // one (with the env's errno detail) instead of masquerading as
+    // corruption.
+    Status st = file_->Read(buffer_.data() + limit_, want, &got);
+    if (!st.ok()) {
+      status_ = st.WithContext("read run records");
+      return false;
+    }
     if (got == 0) {
-      // A short read is only "truncated file" corruption when the stream
-      // really hit EOF; a failed read is an I/O error and must surface as
-      // one (with errno) instead of masquerading as corruption.
-      if (ferror(file_) != 0) {
-        status_ = Status::IOError(std::string("read spill file: ") +
-                                  strerror(errno));
-      } else {
-        status_ = Status::Corruption("unexpected EOF in spill file");
-      }
+      status_ = Status::Corruption("unexpected EOF reading run records in " +
+                                   path_);
       return false;
     }
     limit_ += got;
@@ -112,7 +107,8 @@ bool FileRecordReader::NextRaw() {
       std::min<uint64_t>(2 * kMaxVarint64Bytes, total_left));
   if (!FillAtLeast(header_want)) {
     if (status_.ok()) {
-      status_ = Status::Corruption("truncated record header in spill file");
+      status_ =
+          Status::Corruption("truncated record header reading " + path_);
     }
     return false;
   }
@@ -120,7 +116,7 @@ bool FileRecordReader::NextRaw() {
   const char* header_start = header.data();
   uint64_t klen = 0, vlen = 0;
   if (!GetVarint64(&header, &klen) || !GetVarint64(&header, &vlen)) {
-    status_ = Status::Corruption("malformed record header in spill file");
+    status_ = Status::Corruption("malformed record header reading " + path_);
     return false;
   }
   const size_t header_bytes = static_cast<size_t>(header.data() - header_start);
@@ -128,7 +124,7 @@ bool FileRecordReader::NextRaw() {
   const size_t body = static_cast<size_t>(klen + vlen);
   if (!FillAtLeast(body)) {
     if (status_.ok()) {
-      status_ = Status::Corruption("truncated record body in spill file");
+      status_ = Status::Corruption("truncated record body reading " + path_);
     }
     return false;
   }
@@ -150,17 +146,16 @@ bool FileRecordReader::ReadExact(char* dst, size_t n) {
   }
   size_t got = 0;
   while (got < n) {
-    const size_t r = fread(dst + got, 1, n - got, file_);
+    size_t r = 0;
+    Status st = file_->Read(dst + got, n - got, &r);
+    if (!st.ok()) {
+      status_ = st.WithContext("read run block");
+      return false;
+    }
     if (r == 0) {
-      if (ferror(file_) != 0) {
-        status_ = Status::IOError("read run file " + path_ + ": " +
-                                  strerror(errno));
-      } else {
-        status_ = Status::Corruption(
-            "truncated block at offset " +
-            std::to_string(next_block_offset_) + " in " + path_ +
-            " (unexpected EOF)");
-      }
+      status_ = Status::Corruption(
+          "truncated block at offset " + std::to_string(next_block_offset_) +
+          " in " + path_ + " (unexpected EOF)");
       return false;
     }
     got += r;

@@ -6,11 +6,11 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 
 #include "encoding/varint.h"
+#include "mapreduce/io_env.h"
 #include "util/macros.h"
 #include "util/result.h"
 #include "util/slice.h"
@@ -118,10 +118,12 @@ class FileRecordReader final : public RecordReader {
  public:
   static constexpr size_t kDefaultBufferBytes = 256 * 1024;
 
-  /// Reads `length` bytes starting at `offset` of `path`.
+  /// Reads `length` bytes starting at `offset` of `path`. I/O goes
+  /// through `env` (nullptr means IoEnv::Default()).
   FileRecordReader(const std::string& path, uint64_t offset, uint64_t length,
                    size_t buffer_size = kDefaultBufferBytes,
-                   RunFormat format = RunFormat::kRawRecords);
+                   RunFormat format = RunFormat::kRawRecords,
+                   IoEnv* env = nullptr);
   ~FileRecordReader() override;
 
   NGRAM_DISALLOW_COPY_AND_ASSIGN(FileRecordReader);
@@ -141,7 +143,7 @@ class FileRecordReader final : public RecordReader {
 
   const std::string path_;  // For block-offset error messages.
   const RunFormat format_;
-  FILE* file_ = nullptr;
+  std::unique_ptr<ReadableFile> file_;
   uint64_t remaining_file_bytes_;
   std::string buffer_;
   std::string alt_buffer_;  // Refill target; preserves the previous record.

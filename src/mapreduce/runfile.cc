@@ -92,6 +92,7 @@ class BlockRunWriter final : public RunWriter {
     file_options.checksum = false;  // Blocks carry their own CRCs.
     file_options.external_buffer = options.external_buffer;
     file_options.preamble = options.preamble;
+    file_options.env = options.env;
     return file_options;
   }
 
@@ -145,6 +146,7 @@ std::unique_ptr<RunWriter> NewRunWriter(std::string path,
     file_options.checksum = options.checksum;
     file_options.external_buffer = options.external_buffer;
     file_options.preamble = options.preamble;
+    file_options.env = options.env;
     return std::make_unique<SpillWriter>(std::move(path), file_options);
   }
   return std::make_unique<BlockRunWriter>(std::move(path), options);

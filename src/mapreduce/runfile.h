@@ -120,6 +120,9 @@ struct RunWriterOptions {
   size_t block_bytes = kDefaultBlockBytes;
   /// Block format: entries between restart points.
   uint32_t restart_interval = kDefaultRestartInterval;
+  /// I/O environment for the physical byte sink; nullptr means
+  /// IoEnv::Default().
+  IoEnv* env = nullptr;
 };
 
 /// Creates a writer for `path`: a SpillWriter (raw framing) when

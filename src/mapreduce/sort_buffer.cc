@@ -239,6 +239,7 @@ Status SortBuffer::WriteRunToFile(SpillRun* run) {
   writer_options.buffer_bytes = spill_write_buffer_bytes_;
   writer_options.external_buffer = spill_write_buffer_.get();
   writer_options.checksum = options_.checksum_spills;
+  writer_options.env = options_.env;
   std::unique_ptr<RunWriter> writer =
       NewRunWriter(run->file_path, writer_options);
   NGRAM_RETURN_NOT_OK(writer->Open());

@@ -115,6 +115,8 @@ class SortBuffer {
     /// so this can never exceed 4 GiB (values above are clamped). Only
     /// tests lower it.
     size_t arena_limit_bytes = 0xffffffffu;
+    /// I/O environment for spill files; nullptr means IoEnv::Default().
+    IoEnv* env = nullptr;
   };
 
   SortBuffer(Options options, TaskCounters* counters);

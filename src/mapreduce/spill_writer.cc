@@ -1,16 +1,16 @@
 #include "mapreduce/spill_writer.h"
 
-#include <cerrno>
 #include <cstring>
-
-#include <unistd.h>
 
 #include "encoding/varint.h"
 
 namespace ngram::mr {
 
 SpillWriter::SpillWriter(std::string path, Options options)
-    : path_(std::move(path)), options_(std::move(options)) {}
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp"),
+      options_(std::move(options)),
+      env_(ResolveEnv(options_.env)) {}
 
 SpillWriter::~SpillWriter() {
   if (!closed_) {
@@ -19,11 +19,10 @@ SpillWriter::~SpillWriter() {
 }
 
 Status SpillWriter::Open() {
-  file_ = fopen(path_.c_str(), "wb");
-  if (file_ == nullptr) {
+  Status st = env_->NewWritableFile(tmp_path_, &file_);
+  if (!st.ok()) {
     closed_ = true;  // Nothing to unlink; fail all later calls.
-    close_status_ =
-        Status::IOError("create spill " + path_ + ": " + strerror(errno));
+    close_status_ = st.WithContext("create spill " + path_);
     return close_status_;
   }
   opened_ = true;
@@ -34,18 +33,19 @@ Status SpillWriter::Open() {
     buffer_ = owned_buffer_.get();
   }
   if (!options_.preamble.empty()) {
-    Status st = AppendRawBytes(options_.preamble.data(),
-                               options_.preamble.size());
-    if (!st.ok()) {
-      return st;
+    Status pst = AppendRawBytes(options_.preamble.data(),
+                                options_.preamble.size());
+    if (!pst.ok()) {
+      return pst;
     }
   }
   return Status::OK();
 }
 
 Status SpillWriter::WriteDirect(const char* data, size_t n) {
-  if (fwrite(data, 1, n, file_) != n) {
-    return Status::IOError("write spill " + path_ + ": " + strerror(errno));
+  Status st = file_->Write(data, n);
+  if (!st.ok()) {
+    return st.WithContext("write spill " + path_);
   }
   if (options_.checksum) {
     crc_ = Crc32(crc_, data, n);
@@ -148,15 +148,30 @@ Status SpillWriter::Close() {
     close_status_ = Status::Internal("spill writer never opened");
     return close_status_;
   }
+  // Commit sequence: flush our buffer, sync the file, close it, then
+  // rename the temp name onto the committed path. Any failure leaves
+  // nothing at path().
   Status st = FlushBuffer();
-  const int close_rc = fclose(file_);
+  if (st.ok()) {
+    st = file_->Sync();
+    if (!st.ok()) {
+      st = st.WithContext("sync spill " + path_);
+    }
+  }
+  Status close_st = file_->Close();
   file_ = nullptr;
   closed_ = true;
-  if (st.ok() && close_rc != 0) {
-    st = Status::IOError("close spill " + path_ + ": " + strerror(errno));
+  if (st.ok() && !close_st.ok()) {
+    st = close_st.WithContext("close spill " + path_);
+  }
+  if (st.ok()) {
+    st = env_->Rename(tmp_path_, path_);
+    if (!st.ok()) {
+      st = st.WithContext("commit spill " + path_);
+    }
   }
   if (!st.ok()) {
-    unlink(path_.c_str());
+    (void)env_->Unlink(tmp_path_);
   }
   close_status_ = st;
   return st;
@@ -164,11 +179,13 @@ Status SpillWriter::Close() {
 
 void SpillWriter::Abandon() {
   if (file_ != nullptr) {
-    fclose(file_);
+    (void)file_->Close();
     file_ = nullptr;
   }
   if (opened_) {
-    unlink(path_.c_str());
+    // The committed name never appeared (only Close() renames), so the
+    // staged temp file is all there is to remove.
+    (void)env_->Unlink(tmp_path_);
   }
   closed_ = true;
   if (close_status_.ok()) {
@@ -176,24 +193,25 @@ void SpillWriter::Abandon() {
   }
 }
 
-Status VerifySpillFileCrc32(const std::string& path, uint32_t expected) {
-  FILE* f = fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IOError("open spill " + path + ": " + strerror(errno));
+Status VerifySpillFileCrc32(const std::string& path, uint32_t expected,
+                            IoEnv* env) {
+  std::unique_ptr<ReadableFile> file;
+  Status st = ResolveEnv(env)->NewReadableFile(path, 0, &file);
+  if (!st.ok()) {
+    return st.WithContext("verify spill CRC");
   }
   char buf[64 * 1024];
   uint32_t crc = 0;
-  size_t n;
-  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) {
+  size_t n = 0;
+  do {
+    st = file->Read(buf, sizeof(buf), &n);
+    if (!st.ok()) {
+      return st.WithContext("verify spill CRC");
+    }
     crc = Crc32(crc, buf, n);
-  }
-  const bool read_error = ferror(f) != 0;
-  fclose(f);
-  if (read_error) {
-    return Status::IOError("read spill " + path);
-  }
+  } while (n > 0);
   if (crc != expected) {
-    return Status::Corruption("spill CRC mismatch for " + path);
+    return Status::Corruption("spill CRC mismatch reading " + path);
   }
   return Status::OK();
 }

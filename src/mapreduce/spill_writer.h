@@ -13,15 +13,21 @@
 // AppendRawBytes(). Call sites that honor JobConfig::compress_runs create
 // writers through NewRunWriter() instead of instantiating this directly.
 //
-// Error handling: any write failure (and Abandon()) unlinks the partially
-// written file so failed task attempts never leak spill files.
+// Commit protocol: Open() stages all bytes in "<path>.tmp"; Close()
+// flushes, syncs, and renames the temp file onto the committed path. A
+// failure anywhere before the rename (and Abandon()) unlinks the temp
+// file, so a partially written run is never visible under its committed
+// name and failed task attempts never leak spill files.
+//
+// All physical I/O goes through an IoEnv (io_env.h), so tests can inject
+// read/write/sync/rename faults without touching this class.
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 
+#include "mapreduce/io_env.h"
 #include "mapreduce/record.h"
 #include "mapreduce/runfile.h"
 #include "util/crc32.h"
@@ -54,6 +60,8 @@ class SpillWriter : public RunWriter {
     /// Bytes written verbatim right after Open() (file headers). Counted
     /// in bytes_written() and, when checksumming, in the CRC.
     std::string preamble;
+    /// I/O environment; nullptr means IoEnv::Default().
+    IoEnv* env = nullptr;
   };
 
   explicit SpillWriter(std::string path) : SpillWriter(std::move(path), {}) {}
@@ -75,13 +83,14 @@ class SpillWriter : public RunWriter {
   /// Raw framing has no block structure; segment boundaries are free.
   Status FinishSegment() override { return Status::OK(); }
 
-  /// Flushes the buffer and closes the file. On failure the partial file
-  /// is unlinked. Idempotent: later calls return the first result.
+  /// Flushes the buffer, syncs, closes, and commits the temp file to
+  /// path() via rename. On failure the temp file is unlinked and nothing
+  /// appears at path(). Idempotent: later calls return the first result.
   Status Close() override;
 
-  /// Closes (if open) and unlinks the file — but only a file this writer
-  /// actually created; a never-opened writer leaves the path untouched.
-  /// Used on task-attempt failure.
+  /// Closes (if open) and unlinks the staged temp file — but only one
+  /// this writer actually created; a never-opened writer leaves the path
+  /// untouched. Used on task-attempt failure.
   void Abandon() override;
 
   /// Logical bytes appended so far (including still-buffered bytes).
@@ -101,8 +110,10 @@ class SpillWriter : public RunWriter {
   Status BufferBytes(const char* data, size_t n);
 
   const std::string path_;
+  const std::string tmp_path_;  // path_ + ".tmp": staging name until commit.
   const Options options_;
-  FILE* file_ = nullptr;
+  IoEnv* const env_;
+  std::unique_ptr<WritableFile> file_;
   std::unique_ptr<char[]> owned_buffer_;  // Unused with external_buffer.
   char* buffer_ = nullptr;
   size_t buffered_ = 0;
@@ -129,6 +140,7 @@ class SpillWriterSink final : public RecordSink {
 
 /// Recomputes the CRC-32 of `path` and checks it against `expected`.
 /// Returns Corruption on mismatch (used by tests and recovery tooling).
-Status VerifySpillFileCrc32(const std::string& path, uint32_t expected);
+Status VerifySpillFileCrc32(const std::string& path, uint32_t expected,
+                            IoEnv* env = nullptr);
 
 }  // namespace ngram::mr

@@ -2,11 +2,17 @@
 // fresh state (Hadoop's core fault-tolerance feature, which the paper
 // names as a main reason to target MapReduce at all). Results and counters
 // must be byte-identical to a failure-free run.
+//
+// Faults are raised by the user code itself (flaky Setup/Cleanup keyed on
+// the context's task id) — the I/O-level fault path has its own coverage
+// in chaos_test.cc.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <filesystem>
 #include <map>
+#include <mutex>
+#include <set>
 
 #include "mapreduce/job.h"
 #include "util/temp_dir.h"
@@ -36,6 +42,87 @@ class SumReducer final
   }
 };
 
+/// Shared failure schedule: how many times each task id has asked to fail
+/// so far. FailNow(id, n) is true for the first n queries of that id —
+/// i.e. the task's first n attempts fail, later ones succeed.
+struct FailSchedule {
+  std::mutex mu;
+  std::map<uint32_t, int> asked;
+  std::atomic<int> failures{0};
+
+  bool FailNow(uint32_t id, int first_n) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (asked[id]++ < first_n) {
+      failures.fetch_add(1);
+      return true;
+    }
+    return false;
+  }
+};
+
+/// WordMapper whose Setup fails the task's first `fail_first` attempts
+/// (`always_fail_task` fails every attempt of that one task instead).
+class FlakyWordMapper final
+    : public Mapper<uint64_t, std::string, std::string, uint64_t> {
+ public:
+  FlakyWordMapper(FailSchedule* schedule, int fail_first,
+                  int always_fail_task = -1)
+      : schedule_(schedule),
+        fail_first_(fail_first),
+        always_fail_task_(always_fail_task) {}
+
+  Status Setup(Context* ctx) override {
+    if (static_cast<int>(ctx->task_id()) == always_fail_task_) {
+      return Status::Internal("injected map task failure");
+    }
+    if (schedule_ != nullptr && schedule_->FailNow(ctx->task_id(),
+                                                   fail_first_)) {
+      return Status::Internal("injected map task failure");
+    }
+    return Status::OK();
+  }
+
+  Status Map(const uint64_t& id, const std::string& word,
+             Context* ctx) override {
+    return ctx->Emit(word, 1);
+  }
+
+ private:
+  FailSchedule* schedule_;
+  int fail_first_;
+  int always_fail_task_;
+};
+
+/// SumReducer whose Cleanup fails the task's first `fail_first` attempts
+/// — after the reduce work ran, the strongest point to lose an attempt.
+class FlakySumReducer final
+    : public Reducer<std::string, uint64_t, std::string, uint64_t> {
+ public:
+  FlakySumReducer(FailSchedule* schedule, int fail_first)
+      : schedule_(schedule), fail_first_(fail_first) {}
+
+  Status Reduce(const std::string& key, Values* values,
+                Context* ctx) override {
+    uint64_t total = 0, v = 0;
+    while (values->Next(&v)) {
+      total += v;
+    }
+    return ctx->Emit(key, total);
+  }
+
+  Status Cleanup(Context* ctx) override {
+    if (schedule_ != nullptr &&
+        schedule_->FailNow(ctx->reducer_id(), fail_first_)) {
+      return Status::Internal("injected reduce task failure");
+    }
+    return Status::OK();
+  }
+
+ private:
+  FailSchedule* schedule_;
+  int fail_first_;
+};
+
 MemoryTable<uint64_t, std::string> Input() {
   MemoryTable<uint64_t, std::string> input;
   for (uint64_t i = 0; i < 40; ++i) {
@@ -57,6 +144,33 @@ Result<JobMetrics> RunCountJob(const JobConfig& config,
   return metrics;
 }
 
+/// The flaky variant: every map task fails its first `map_fails`
+/// attempts, every reduce task its first `reduce_fails`.
+Result<JobMetrics> RunFlakyCountJob(const JobConfig& config,
+                                    std::map<std::string, uint64_t>* counts,
+                                    int map_fails, int reduce_fails,
+                                    int always_fail_map_task = -1) {
+  auto map_schedule = std::make_shared<FailSchedule>();
+  auto reduce_schedule = std::make_shared<FailSchedule>();
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<FlakyWordMapper, FlakySumReducer>(
+      config, Input(),
+      [=] {
+        return std::make_unique<FlakyWordMapper>(
+            map_schedule.get(), map_fails, always_fail_map_task);
+      },
+      [=] {
+        return std::make_unique<FlakySumReducer>(reduce_schedule.get(),
+                                                 reduce_fails);
+      },
+      &output);
+  counts->clear();
+  for (const auto& [k, v] : output.rows) {
+    (*counts)[k] = v;
+  }
+  return metrics;
+}
+
 TEST(FaultToleranceTest, FirstAttemptFailuresAreRetriedTransparently) {
   JobConfig baseline_config;
   baseline_config.num_map_tasks = 4;
@@ -66,11 +180,10 @@ TEST(FaultToleranceTest, FirstAttemptFailuresAreRetriedTransparently) {
 
   JobConfig config = baseline_config;
   config.max_task_attempts = 3;
-  config.failure_injector = [](const char*, uint32_t, uint32_t attempt) {
-    return attempt == 0;  // Every task fails exactly once.
-  };
   std::map<std::string, uint64_t> counts;
-  auto metrics = RunCountJob(config, &counts);
+  // Every map and reduce task fails exactly once.
+  auto metrics = RunFlakyCountJob(config, &counts, /*map_fails=*/1,
+                                  /*reduce_fails=*/1);
   ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
   EXPECT_EQ(counts, baseline);
   // 4 map tasks + default reducers each retried once.
@@ -88,12 +201,11 @@ TEST(FaultToleranceTest, FirstAttemptFailuresAreRetriedTransparently) {
 TEST(FaultToleranceTest, ExhaustedAttemptsFailTheJob) {
   JobConfig config;
   config.max_task_attempts = 2;
-  config.failure_injector = [](const char* phase, uint32_t task,
-                               uint32_t) {
-    return std::string(phase) == "map" && task == 0;  // Always fails.
-  };
   std::map<std::string, uint64_t> counts;
-  auto metrics = RunCountJob(config, &counts);
+  // Map task 0 fails every attempt.
+  auto metrics = RunFlakyCountJob(config, &counts, /*map_fails=*/0,
+                                  /*reduce_fails=*/0,
+                                  /*always_fail_map_task=*/0);
   ASSERT_FALSE(metrics.ok());
   EXPECT_EQ(metrics.status().code(), StatusCode::kInternal);
 }
@@ -105,20 +217,13 @@ TEST(FaultToleranceTest, ReduceRetriesRebuildOutput) {
 
   JobConfig config = baseline_config;
   config.max_task_attempts = 4;
-  std::atomic<int> reduce_failures{0};
-  config.failure_injector = [&reduce_failures](const char* phase, uint32_t,
-                                               uint32_t attempt) {
-    if (std::string(phase) == "reduce" && attempt < 2) {
-      reduce_failures.fetch_add(1);
-      return true;  // Each reduce task fails twice.
-    }
-    return false;
-  };
   std::map<std::string, uint64_t> counts;
-  auto metrics = RunCountJob(config, &counts);
+  // Each reduce task fails twice before succeeding.
+  auto metrics = RunFlakyCountJob(config, &counts, /*map_fails=*/0,
+                                  /*reduce_fails=*/2);
   ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
   EXPECT_EQ(counts, baseline);
-  EXPECT_GT(reduce_failures.load(), 0);
+  EXPECT_GT(metrics->Counter(kTaskRetries), 0u);
 }
 
 TEST(FaultToleranceTest, RealTaskErrorsAreAlsoRetried) {
@@ -166,10 +271,31 @@ size_t FilesIn(const std::string& dir) {
 }
 
 TEST(FaultToleranceTest, RetriedSpillingTasksLeaveWorkDirClean) {
-  // Every task fails its first attempt *after* spilling run files into a
-  // user-provided work_dir. Attempt-scoped run names keep retries from
-  // colliding with the discarded attempt's files, and discarded runs are
-  // unlinked — the job must succeed and leave the directory empty.
+  // Every map task fails its first attempt *after* spilling run files
+  // into a user-provided work_dir (flaky Cleanup: the spills already
+  // happened). Attempt-scoped run names keep retries from colliding with
+  // the discarded attempt's files, and discarded runs are unlinked — the
+  // job must succeed and leave the directory empty.
+  class SpillThenFailMapper final
+      : public Mapper<uint64_t, std::string, std::string, uint64_t> {
+   public:
+    explicit SpillThenFailMapper(FailSchedule* schedule)
+        : schedule_(schedule) {}
+    Status Map(const uint64_t& id, const std::string& word,
+               Context* ctx) override {
+      return ctx->Emit(word, 1);
+    }
+    Status Cleanup(Context* ctx) override {
+      if (schedule_->FailNow(ctx->task_id(), 1)) {
+        return Status::Internal("injected post-spill failure");
+      }
+      return Status::OK();
+    }
+
+   private:
+    FailSchedule* schedule_;
+  };
+
   auto dir = TempDir::Create("retry-clean");
   ASSERT_TRUE(dir.ok());
   JobConfig config;
@@ -177,16 +303,25 @@ TEST(FaultToleranceTest, RetriedSpillingTasksLeaveWorkDirClean) {
   config.sort_buffer_bytes = 128;  // Spill on nearly every record.
   config.num_map_tasks = 4;
   config.max_task_attempts = 3;
-  config.failure_injector = [](const char*, uint32_t, uint32_t attempt) {
-    return attempt == 0;
-  };
-  std::map<std::string, uint64_t> baseline, counts;
+
+  std::map<std::string, uint64_t> baseline;
   JobConfig clean_config = config;
-  clean_config.failure_injector = nullptr;
   clean_config.max_task_attempts = 1;
   ASSERT_TRUE(RunCountJob(clean_config, &baseline).ok());
-  auto metrics = RunCountJob(config, &counts);
+
+  auto schedule = std::make_shared<FailSchedule>();
+  MemoryTable<std::string, uint64_t> output;
+  auto metrics = RunJob<SpillThenFailMapper, SumReducer>(
+      config, Input(),
+      [schedule] {
+        return std::make_unique<SpillThenFailMapper>(schedule.get());
+      },
+      [] { return std::make_unique<SumReducer>(); }, &output);
   ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  std::map<std::string, uint64_t> counts;
+  for (const auto& [k, v] : output.rows) {
+    counts[k] = v;
+  }
   EXPECT_EQ(counts, baseline);
   EXPECT_GT(metrics->Counter(kSpillFiles), 0u);
   EXPECT_EQ(FilesIn(config.work_dir), 0u);
@@ -247,13 +382,28 @@ TEST(FaultToleranceTest, FailedJobLeavesWorkDirClean) {
   config.num_map_tasks = 4;
   config.map_slots = 1;  // Task 0..2 commit their runs before 3 fails.
   config.max_task_attempts = 2;
-  config.failure_injector = [](const char* phase, uint32_t task, uint32_t) {
-    return std::string(phase) == "map" && task == 3;
-  };
   std::map<std::string, uint64_t> counts;
-  auto metrics = RunCountJob(config, &counts);
+  auto metrics = RunFlakyCountJob(config, &counts, /*map_fails=*/0,
+                                  /*reduce_fails=*/0,
+                                  /*always_fail_map_task=*/3);
   ASSERT_FALSE(metrics.ok());
   EXPECT_EQ(FilesIn(config.work_dir), 0u);
+}
+
+TEST(FaultToleranceTest, RetryBackoffDelaysFailedAttempts) {
+  // With a backoff configured, a job that retries sleeps between
+  // attempts: total wallclock must cover at least the configured delay.
+  JobConfig config;
+  config.num_map_tasks = 1;
+  config.num_reducers = 1;
+  config.max_task_attempts = 2;
+  config.task_retry_backoff_ms = 30.0;
+  std::map<std::string, uint64_t> counts;
+  auto metrics = RunFlakyCountJob(config, &counts, /*map_fails=*/1,
+                                  /*reduce_fails=*/0);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->Counter(kTaskRetries), 1u);
+  EXPECT_GE(metrics->wallclock_ms, 30.0);
 }
 
 TEST(FaultToleranceTest, SkewCounterReportsHeaviestReducer) {

@@ -312,13 +312,53 @@ TEST(MergeStressTest, CompletesUnderLowFdLimitRawRuns) {
 
 // --------------------------------------------------- CRC verification --
 
-/// Runs a spill-heavy word count in `work_dir`, flipping the last byte of
-/// the lexicographically first run file once the last map task finishes
-/// (map_slots=1 serializes tasks, so earlier tasks' runs are complete).
-/// With raw runs the flipped byte is the final record's varint value
-/// 1 -> 0: framing stays valid, the count silently changes. With
-/// compressed runs the same flip lands in the last block's CRC trailer
-/// (or payload), which per-block verification catches unconditionally.
+/// CountingMapper that, during the last map task's Cleanup, flips the
+/// last byte of the lexicographically first run file in `work_dir`
+/// (map_slots=1 serializes tasks, so task 0's runs are committed by
+/// then — the victim is always one of its files).
+class FlipOnCleanupMapper final
+    : public Mapper<uint64_t, std::string, std::string, uint64_t> {
+ public:
+  explicit FlipOnCleanupMapper(std::string work_dir)
+      : work_dir_(std::move(work_dir)) {}
+
+  Status Map(const uint64_t& id, const std::string& word,
+             Context* ctx) override {
+    return ctx->Emit(word, 1);
+  }
+
+  Status Cleanup(Context* ctx) override {
+    if (ctx->task_id() != 1) {
+      return Status::OK();
+    }
+    std::string victim;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(work_dir_)) {
+      const std::string path = entry.path().string();
+      if (victim.empty() || path < victim) {
+        victim = path;
+      }
+    }
+    EXPECT_FALSE(victim.empty());
+    std::fstream file(victim,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(0, std::ios::end);
+    const auto size = file.tellg();
+    file.seekp(size - std::streamoff(1));
+    file.put('\0');  // varint 1 -> varint 0.
+    return Status::OK();  // Corrupt silently; the attempt itself succeeds.
+  }
+
+ private:
+  const std::string work_dir_;
+};
+
+/// Runs a spill-heavy word count in `work_dir` with one committed run
+/// file silently damaged mid-job (see FlipOnCleanupMapper). With raw runs
+/// the flipped byte is the final record's varint value 1 -> 0: framing
+/// stays valid, the count silently changes. With compressed runs the
+/// same flip lands in the last block's CRC trailer (or payload), which
+/// per-block verification catches unconditionally.
 Result<JobMetrics> RunWithBitFlip(bool compress, bool checksum,
                                   const std::string& work_dir,
                                   std::map<std::string, uint64_t>* counts) {
@@ -335,30 +375,10 @@ Result<JobMetrics> RunWithBitFlip(bool compress, bool checksum,
   config.merge_factor = 0;  // Keep original spill files around for the flip.
   config.compress_runs = compress;
   config.checksum_spills = checksum;
-  config.failure_injector = [work_dir](const char* phase, uint32_t task,
-                                       uint32_t) {
-    if (std::string(phase) != "map" || task != 1) {
-      return false;
-    }
-    std::string victim;
-    for (const auto& entry : std::filesystem::directory_iterator(work_dir)) {
-      const std::string path = entry.path().string();
-      if (victim.empty() || path < victim) {
-        victim = path;
-      }
-    }
-    EXPECT_FALSE(victim.empty());
-    std::fstream file(victim,
-                      std::ios::in | std::ios::out | std::ios::binary);
-    file.seekg(0, std::ios::end);
-    const auto size = file.tellg();
-    file.seekp(size - std::streamoff(1));
-    file.put('\0');  // varint 1 -> varint 0.
-    return false;  // Corrupt silently; never fail the attempt itself.
-  };
   MemoryTable<std::string, uint64_t> output;
-  auto metrics = RunJob<CountingMapper, SumReducer>(
-      config, input, [] { return std::make_unique<CountingMapper>(); },
+  auto metrics = RunJob<FlipOnCleanupMapper, SumReducer>(
+      config, input,
+      [&work_dir] { return std::make_unique<FlipOnCleanupMapper>(work_dir); },
       [] { return std::make_unique<SumReducer>(); }, &output);
   counts->clear();
   for (const auto& [k, v] : output.rows) {

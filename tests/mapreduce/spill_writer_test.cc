@@ -95,8 +95,12 @@ TEST_F(SpillWriterTest, AbandonUnlinksTheFile) {
   SpillWriter writer(path);
   ASSERT_TRUE(writer.Open().ok());
   ASSERT_TRUE(writer.Append("k", "v").ok());
-  EXPECT_TRUE(FileExists(path));
+  // Mid-write bytes are staged at "<path>.tmp"; the committed name does
+  // not exist until Close() renames it into place.
+  EXPECT_TRUE(FileExists(path + ".tmp"));
+  EXPECT_FALSE(FileExists(path));
   writer.Abandon();
+  EXPECT_FALSE(FileExists(path + ".tmp"));
   EXPECT_FALSE(FileExists(path));
   // Later appends fail instead of writing to a dangling handle.
   EXPECT_FALSE(writer.Append("k2", "v2").ok());
@@ -108,8 +112,9 @@ TEST_F(SpillWriterTest, DestructorWithoutCloseUnlinks) {
     SpillWriter writer(path);
     ASSERT_TRUE(writer.Open().ok());
     ASSERT_TRUE(writer.Append("k", "v").ok());
-    EXPECT_TRUE(FileExists(path));
+    EXPECT_TRUE(FileExists(path + ".tmp"));
   }
+  EXPECT_FALSE(FileExists(path + ".tmp"));
   EXPECT_FALSE(FileExists(path));
 }
 
