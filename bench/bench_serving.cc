@@ -1,0 +1,277 @@
+// Serving-layer latency/throughput harness: N client threads drive a
+// Zipf-distributed query mix (lookups, top-k completions, perplexity)
+// against a StatsService over freshly built shards, and the result —
+// p50/p99/p99.9 latency, QPS, cache counters — is written as
+// BENCH_serving.json.
+//
+// This is a custom driver, not a google-benchmark fixture: the quantity
+// under test is the latency *distribution* under concurrency, which the
+// per-iteration timing model cannot express.
+//
+//   $ ./bench_serving [out.json]        (default BENCH_serving.json)
+//
+// Knobs (environment):
+//   NGRAM_BENCH_SERVING_THREADS    client threads          (default 8)
+//   NGRAM_BENCH_SERVING_SECONDS    measured wall time      (default 3)
+//   NGRAM_BENCH_SERVING_DOCS       corpus documents        (default 1000)
+//   NGRAM_BENCH_SERVING_SHARDS     serving shards          (default 4)
+//   NGRAM_BENCH_SERVING_CACHE_KB   block cache capacity    (default 4096)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runner.h"
+#include "corpus/synthetic.h"
+#include "corpus/zipf.h"
+#include "serve/serving_builder.h"
+#include "serve/stats_service.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ngram;
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = getenv(name);
+  return v != nullptr ? static_cast<uint64_t>(atoll(v)) : fallback;
+}
+
+struct ThreadResult {
+  std::vector<uint64_t> latencies_ns;
+  uint64_t count_ops = 0;
+  uint64_t topk_ops = 0;
+  uint64_t ppl_ops = 0;
+  uint64_t errors = 0;
+};
+
+uint64_t Percentile(const std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serving.json";
+  const uint64_t num_threads = EnvOr("NGRAM_BENCH_SERVING_THREADS", 8);
+  const uint64_t seconds = EnvOr("NGRAM_BENCH_SERVING_SECONDS", 3);
+  const uint64_t docs = EnvOr("NGRAM_BENCH_SERVING_DOCS", 1000);
+  const uint64_t shards = EnvOr("NGRAM_BENCH_SERVING_SHARDS", 4);
+  const uint64_t cache_kb = EnvOr("NGRAM_BENCH_SERVING_CACHE_KB", 4096);
+
+  // Corpus -> statistics -> serving shards, all in a scratch directory.
+  const Corpus corpus = GenerateSyntheticCorpus(NytLikeOptions(docs, 42));
+  const CorpusContext ctx = BuildCorpusContext(corpus);
+  NgramJobOptions job_options;
+  job_options.method = Method::kSuffixSigma;
+  job_options.tau = 2;
+  job_options.sigma = 5;
+  auto run = ComputeNgramStatistics(ctx, job_options);
+  if (!run.ok()) {
+    fprintf(stderr, "stats: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+
+  char dir_template[] = "/tmp/bench_serving.XXXXXX";
+  if (mkdtemp(dir_template) == nullptr) {
+    perror("mkdtemp");
+    return 1;
+  }
+  const std::string dir = dir_template;
+  serve::BuildServingOptions build_options;
+  build_options.num_shards = static_cast<uint32_t>(shards);
+  Status st = serve::BuildServingShards(run->stats, dir, build_options);
+  if (!st.ok()) {
+    fprintf(stderr, "build-serving: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  serve::ServingOptions serving_options;
+  serving_options.cache_bytes = static_cast<size_t>(cache_kb) * 1024;
+  auto service = serve::StatsService::Open(dir, serving_options);
+  if (!service.ok()) {
+    fprintf(stderr, "open: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
+  // Query workload: stored n-grams ranked by frequency, drawn Zipf(1.0) —
+  // hot heads and a long cold tail, like autocomplete traffic.
+  NgramStatistics ranked = run->stats;
+  std::sort(ranked.entries.begin(), ranked.entries.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (ranked.entries.empty()) {
+    fprintf(stderr, "no n-grams to query\n");
+    return 1;
+  }
+  const ZipfSampler query_sampler(ranked.entries.size(), 1.0);
+  std::vector<TermSequence> sentences;
+  for (const auto& doc : corpus.docs) {
+    for (const auto& sentence : doc.sentences) {
+      if (!sentence.empty()) {
+        sentences.push_back(sentence);
+        if (sentences.size() >= 64) {
+          break;
+        }
+      }
+    }
+    if (sentences.size() >= 64) {
+      break;
+    }
+  }
+
+  printf("bench_serving: %llu n-grams, %zu shard(s), %llu thread(s), "
+         "%llus, cache %llu KiB\n",
+         static_cast<unsigned long long>(ranked.size()),
+         (*service)->store()->num_shards(),
+         static_cast<unsigned long long>(num_threads),
+         static_cast<unsigned long long>(seconds),
+         static_cast<unsigned long long>(cache_kb));
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::vector<ThreadResult> results(num_threads);
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (uint64_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadResult& result = results[t];
+      result.latencies_ns.reserve(1 << 18);
+      Rng rng(1000 + t);
+      const serve::StatsService& svc = **service;
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto& entry =
+            ranked.entries[query_sampler.Sample(&rng) - 1];
+        const double mix = rng.NextDouble();
+        const auto begin = std::chrono::steady_clock::now();
+        bool ok = true;
+        if (mix < 0.80) {
+          ++result.count_ops;
+          ok = svc.Count(entry.first).ok();
+        } else if (mix < 0.95 || sentences.empty()) {
+          ++result.topk_ops;
+          TermSequence prefix = entry.first;
+          prefix.pop_back();  // Empty prefix = unigram completions: fine.
+          ok = svc.TopKCompletions(prefix, 10).ok();
+        } else {
+          ++result.ppl_ops;
+          const TermSequence& sentence =
+              sentences[rng.Uniform(sentences.size())];
+          ok = svc.SentencePerplexity(sentence).ok();
+        }
+        const auto end = std::chrono::steady_clock::now();
+        if (!ok) {
+          ++result.errors;
+        }
+        result.latencies_ns.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+                .count()));
+      }
+    });
+  }
+
+  const auto bench_begin = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_begin)
+          .count();
+
+  std::vector<uint64_t> all;
+  uint64_t count_ops = 0, topk_ops = 0, ppl_ops = 0, errors = 0;
+  for (const ThreadResult& result : results) {
+    all.insert(all.end(), result.latencies_ns.begin(),
+               result.latencies_ns.end());
+    count_ops += result.count_ops;
+    topk_ops += result.topk_ops;
+    ppl_ops += result.ppl_ops;
+    errors += result.errors;
+  }
+  std::sort(all.begin(), all.end());
+  const uint64_t total_ops = all.size();
+  const double qps = elapsed_s > 0 ? total_ops / elapsed_s : 0.0;
+  const double p50_us = Percentile(all, 0.50) / 1e3;
+  const double p99_us = Percentile(all, 0.99) / 1e3;
+  const double p999_us = Percentile(all, 0.999) / 1e3;
+  const kv::BlockCacheStats cache = (*service)->CacheStats();
+
+  printf("  %llu ops in %.2fs = %.0f QPS  p50 %.1fus  p99 %.1fus  "
+         "p99.9 %.1fus  (%llu count / %llu topk / %llu ppl, %llu errors)\n",
+         static_cast<unsigned long long>(total_ops), elapsed_s, qps, p50_us,
+         p99_us, p999_us, static_cast<unsigned long long>(count_ops),
+         static_cast<unsigned long long>(topk_ops),
+         static_cast<unsigned long long>(ppl_ops),
+         static_cast<unsigned long long>(errors));
+  printf("  cache: %llu hits / %llu misses / %llu evictions "
+         "(hit ratio %.3f)\n",
+         static_cast<unsigned long long>(cache.hits),
+         static_cast<unsigned long long>(cache.misses),
+         static_cast<unsigned long long>(cache.evictions),
+         cache.hit_ratio());
+
+  FILE* out = fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    perror("fopen");
+    return 1;
+  }
+  fprintf(out,
+          "{\n"
+          "  \"threads\": %llu,\n"
+          "  \"seconds\": %.2f,\n"
+          "  \"docs\": %llu,\n"
+          "  \"shards\": %zu,\n"
+          "  \"cache_kb\": %llu,\n"
+          "  \"ngrams\": %llu,\n"
+          "  \"total_ops\": %llu,\n"
+          "  \"qps\": %.1f,\n"
+          "  \"p50_us\": %.1f,\n"
+          "  \"p99_us\": %.1f,\n"
+          "  \"p999_us\": %.1f,\n"
+          "  \"count_ops\": %llu,\n"
+          "  \"topk_ops\": %llu,\n"
+          "  \"ppl_ops\": %llu,\n"
+          "  \"errors\": %llu,\n"
+          "  \"cache_hits\": %llu,\n"
+          "  \"cache_misses\": %llu,\n"
+          "  \"cache_evictions\": %llu,\n"
+          "  \"cache_hit_ratio\": %.4f\n"
+          "}\n",
+          static_cast<unsigned long long>(num_threads), elapsed_s,
+          static_cast<unsigned long long>(docs),
+          (*service)->store()->num_shards(),
+          static_cast<unsigned long long>(cache_kb),
+          static_cast<unsigned long long>(ranked.size()),
+          static_cast<unsigned long long>(total_ops), qps, p50_us, p99_us,
+          p999_us, static_cast<unsigned long long>(count_ops),
+          static_cast<unsigned long long>(topk_ops),
+          static_cast<unsigned long long>(ppl_ops),
+          static_cast<unsigned long long>(errors),
+          static_cast<unsigned long long>(cache.hits),
+          static_cast<unsigned long long>(cache.misses),
+          static_cast<unsigned long long>(cache.evictions),
+          cache.hit_ratio());
+  fclose(out);
+  printf("  wrote %s\n", out_path.c_str());
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return errors == 0 ? 0 : 1;
+}

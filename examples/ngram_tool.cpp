@@ -10,9 +10,11 @@
 //               [--no-splits] [--maximal|--closed] [--verbose]
 //   ngram_tool top <in.ngs> [k]
 //   ngram_tool info <in.ngc>
+//   ngram_tool build-serving <in.ngs> <out_dir> [--shards=N] [--block-kb=N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "core/stats_io.h"
 #include "corpus/synthetic.h"
 #include "mapreduce/io_env.h"
+#include "serve/serving_builder.h"
 #include "text/corpus_io.h"
 
 namespace {
@@ -40,6 +43,8 @@ int Usage() {
           "             [--no-splits] [--maximal|--closed] [--verbose]\n"
           "  ngram_tool top <in.ngs> [k]\n"
           "  ngram_tool info <in.ngc>\n"
+          "  ngram_tool build-serving <in.ngs> <out_dir> [--shards=N]\n"
+          "             [--block-kb=N]\n"
           "methods: naive, apriori-scan, apriori-index, suffix-sigma\n");
   return 2;
 }
@@ -272,6 +277,44 @@ int CmdInfo(const std::vector<std::string>& args) {
   return 0;
 }
 
+int CmdBuildServing(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return Usage();
+  }
+  const std::string in = args[0];
+  const std::string dir = args[1];
+  serve::BuildServingOptions options;
+  for (size_t i = 2; i < args.size(); ++i) {
+    std::string value;
+    if (ParseFlag(args[i], "shards", &value)) {
+      options.num_shards = static_cast<uint32_t>(atoi(value.c_str()));
+    } else if (ParseFlag(args[i], "block-kb", &value)) {
+      options.block_bytes = static_cast<size_t>(atoll(value.c_str())) * 1024;
+    } else {
+      return Usage();
+    }
+  }
+  NgramStatistics stats;
+  Status st = ReadStatsBinary(in, &stats);
+  if (!st.ok()) {
+    fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  st = serve::BuildServingShards(stats, dir, options);
+  if (!st.ok()) {
+    fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  printf("wrote %llu n-grams into %u shard(s) under %s\n",
+         static_cast<unsigned long long>(stats.size()),
+         static_cast<uint32_t>(
+             std::min<uint64_t>(options.num_shards, stats.size())),
+         dir.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -291,6 +334,9 @@ int main(int argc, char** argv) {
   }
   if (command == "info") {
     return CmdInfo(args);
+  }
+  if (command == "build-serving") {
+    return CmdBuildServing(args);
   }
   return Usage();
 }

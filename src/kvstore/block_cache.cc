@@ -2,14 +2,19 @@
 
 namespace ngram::kv {
 
+uint64_t AllocateCacheFileId() {
+  static std::atomic<uint64_t> source{1};
+  return source.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::shared_ptr<const std::string> BlockCache::Lookup(const BlockKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   // Move to front (most recently used).
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->block;
@@ -21,16 +26,20 @@ void BlockCache::Insert(const BlockKey& key,
     return;
   }
   std::lock_guard<std::mutex> lock(mu_);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    charged_bytes_ -= it->second->block->size();
+    charged_bytes_.fetch_sub(it->second->block->size(),
+                             std::memory_order_relaxed);
     it->second->block = std::move(block);
-    charged_bytes_ += it->second->block->size();
+    charged_bytes_.fetch_add(it->second->block->size(),
+                             std::memory_order_relaxed);
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
     lru_.push_front(Entry{key, std::move(block)});
     index_[key] = lru_.begin();
-    charged_bytes_ += lru_.front().block->size();
+    charged_bytes_.fetch_add(lru_.front().block->size(),
+                             std::memory_order_relaxed);
   }
   EvictIfNeeded();
 }
@@ -39,7 +48,7 @@ void BlockCache::EraseFile(uint64_t file_id) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.file_id == file_id) {
-      charged_bytes_ -= it->block->size();
+      charged_bytes_.fetch_sub(it->block->size(), std::memory_order_relaxed);
       index_.erase(it->key);
       it = lru_.erase(it);
     } else {
@@ -49,11 +58,13 @@ void BlockCache::EraseFile(uint64_t file_id) {
 }
 
 void BlockCache::EvictIfNeeded() {
-  while (charged_bytes_ > capacity_bytes_ && !lru_.empty()) {
+  while (charged_bytes_.load(std::memory_order_relaxed) > capacity_bytes_ &&
+         !lru_.empty()) {
     const Entry& victim = lru_.back();
-    charged_bytes_ -= victim.block->size();
+    charged_bytes_.fetch_sub(victim.block->size(), std::memory_order_relaxed);
     index_.erase(victim.key);
     lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

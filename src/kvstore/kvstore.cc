@@ -19,10 +19,6 @@ namespace {
 constexpr uint8_t kRecordPut = 0;
 constexpr uint8_t kRecordDelete = 1;
 
-// Global id source so BlockCache keys never collide across stores sharing a
-// cache.
-std::atomic<uint64_t> g_file_id_source{1};
-
 std::string SegmentFileName(const std::string& dir, uint32_t id) {
   char buf[32];
   snprintf(buf, sizeof(buf), "/seg-%06u.log", id);
@@ -85,8 +81,7 @@ Status KVStore::OpenSegments() {
     unsigned id = 0;
     sscanf(path.filename().string().c_str(), "seg-%06u.log", &id);
     seg->id = static_cast<uint32_t>(id);
-    seg->cache_file_id =
-        g_file_id_source.fetch_add(1, std::memory_order_relaxed);
+    seg->cache_file_id = AllocateCacheFileId();
     seg->fd = ::open(seg->path.c_str(), O_RDWR | O_APPEND, 0644);
     if (seg->fd < 0) {
       return Status::IOError("open " + seg->path + ": " + strerror(errno));
@@ -155,8 +150,7 @@ Status KVStore::RollSegmentIfNeeded() {
   }
   auto seg = std::make_unique<Segment>();
   seg->id = segments_.empty() ? 0 : segments_.back()->id + 1;
-  seg->cache_file_id =
-      g_file_id_source.fetch_add(1, std::memory_order_relaxed);
+  seg->cache_file_id = AllocateCacheFileId();
   seg->path = SegmentFileName(dir_, seg->id);
   seg->fd = ::open(seg->path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   if (seg->fd < 0) {

@@ -5,6 +5,35 @@
 
 namespace ngram::lm {
 
+uint64_t StatisticsSource::FrequencyOf(const TermSequence& seq,
+                                       Status* status) const {
+  (void)status;  // In-memory lookups cannot fail.
+  return stats_->FrequencyOf(seq);
+}
+
+Status StatisticsSource::ForEachContinuation(
+    const TermSequence& prefix,
+    const std::function<void(TermId, uint64_t)>& fn) const {
+  // Entries extending `prefix` are contiguous in canonical order; locate
+  // the range by binary search and keep only one-term extensions.
+  auto it = std::lower_bound(
+      stats_->entries.begin(), stats_->entries.end(), prefix,
+      [](const NgramStatistics::Entry& e, const TermSequence& p) {
+        return e.first < p;
+      });
+  for (; it != stats_->entries.end(); ++it) {
+    const TermSequence& seq = it->first;
+    if (seq.size() < prefix.size() ||
+        !std::equal(prefix.begin(), prefix.end(), seq.begin())) {
+      break;
+    }
+    if (seq.size() == prefix.size() + 1) {
+      fn(seq.back(), it->second);
+    }
+  }
+  return Status::OK();
+}
+
 Result<StupidBackoffModel> StupidBackoffModel::Build(
     NgramStatistics stats, LanguageModelOptions options,
     uint64_t total_unigram_count) {
@@ -27,11 +56,32 @@ Result<StupidBackoffModel> StupidBackoffModel::Build(
     return Status::InvalidArgument(
         "statistics contain no unigrams and no total was provided");
   }
-  return StupidBackoffModel(std::move(stats), options, total);
+  auto owned = std::make_shared<const NgramStatistics>(std::move(stats));
+  return StupidBackoffModel(std::make_shared<StatisticsSource>(owned),
+                            options, total);
 }
 
-double StupidBackoffModel::Score(const TermSequence& context,
-                                 TermId word) const {
+Result<StupidBackoffModel> StupidBackoffModel::BuildFromSource(
+    std::shared_ptr<const FrequencySource> source,
+    LanguageModelOptions options, uint64_t total_unigram_count) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("source must not be null");
+  }
+  if (options.order == 0) {
+    return Status::InvalidArgument("order must be >= 1");
+  }
+  if (options.backoff_alpha <= 0.0 || options.backoff_alpha > 1.0) {
+    return Status::InvalidArgument("backoff_alpha must be in (0, 1]");
+  }
+  if (total_unigram_count == 0) {
+    return Status::InvalidArgument(
+        "total_unigram_count is required for an external source");
+  }
+  return StupidBackoffModel(std::move(source), options, total_unigram_count);
+}
+
+double StupidBackoffModel::Score(const TermSequence& context, TermId word,
+                                 Status* status) const {
   // Clip the context to order - 1 terms.
   const size_t max_context = options_.order - 1;
   const size_t begin =
@@ -42,11 +92,17 @@ double StupidBackoffModel::Score(const TermSequence& context,
   for (size_t from = begin; from <= context.size(); ++from) {
     gram.assign(context.begin() + from, context.end());
     gram.push_back(word);
-    const uint64_t numerator = stats_.FrequencyOf(gram);
+    const uint64_t numerator = source_->FrequencyOf(gram, status);
+    if (status != nullptr && !status->ok()) {
+      return discount * options_.unseen_score;
+    }
     if (numerator > 0) {
       gram.pop_back();
       const uint64_t denominator =
-          gram.empty() ? total_unigrams_ : stats_.FrequencyOf(gram);
+          gram.empty() ? total_unigrams_ : source_->FrequencyOf(gram, status);
+      if (status != nullptr && !status->ok()) {
+        return discount * options_.unseen_score;
+      }
       if (denominator >= numerator) {
         return discount * static_cast<double>(numerator) /
                static_cast<double>(denominator);
@@ -57,25 +113,32 @@ double StupidBackoffModel::Score(const TermSequence& context,
   return discount * options_.unseen_score;
 }
 
-double StupidBackoffModel::SentenceLogScore(
-    const TermSequence& sentence) const {
+double StupidBackoffModel::SentenceLogScore(const TermSequence& sentence,
+                                            Status* status) const {
   double log_score = 0.0;
   TermSequence context;
   for (size_t i = 0; i < sentence.size(); ++i) {
     const size_t begin = i > options_.order - 1 ? i - (options_.order - 1)
                                                 : 0;
     context.assign(sentence.begin() + begin, sentence.begin() + i);
-    log_score += std::log10(Score(context, sentence[i]));
+    log_score += std::log10(Score(context, sentence[i], status));
+    if (status != nullptr && !status->ok()) {
+      return log_score;
+    }
   }
   return log_score;
 }
 
-double StupidBackoffModel::Perplexity(const Corpus& corpus) const {
+double StupidBackoffModel::Perplexity(const Corpus& corpus,
+                                      Status* status) const {
   double log_sum = 0.0;
   uint64_t tokens = 0;
   for (const auto& doc : corpus.docs) {
     for (const auto& sentence : doc.sentences) {
-      log_sum += SentenceLogScore(sentence);
+      log_sum += SentenceLogScore(sentence, status);
+      if (status != nullptr && !status->ok()) {
+        return 0.0;
+      }
       tokens += sentence.size();
     }
   }
@@ -86,9 +149,9 @@ double StupidBackoffModel::Perplexity(const Corpus& corpus) const {
 }
 
 std::vector<std::pair<TermId, double>> StupidBackoffModel::TopContinuations(
-    const TermSequence& context, size_t k) const {
-  // Scan entries extending the clipped context at each backoff level;
-  // score every candidate continuation with the full backoff chain.
+    const TermSequence& context, size_t k, Status* status) const {
+  // Collect candidate continuations at the highest backoff level that has
+  // any; score every candidate with the full backoff chain.
   const size_t max_context = options_.order - 1;
   const size_t begin =
       context.size() > max_context ? context.size() - max_context : 0;
@@ -97,22 +160,13 @@ std::vector<std::pair<TermId, double>> StupidBackoffModel::TopContinuations(
   TermSequence prefix;
   for (size_t from = begin; from <= context.size(); ++from) {
     prefix.assign(context.begin() + from, context.end());
-    // Entries with this exact prefix and one extra term are contiguous in
-    // canonical order; locate the range by binary search.
-    auto it = std::lower_bound(
-        stats_.entries.begin(), stats_.entries.end(), prefix,
-        [](const NgramStatistics::Entry& e, const TermSequence& p) {
-          return e.first < p;
-        });
-    for (; it != stats_.entries.end(); ++it) {
-      const TermSequence& seq = it->first;
-      if (seq.size() < prefix.size() ||
-          !std::equal(prefix.begin(), prefix.end(), seq.begin())) {
-        break;
+    Status st = source_->ForEachContinuation(
+        prefix, [&](TermId term, uint64_t) { candidates.push_back(term); });
+    if (!st.ok()) {
+      if (status != nullptr) {
+        *status = std::move(st);
       }
-      if (seq.size() == prefix.size() + 1) {
-        candidates.push_back(seq.back());
-      }
+      return {};
     }
     if (!candidates.empty()) {
       break;  // Highest available order wins, as in Score().
@@ -125,7 +179,10 @@ std::vector<std::pair<TermId, double>> StupidBackoffModel::TopContinuations(
   std::vector<std::pair<TermId, double>> scored;
   scored.reserve(candidates.size());
   for (TermId t : candidates) {
-    scored.emplace_back(t, Score(context, t));
+    scored.emplace_back(t, Score(context, t, status));
+    if (status != nullptr && !status->ok()) {
+      return {};
+    }
   }
   std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) {

@@ -13,15 +13,62 @@
 // Scores are not normalized probabilities (that is the point of stupid
 // backoff — no discounting mass bookkeeping), but they rank continuations
 // and yield usable perplexity-style comparisons.
+//
+// Frequencies are consulted through the FrequencySource interface: the
+// classic Build() wraps the statistics table in memory, while the serving
+// layer (serve/stats_service.h) plugs in a source backed by mmap'd
+// sharded segments, so interactive queries never materialize the table.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 #include "core/stats.h"
 #include "text/corpus.h"
 #include "util/result.h"
 
 namespace ngram::lm {
+
+/// \brief Where the model's n-gram frequencies come from.
+///
+/// Implementations must be safe for concurrent const use (the serving
+/// layer scores queries from many threads over one source).
+class FrequencySource {
+ public:
+  virtual ~FrequencySource() = default;
+
+  /// Frequency of `seq`; 0 when absent. A source that can fail mid-read
+  /// (disk-backed shards) reports through `status` — when non-null and an
+  /// error occurs, `*status` is set and 0 is returned; in-memory sources
+  /// never touch it. Callers that must not mistake an error for "unseen"
+  /// pass a status and check it.
+  virtual uint64_t FrequencyOf(const TermSequence& seq,
+                               Status* status) const = 0;
+
+  /// Invokes `fn(term, frequency)` for every stored n-gram that equals
+  /// `prefix` extended by exactly one term, in unspecified order.
+  virtual Status ForEachContinuation(
+      const TermSequence& prefix,
+      const std::function<void(TermId, uint64_t)>& fn) const = 0;
+};
+
+/// FrequencySource over a canonically sorted in-memory statistics table.
+class StatisticsSource final : public FrequencySource {
+ public:
+  /// `stats` must be canonically sorted; ownership is shared.
+  explicit StatisticsSource(std::shared_ptr<const NgramStatistics> stats)
+      : stats_(std::move(stats)) {}
+
+  uint64_t FrequencyOf(const TermSequence& seq,
+                       Status* status) const override;
+  Status ForEachContinuation(
+      const TermSequence& prefix,
+      const std::function<void(TermId, uint64_t)>& fn) const override;
+
+ private:
+  std::shared_ptr<const NgramStatistics> stats_;
+};
 
 struct LanguageModelOptions {
   /// Maximum n-gram order consulted (the sigma the statistics were
@@ -44,32 +91,46 @@ class StupidBackoffModel {
                                           LanguageModelOptions options,
                                           uint64_t total_unigram_count = 0);
 
+  /// Builds a model over an externally owned frequency source (a
+  /// ShardedStatsStore in the serving layer). `total_unigram_count` must
+  /// be the corpus size N — a source cannot enumerate its unigrams, so it
+  /// cannot be derived here.
+  static Result<StupidBackoffModel> BuildFromSource(
+      std::shared_ptr<const FrequencySource> source,
+      LanguageModelOptions options, uint64_t total_unigram_count);
+
   /// Backoff score of `word` following `context` (last `order - 1` terms
-  /// are used). Always positive.
-  double Score(const TermSequence& context, TermId word) const;
+  /// are used). Always positive. A disk-backed source's read error is
+  /// reported through `status` (when non-null); the returned score is
+  /// then meaningless and must not be served as an answer.
+  double Score(const TermSequence& context, TermId word,
+               Status* status = nullptr) const;
 
   /// Sum of log10 Score over the sentence under a sliding window.
-  double SentenceLogScore(const TermSequence& sentence) const;
+  double SentenceLogScore(const TermSequence& sentence,
+                          Status* status = nullptr) const;
 
   /// exp10(-avg log10 score per token) over every sentence of the corpus —
   /// a perplexity-style figure (lower = better fit).
-  double Perplexity(const Corpus& corpus) const;
+  double Perplexity(const Corpus& corpus, Status* status = nullptr) const;
 
   /// Most probable continuations of `context`, best first, at most `k`.
+  /// Ties rank by ascending term id, so results are deterministic.
   std::vector<std::pair<TermId, double>> TopContinuations(
-      const TermSequence& context, size_t k) const;
+      const TermSequence& context, size_t k,
+      Status* status = nullptr) const;
 
   uint64_t total_unigrams() const { return total_unigrams_; }
   const LanguageModelOptions& options() const { return options_; }
 
  private:
-  StupidBackoffModel(NgramStatistics stats, LanguageModelOptions options,
-                     uint64_t total_unigrams)
-      : stats_(std::move(stats)),
+  StupidBackoffModel(std::shared_ptr<const FrequencySource> source,
+                     LanguageModelOptions options, uint64_t total_unigrams)
+      : source_(std::move(source)),
         options_(options),
         total_unigrams_(total_unigrams) {}
 
-  NgramStatistics stats_;  // Canonically sorted.
+  std::shared_ptr<const FrequencySource> source_;
   LanguageModelOptions options_;
   uint64_t total_unigrams_;
 };

@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 #include <vector>
@@ -139,7 +141,55 @@ class StdioEnv final : public IoEnv {
   }
 };
 
+// ----------------------------------------------------------- mmap ------
+
+/// mmap(2)-backed MmapFile. Unmapped on destruction.
+class PosixMmapFile final : public MmapFile {
+ public:
+  PosixMmapFile(void* base, size_t size) : base_(base), size_(size) {}
+  ~PosixMmapFile() override {
+    if (base_ != nullptr) {
+      ::munmap(base_, size_);
+    }
+  }
+
+  Slice data() const override {
+    return Slice(static_cast<const char*>(base_), size_);
+  }
+
+ private:
+  void* base_;
+  const size_t size_;
+};
+
 }  // namespace
+
+Status IoEnv::NewMmapFile(const std::string& path,
+                          std::unique_ptr<MmapFile>* file) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(Errno("open", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IOError(Errno("stat", path));
+    ::close(fd);
+    return status;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* base = nullptr;
+  if (size > 0) {
+    base = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (base == MAP_FAILED) {
+      const Status status = Status::IOError(Errno("mmap", path));
+      ::close(fd);
+      return status;
+    }
+  }
+  ::close(fd);  // The mapping keeps the file alive.
+  *file = std::make_unique<PosixMmapFile>(base, size);
+  return Status::OK();
+}
 
 IoEnv* IoEnv::Default() {
   static StdioEnv* env = new StdioEnv();  // Never destroyed: needed in dtors.

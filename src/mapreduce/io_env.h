@@ -27,6 +27,7 @@
 #include <string>
 
 #include "util/macros.h"
+#include "util/slice.h"
 #include "util/status.h"
 
 namespace ngram::mr {
@@ -62,6 +63,20 @@ class WritableFile {
   virtual Status Close() = 0;
 };
 
+/// \brief A whole file mapped read-only into memory.
+///
+/// The serving layer's segment readers hold one of these per shard: block
+/// decoding then works over stable in-memory byte ranges with no per-query
+/// read syscalls, and the page cache (not a user-space buffer) backs the
+/// cold set. data() stays valid for the object's lifetime.
+class MmapFile {
+ public:
+  virtual ~MmapFile() = default;
+
+  /// The file's entire contents. Empty files map to an empty slice.
+  virtual Slice data() const = 0;
+};
+
 /// \brief The I/O environment: how the MapReduce runtime touches files.
 ///
 /// All methods are thread-safe (map/reduce tasks on different slots open,
@@ -94,6 +109,13 @@ class IoEnv {
 
   /// Size of `path` in bytes.
   virtual Status FileSize(const std::string& path, uint64_t* size) = 0;
+
+  /// Maps `path` read-only into memory. The base implementation uses
+  /// mmap(2) directly; environments that decorate the byte streams
+  /// (FaultEnv) inherit it unchanged — serving reads verify per-block
+  /// CRCs anyway, so corruption injected at *write* time still surfaces.
+  virtual Status NewMmapFile(const std::string& path,
+                             std::unique_ptr<MmapFile>* file);
 };
 
 /// Resolves the configured env: `env` itself, or the default passthrough.

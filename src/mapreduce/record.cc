@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "mapreduce/runfile.h"
 #include "util/crc32.h"
 
 namespace ngram::mr {
@@ -213,59 +214,18 @@ bool FileRecordReader::LoadNextBlock() {
     return corrupt("block CRC mismatch");
   }
 
-  const uint32_t num_restarts =
-      DecodeFixed32(block_scratch_.data() + block_scratch_.size() - 4);
-  // Widen before the +1: num_restarts == 0xffffffff must not wrap to a
-  // zero-byte restart array and slip past the bound below.
-  const uint64_t restart_bytes =
-      4ull * (static_cast<uint64_t>(num_restarts) + 1);
-  if (num_restarts == 0 || restart_bytes > payload_len) {
-    return corrupt("malformed restart array");
-  }
-  const size_t entries_end =
-      block_scratch_.size() - static_cast<size_t>(restart_bytes);
-
   // Decode the whole block into the scratch buffer the previous block did
   // not use: records of the previous block keep their addresses until the
   // block after this one is decoded, which upholds the lookback contract.
+  // (The shared decoder also rejects entry-less blocks, which would make
+  // this load loop decode twice in a row and recycle the scratch buffer
+  // still backing the caller's previous record.)
   std::string& decoded = decoded_[1 - active_decoded_];
-  decoded.clear();
-  block_last_key_.clear();
-  Slice in(block_scratch_.data(), entries_end);
-  while (!in.empty()) {
-    // Entry header: tag byte (shared/non_shared nibbles, 15 = varint
-    // follows) plus the value length varint.
-    const uint8_t tag = static_cast<uint8_t>(in[0]);
-    in.RemovePrefix(1);
-    uint64_t shared = tag >> 4;
-    uint64_t non_shared = tag & 0x0f;
-    uint64_t vlen = 0;
-    if ((shared == 15 && !GetVarint64(&in, &shared)) ||
-        (non_shared == 15 && !GetVarint64(&in, &non_shared)) ||
-        !GetVarint64(&in, &vlen)) {
-      return corrupt("malformed entry header");
-    }
-    // Checked term by term: summing corrupt near-2^64 lengths would wrap
-    // past the bound and reach the append() below as a giant count.
-    if (shared > block_last_key_.size() || non_shared > in.size() ||
-        vlen > in.size() - non_shared) {
-      return corrupt("entry references out-of-range bytes");
-    }
-    block_last_key_.resize(static_cast<size_t>(shared));
-    block_last_key_.append(in.data(), static_cast<size_t>(non_shared));
-    in.RemovePrefix(static_cast<size_t>(non_shared));
-    PutVarint64(&decoded, block_last_key_.size());
-    PutVarint64(&decoded, vlen);
-    decoded.append(block_last_key_);
-    decoded.append(in.data(), static_cast<size_t>(vlen));
-    in.RemovePrefix(static_cast<size_t>(vlen));
-  }
-  if (decoded.empty()) {
-    // The writer never emits an entry-less block; accepting one (a
-    // CRC-valid restart-array-only payload) would make the load loop
-    // decode twice in a row and recycle the scratch buffer still backing
-    // the caller's previous record — a lookback-contract violation.
-    return corrupt("block with no entries");
+  Status st =
+      DecodeBlockPayload(Slice(block_scratch_), block_offset, path_, &decoded);
+  if (!st.ok()) {
+    status_ = std::move(st);
+    return false;
   }
   active_decoded_ = 1 - active_decoded_;
   decoded_cur_ = Slice(decoded);

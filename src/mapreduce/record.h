@@ -158,7 +158,6 @@ class FileRecordReader final : public RecordReader {
   std::string decoded_[2];       // Re-framed records; alternate per block.
   int active_decoded_ = 0;
   Slice decoded_cur_;            // Unread framed bytes of the active buffer.
-  std::string block_last_key_;   // Delta-chain state while decoding.
 };
 
 /// Destination for framed records (used by combiners and run writers).

@@ -138,6 +138,100 @@ class BlockRunWriter final : public RunWriter {
 
 }  // namespace
 
+Status DecodeBlockPayload(Slice payload, uint64_t block_offset,
+                          const std::string& path, std::string* framed) {
+  auto corrupt = [&](const std::string& what) {
+    return Status::Corruption(what + " in block at offset " +
+                              std::to_string(block_offset) + " of " + path);
+  };
+  framed->clear();
+  if (payload.size() < 4) {
+    return corrupt("malformed restart array");
+  }
+  const uint32_t num_restarts =
+      DecodeFixed32(payload.data() + payload.size() - 4);
+  // Widen before the +1: num_restarts == 0xffffffff must not wrap to a
+  // zero-byte restart array and slip past the bound below.
+  const uint64_t restart_bytes =
+      4ull * (static_cast<uint64_t>(num_restarts) + 1);
+  if (num_restarts == 0 || restart_bytes > payload.size()) {
+    return corrupt("malformed restart array");
+  }
+  const size_t entries_end = payload.size() - static_cast<size_t>(restart_bytes);
+
+  std::string last_key;
+  Slice in(payload.data(), entries_end);
+  while (!in.empty()) {
+    // Entry header: tag byte (shared/non_shared nibbles, 15 = varint
+    // follows) plus the value length varint.
+    const uint8_t tag = static_cast<uint8_t>(in[0]);
+    in.RemovePrefix(1);
+    uint64_t shared = tag >> 4;
+    uint64_t non_shared = tag & 0x0f;
+    uint64_t vlen = 0;
+    if ((shared == 15 && !GetVarint64(&in, &shared)) ||
+        (non_shared == 15 && !GetVarint64(&in, &non_shared)) ||
+        !GetVarint64(&in, &vlen)) {
+      return corrupt("malformed entry header");
+    }
+    // Checked term by term: summing corrupt near-2^64 lengths would wrap
+    // past the bound and reach the append() below as a giant count.
+    if (shared > last_key.size() || non_shared > in.size() ||
+        vlen > in.size() - non_shared) {
+      return corrupt("entry references out-of-range bytes");
+    }
+    last_key.resize(static_cast<size_t>(shared));
+    last_key.append(in.data(), static_cast<size_t>(non_shared));
+    in.RemovePrefix(static_cast<size_t>(non_shared));
+    PutVarint64(framed, last_key.size());
+    PutVarint64(framed, vlen);
+    framed->append(last_key);
+    framed->append(in.data(), static_cast<size_t>(vlen));
+    in.RemovePrefix(static_cast<size_t>(vlen));
+  }
+  if (framed->empty()) {
+    // The writer never emits an entry-less block; accepting one (a
+    // CRC-valid restart-array-only payload) would break readers that use
+    // "decoded something" as their progress guarantee.
+    return corrupt("block with no entries");
+  }
+  return Status::OK();
+}
+
+Status DecodeBlockAt(Slice file, uint64_t offset, const std::string& path,
+                     std::string* framed, uint64_t* next_offset) {
+  auto corrupt = [&](const std::string& what) {
+    return Status::Corruption(what + " in block at offset " +
+                              std::to_string(offset) + " of " + path);
+  };
+  if (offset >= file.size()) {
+    return corrupt("block offset past end of file");
+  }
+  Slice in(file.data() + offset, file.size() - offset);
+  const char* header_start = in.data();
+  uint64_t payload_len = 0;
+  if (!GetVarint64(&in, &payload_len)) {
+    return corrupt("overlong block length varint");
+  }
+  const uint64_t header_bytes = static_cast<uint64_t>(in.data() - header_start);
+  // Compare against the remaining bytes without forming payload_len + 4,
+  // which a corrupt near-2^64 varint would wrap past the check.
+  if (payload_len < 10 || in.size() < 4 || payload_len > in.size() - 4) {
+    return corrupt("implausible block length " + std::to_string(payload_len));
+  }
+  const Slice payload(in.data(), static_cast<size_t>(payload_len));
+  const uint32_t expected = DecodeFixed32(in.data() + payload_len);
+  if (Crc32(0, payload.data(), payload.size()) != expected) {
+    return corrupt("block CRC mismatch");
+  }
+  Status st = DecodeBlockPayload(payload, offset, path, framed);
+  if (!st.ok()) {
+    return st;
+  }
+  *next_offset = offset + header_bytes + payload_len + 4;
+  return Status::OK();
+}
+
 std::unique_ptr<RunWriter> NewRunWriter(std::string path,
                                         const RunWriterOptions& options) {
   if (!options.compress) {

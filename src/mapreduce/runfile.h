@@ -130,6 +130,25 @@ struct RunWriterOptions {
 std::unique_ptr<RunWriter> NewRunWriter(std::string path,
                                         const RunWriterOptions& options);
 
+/// Decodes one block payload (front-coded entries + restart array; CRC
+/// already verified by the caller) into back-to-back raw
+/// `[klen][vlen][key][value]` frames appended to `*framed` (cleared
+/// first). `block_offset` and `path` only shape the Corruption messages.
+/// Shared by FileRecordReader's streaming block loader and the serving
+/// layer's mmap-backed random-access block reads, so both paths decode —
+/// and reject corruption in — the format identically.
+Status DecodeBlockPayload(Slice payload, uint64_t block_offset,
+                          const std::string& path, std::string* framed);
+
+/// Parses, CRC-verifies, and decodes the whole block starting at byte
+/// `offset` of the in-memory file image `file` (an mmap-backed serving
+/// segment). On success `*framed` holds the block's records as raw frames
+/// (iterate with MemoryRecordReader) and `*next_offset` is the file
+/// offset one past the block's trailer. A flipped bit anywhere in the
+/// block yields Corruption naming `path` and the block offset.
+Status DecodeBlockAt(Slice file, uint64_t offset, const std::string& path,
+                     std::string* framed, uint64_t* next_offset);
+
 /// RecordSink adapter over any RunWriter — the glue every writer-backed
 /// emit path (spills, merge passes) uses to stream records.
 class RunWriterSink final : public RecordSink {

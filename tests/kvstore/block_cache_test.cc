@@ -68,5 +68,35 @@ TEST(BlockCacheTest, DistinctFilesDoNotCollide) {
   EXPECT_EQ(*cache.Lookup({2, 7}), "file2");
 }
 
+TEST(BlockCacheTest, SnapshotReportsAllCounters) {
+  BlockCache cache(10);
+  cache.Insert({1, 0}, Block("aaaa"));
+  cache.Insert({1, 1}, Block("bbbb"));
+  EXPECT_NE(cache.Lookup({1, 0}), nullptr);    // Hit; 1 becomes LRU.
+  EXPECT_EQ(cache.Lookup({9, 9}), nullptr);    // Miss.
+  cache.Insert({1, 2}, Block("cccc"));         // Evicts {1, 1}.
+
+  const BlockCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.charged_bytes, 8u);
+  EXPECT_EQ(stats.capacity_bytes, 10u);
+  EXPECT_DOUBLE_EQ(stats.hit_ratio(), 0.5);
+}
+
+TEST(BlockCacheTest, HitRatioIsZeroBeforeAnyLookup) {
+  BlockCache cache(16);
+  EXPECT_DOUBLE_EQ(cache.Snapshot().hit_ratio(), 0.0);
+}
+
+TEST(BlockCacheTest, AllocateCacheFileIdIsUnique) {
+  const uint64_t a = AllocateCacheFileId();
+  const uint64_t b = AllocateCacheFileId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+}
+
 }  // namespace
 }  // namespace ngram::kv
