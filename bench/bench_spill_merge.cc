@@ -25,14 +25,22 @@ namespace {
 
 void RegisterSpillSweep(const Dataset& dataset) {
   const Method methods[] = {Method::kNaive, Method::kSuffixSigma};
+  // (merge_factor, shuffle_slots): the unbounded baseline, the bounded
+  // merge, and the bounded merge with the early shuffle overlapping its
+  // reduce-side passes with map execution (ov=1). The overlap row's
+  // barrier_ms is the post-barrier merge latency left over — the eager
+  // passes (early_passes) are what shrank it vs the ov=0 row.
+  const std::pair<uint32_t, uint32_t> configs[] = {{0, 0}, {16, 0}, {16, 2}};
   for (Method method : methods) {
-    for (uint32_t merge_factor : {0u, 16u}) {
+    for (const auto& [merge_factor, shuffle_slots] : configs) {
       const std::string name =
           std::string("SpillMerge/") + dataset.name + "/" +
-          MethodName(method) + "/mf=" + std::to_string(merge_factor);
+          MethodName(method) + "/mf=" + std::to_string(merge_factor) +
+          "/ov=" + std::to_string(shuffle_slots > 0 ? 1 : 0);
       ::benchmark::RegisterBenchmark(
           name.c_str(),
-          [&dataset, method, merge_factor](::benchmark::State& state) {
+          [&dataset, method, merge_factor = merge_factor,
+           shuffle_slots = shuffle_slots](::benchmark::State& state) {
             NgramJobOptions options =
                 BenchOptions(method, dataset.default_tau, 5);
             // ~128 KiB of sort buffer against multi-MiB map output:
@@ -40,6 +48,7 @@ void RegisterSpillSweep(const Dataset& dataset) {
             // hundred runs at this setting).
             options.sort_buffer_bytes = 128 << 10;
             options.merge_factor = merge_factor;
+            options.shuffle_slots = shuffle_slots;
             const CorpusContext& ctx = dataset.context();
             for (auto _ : state) {
               auto run = ComputeNgramStatistics(ctx, options);
@@ -57,6 +66,10 @@ void RegisterSpillSweep(const Dataset& dataset) {
                   static_cast<double>(run->metrics.TotalCounter(
                       mr::kIntermediateMergeBytes)) /
                   (1024.0 * 1024.0);
+              state.counters["early_passes"] = static_cast<double>(
+                  run->metrics.TotalCounter(mr::kEarlyMergePasses));
+              state.counters["barrier_ms"] = static_cast<double>(
+                  run->metrics.TotalCounter(mr::kBarrierWaitMs));
               state.counters["reduce_ms"] =
                   run->metrics.total_reduce_phase_ms();
               state.counters["map_ms"] = run->metrics.total_map_phase_ms();

@@ -4,7 +4,7 @@
 //   ngram_tool generate (nyt|cw) <docs> <out.ngc> [seed]
 //   ngram_tool stats <in.ngc> <out.ngs> --method=suffix-sigma --tau=10
 //               [--sigma=5] [--mode=cf|df] [--reducers=8] [--slots=4]
-//               [--sort-buffer-kb=N] [--merge-factor=N]
+//               [--sort-buffer-kb=N] [--merge-factor=N] [--shuffle-slots=N]
 //               [--compress|--no-compress] [--checksum]
 //               [--max-task-attempts=N] [--chaos-seed=N]
 //               [--no-splits] [--maximal|--closed] [--verbose]
@@ -38,6 +38,7 @@ int Usage() {
           "  ngram_tool stats <in.ngc> <out.ngs> [--method=M] [--tau=N]\n"
           "             [--sigma=N] [--mode=cf|df] [--reducers=N]\n"
           "             [--slots=N] [--sort-buffer-kb=N] [--merge-factor=N]\n"
+          "             [--shuffle-slots=N]\n"
           "             [--compress|--no-compress] [--checksum]\n"
           "             [--max-task-attempts=N] [--chaos-seed=N]\n"
           "             [--no-splits] [--maximal|--closed] [--verbose]\n"
@@ -130,6 +131,8 @@ int CmdStats(const std::vector<std::string>& args) {
           static_cast<size_t>(atoll(value.c_str())) * 1024;
     } else if (ParseFlag(args[i], "merge-factor", &value)) {
       options.merge_factor = static_cast<uint32_t>(atoi(value.c_str()));
+    } else if (ParseFlag(args[i], "shuffle-slots", &value)) {
+      options.shuffle_slots = static_cast<uint32_t>(atoi(value.c_str()));
     } else if (args[i] == "--compress") {
       options.compress_runs = true;  // The default; kept for symmetry.
     } else if (args[i] == "--no-compress") {
@@ -213,15 +216,18 @@ int CmdStats(const std::vector<std::string>& args) {
         mr::kMergePasses,         mr::kIntermediateMergeBytes,
         mr::kMapMergePasses,      mr::kMapIntermediateMergeBytes,
         mr::kReduceMergePasses,   mr::kReduceIntermediateMergeBytes,
-        mr::kRunBytesRaw,         mr::kRunBytesWritten,
-        mr::kCombineInputRecords, mr::kCombineOutputRecords,
-        mr::kReduceInputRecords,  mr::kTaskRetries,
-        mr::kMapReexecutions,     mr::kCorruptRunsRecovered,
+        mr::kEarlyMergePasses,    mr::kEarlyMergeBytes,
+        mr::kBarrierWaitMs,       mr::kRunBytesRaw,
+        mr::kRunBytesWritten,     mr::kCombineInputRecords,
+        mr::kCombineOutputRecords, mr::kReduceInputRecords,
+        mr::kTaskRetries,         mr::kMapReexecutions,
+        mr::kCorruptRunsRecovered,
     };
-    printf("  shuffle: sort-buffer=%llu KiB merge-factor=%u compress=%s "
-           "checksum=%s\n",
+    printf("  shuffle: sort-buffer=%llu KiB merge-factor=%u "
+           "shuffle-slots=%u compress=%s checksum=%s\n",
            static_cast<unsigned long long>(options.sort_buffer_bytes / 1024),
-           options.merge_factor, options.compress_runs ? "on" : "off",
+           options.merge_factor, options.shuffle_slots,
+           options.compress_runs ? "on" : "off",
            options.checksum_spills ? "on" : "off");
     for (const char* name : counter_names) {
       printf("  %-31s %llu\n", name,

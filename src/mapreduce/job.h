@@ -61,6 +61,7 @@
 #include "mapreduce/dataset.h"
 #include "mapreduce/merge.h"
 #include "mapreduce/metrics.h"
+#include "mapreduce/shuffle_service.h"
 #include "mapreduce/sort_buffer.h"
 #include "util/logging.h"
 #include "util/result.h"
@@ -336,32 +337,24 @@ Result<JobMetrics> RunJob(
       input.SplitByBytes(num_map_tasks);
   IoEnv* const io_env = ResolveEnv(config.io_env);
 
-  // Committed map output, with the bookkeeping corruption recovery needs:
-  // each task's run vector is a shared_ptr *generation*. A reduce attempt
-  // snapshots the shared_ptrs it plans over, so re-executing a map task
-  // (which installs a fresh generation) never frees run objects a stale
-  // attempt is still reading; replaced generations are retired — their
-  // objects stay alive and their files on disk until job end, when the
-  // cleanup guard removes everything.
-  struct MapOutputs {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::vector<std::shared_ptr<std::vector<SpillRun>>> runs;
-    std::vector<uint32_t> generation;   // Bumped per re-execution.
-    std::vector<uint32_t> executions;   // Completed executions of the task.
-    std::vector<uint8_t> regenerating;  // A recovery is in flight.
-    std::vector<std::shared_ptr<std::vector<SpillRun>>> retired;
-  } map_outputs;
-  map_outputs.runs.resize(num_map_tasks);
-  map_outputs.generation.assign(num_map_tasks, 0);
-  map_outputs.executions.assign(num_map_tasks, 0);
-  map_outputs.regenerating.assign(num_map_tasks, 0);
+  // Committed map output — generation-tracked so corruption recovery and
+  // the early shuffle service can both plan over stable snapshots (see
+  // MapOutputRegistry in shuffle_service.h).
+  MapOutputRegistry map_outputs;
+  map_outputs.Resize(num_map_tasks);
+
+  // Each checksummed run file is CRC-verified once, by whichever reduce
+  // task or eager merge worker opens it first (a no-op registry unless
+  // checksum_spills). Keyed by path, so a regenerated run — fresh
+  // attempt-scoped name — gets a fresh verification instead of
+  // inheriting the corrupt file's verdict.
+  RunCrcVerifier crc_verifier;
 
   // Shuffle runs are job-private: whatever run files are still on disk
   // when the driver leaves — success or any early error return — are
   // removed, so a user-provided work_dir comes back clean.
   struct RunFileCleanup {
-    MapOutputs* outputs;
+    MapOutputRegistry* outputs;
     ~RunFileCleanup() {
       for (const auto& task : outputs->runs) {
         if (task != nullptr) {
@@ -375,6 +368,30 @@ Result<JobMetrics> RunJob(
       }
     }
   } run_file_cleanup{&map_outputs};
+
+  // Early shuffle (JobConfig::shuffle_slots): background workers eagerly
+  // merge committed map tasks' runs while other map tasks still execute,
+  // so reduce tasks find most of their intermediate passes already done
+  // when the barrier falls. Declared after the cleanup guard: the service
+  // destructor (which joins the workers and unlinks every eager output)
+  // must run before the guard unlinks run files a worker may be reading.
+  std::unique_ptr<EarlyShuffleService> shuffle;
+  if (config.shuffle_slots > 0 && config.merge_factor != 0) {
+    EarlyShuffleService::Options shuffle_options;
+    shuffle_options.shuffle_slots = config.shuffle_slots;
+    shuffle_options.num_map_tasks = num_map_tasks;
+    shuffle_options.num_partitions = num_reducers;
+    shuffle_options.merge_factor = config.merge_factor;
+    shuffle_options.comparator = config.sort_comparator;
+    shuffle_options.work_dir = work_dir;
+    shuffle_options.spill_buffer_bytes = config.spill_buffer_bytes;
+    shuffle_options.compress = config.compress_runs;
+    shuffle_options.checksum = config.checksum_spills;
+    shuffle_options.verifier = &crc_verifier;
+    shuffle_options.env = io_env;
+    shuffle = std::make_unique<EarlyShuffleService>(shuffle_options,
+                                                    &map_outputs, &counters);
+  }
 
   const uint32_t max_attempts = std::max(1u, config.max_task_attempts);
   auto retry_backoff = [&config](uint32_t failed_attempts) {
@@ -504,10 +521,20 @@ Result<JobMetrics> RunJob(
           map_outputs.runs[t] = std::move(runs);
           map_outputs.executions[t] = 1;
         }
+        const bool committed = st.ok();
         map_status[t] = std::move(st);
+        if (committed && shuffle != nullptr) {
+          shuffle->NotifyMapTaskCommitted(t);
+        }
       });
     }
     pool.Wait();
+  }
+  if (shuffle != nullptr) {
+    // The barrier: no new eager merges; in-flight ones drain and the
+    // workers join, so the eager output set is settled before any reduce
+    // attempt (or early error return) looks at it.
+    shuffle->Finish();
   }
   for (uint32_t t = 0; t < num_map_tasks; ++t) {
     if (!map_status[t].ok()) {
@@ -521,11 +548,6 @@ Result<JobMetrics> RunJob(
   Stopwatch reduce_clock;
   using KOut = typename R::KeyOut;
   using VOut = typename R::ValueOut;
-  // Each checksummed run file is CRC-verified once, by whichever reduce
-  // task opens it first (a no-op registry unless checksum_spills). Keyed
-  // by path, so a regenerated run — fresh attempt-scoped name — gets a
-  // fresh verification instead of inheriting the corrupt file's verdict.
-  RunCrcVerifier crc_verifier;
 
   // Fetch-failure recovery (Hadoop's protocol for a reducer that cannot
   // fetch a map output): re-execute the producing map task and have the
@@ -577,6 +599,13 @@ Result<JobMetrics> RunJob(
     }
     lock.unlock();
     map_outputs.cv.notify_all();
+    if (replaced && shuffle != nullptr) {
+      // The retired generation may back eager intermediates; invalidate
+      // them so no later attempt substitutes stale-generation data. (The
+      // files stay on disk until the service is destroyed — a stale
+      // attempt may still be reading them, same rule as retired runs.)
+      shuffle->InvalidateTask(t);
+    }
     return replaced;
   };
 
@@ -634,9 +663,28 @@ Result<JobMetrics> RunJob(
             snapshot = map_outputs.runs;
             generations = map_outputs.generation;
           }
+          // Assemble the attempt's sources in map-task-id order,
+          // substituting each still-valid eager intermediate for the
+          // consecutive task range it covers (substitution at the
+          // window's position preserves the source-order tie-break —
+          // see shuffle_service.h). The shared_ptrs in `eager` keep the
+          // outputs alive for the attempt even if they are invalidated
+          // mid-attempt.
+          std::vector<std::shared_ptr<const EarlyMergeOutput>> eager;
+          if (shuffle != nullptr) {
+            eager = shuffle->OutputsFor(r, generations);
+          }
           std::vector<const SpillRun*> attempt_runs;
-          for (const auto& task : snapshot) {
-            for (const SpillRun& run : *task) {
+          size_t next_eager = 0;
+          for (uint32_t t = 0; t < num_map_tasks; ++t) {
+            if (next_eager < eager.size() &&
+                eager[next_eager]->first_task == t) {
+              attempt_runs.push_back(&eager[next_eager]->run);
+              t = eager[next_eager]->last_task;
+              ++next_eager;
+              continue;
+            }
+            for (const SpillRun& run : *snapshot[t]) {
               attempt_runs.push_back(&run);
             }
           }
@@ -660,8 +708,15 @@ Result<JobMetrics> RunJob(
           merge_options.counters = &tc;
           merge_options.env = io_env;
           ReduceMergeResult merge_inputs;
+          Stopwatch barrier_clock;
           st = PrepareReduceMerge(merge_options, attempt_runs, r,
                                   &merge_inputs);
+          // Post-barrier source-prep latency: the intermediate passes
+          // this task still owed after the map barrier — what
+          // shuffle_slots exists to shrink. Failed attempts discard it
+          // with the rest of their counters.
+          tc.Increment(kBarrierWaitMs,
+                       static_cast<uint64_t>(barrier_clock.ElapsedMillis()));
           KWayMerger merger(std::move(merge_inputs.sources),
                             config.sort_comparator);
           const RawComparator* grouping = config.EffectiveGrouping();
@@ -721,6 +776,19 @@ Result<JobMetrics> RunJob(
           // most max_attempts recoveries per reduce task), so corrupt
           // regenerations cannot loop forever.
           if (st.IsCorruption() && recoveries < max_attempts) {
+            // Corruption inside an eager intermediate itself (it went bad
+            // on disk after its merge): drop the output and re-plan from
+            // the committed runs — re-reading the doomed file could never
+            // succeed. Bounded without an attempt budget: invalidation
+            // only shrinks the (post-Finish) output set.
+            if (shuffle != nullptr &&
+                shuffle->InvalidateOutputNamedIn(st.message())) {
+              NGRAM_LOG_WARN << config.name << " reduce task " << r
+                             << ": dropped corrupt eager intermediate ("
+                             << st.ToString()
+                             << "); re-planning from the committed runs";
+              continue;
+            }
             const int victim = find_producer(st.message(), snapshot);
             if (victim >= 0 &&
                 recover_producer(static_cast<uint32_t>(victim),

@@ -94,11 +94,17 @@ void ChargeMergePass(const ExternalMergeOptions& options,
   options.counters->Increment(kMergePasses, 1);
   options.counters->Increment(kIntermediateMergeBytes,
                               writer.bytes_written());
-  options.counters->Increment(
-      options.map_side ? kMapMergePasses : kReduceMergePasses, 1);
-  options.counters->Increment(options.map_side ? kMapIntermediateMergeBytes
-                                               : kReduceIntermediateMergeBytes,
-                              writer.bytes_written());
+  if (options.early) {
+    options.counters->Increment(kEarlyMergePasses, 1);
+    options.counters->Increment(kEarlyMergeBytes, writer.bytes_written());
+  } else {
+    options.counters->Increment(
+        options.map_side ? kMapMergePasses : kReduceMergePasses, 1);
+    options.counters->Increment(
+        options.map_side ? kMapIntermediateMergeBytes
+                         : kReduceIntermediateMergeBytes,
+        writer.bytes_written());
+  }
   options.counters->Increment(kRunBytesRaw, writer.raw_bytes());
   options.counters->Increment(kRunBytesWritten, writer.bytes_written());
 }
@@ -203,6 +209,13 @@ size_t CountFdSources(const std::vector<PendingSource>& pending) {
     n += CostsFd(source) ? 1 : 0;
   }
   return n;
+}
+
+/// At-rest bytes a merge window member contributes — the cost driver of
+/// the smallest-runs-first window choice.
+uint64_t SourceBytes(const PendingSource& source, uint32_t partition) {
+  return source.run != nullptr ? source.run->segments[partition].length
+                               : source.length;
 }
 
 /// Merges already-open `sources` into one single-partition intermediate
@@ -473,34 +486,54 @@ Status PrepareReduceMerge(const ExternalMergeOptions& options,
                             ? 0
                             : std::max<uint32_t>(2, options.merge_factor);
   uint64_t seq = 0;
-  // Pass until no more than `factor` fd-costing sources remain. Groups
-  // cover consecutive source indices and close once they hold `factor`
-  // file-backed members; in-memory members join whichever group spans
-  // their position (keeping ranges consecutive is what preserves the
-  // source-order tie-break). A group without at least two file-backed
-  // members has no fan-in worth reducing: its members pass through as
-  // their own singleton ranges — in particular, a no-spill job (every
-  // source an in-memory zero-copy run) never re-spills here at all.
-  while (factor != 0 && CountFdSources(pending) > factor) {
-    std::vector<PendingSource> next;
-    next.reserve(pending.size());
-    size_t i = 0;
-    while (i < pending.size()) {
-      size_t group_end = i;
-      size_t group_files = 0;
-      while (group_end < pending.size() && group_files < factor) {
-        group_files += CostsFd(pending[group_end]) ? 1 : 0;
-        ++group_end;
-      }
-      if (group_files < 2) {
-        for (; i < group_end; ++i) {
-          next.push_back(std::move(pending[i]));
+  // Merge one consecutive window at a time until no more than `factor`
+  // fd-costing sources remain. Window endpoints are fd-costing sources;
+  // in-memory members ride along inside whichever window spans their
+  // position (keeping windows consecutive is what preserves the
+  // source-order tie-break), and a no-spill job — zero fd-costing
+  // sources — never re-spills here at all. Two Hadoop-style planning
+  // rules pick the window:
+  //   - Remainder-first sizing: with n fd sources left, the next window
+  //     holds ((n - factor - 1) mod (factor - 1)) + 2 of them. The first
+  //     merge absorbs the remainder, leaving n' with n' - factor
+  //     divisible by factor - 1, so every later window is exactly full
+  //     and no pass wastes fan-in (the formula then yields `factor`).
+  //   - Smallest runs first: among the consecutive windows of that size,
+  //     merge the one covering the fewest at-rest bytes — early passes
+  //     stay cheap and big runs are re-spilled as few times as possible.
+  //     Byte ties break on the lowest start index, so the plan is a pure
+  //     function of the source list (determinism).
+  if (factor != 0) {
+    size_t fd_count = CountFdSources(pending);
+    while (fd_count > factor) {
+      const size_t want = (fd_count - factor - 1) % (factor - 1) + 2;
+      // Positions of the fd-costing sources and prefix byte sums over
+      // the full pending list (windows pay for their in-memory riders
+      // too — those bytes get written out with the merge).
+      std::vector<size_t> fd_pos;
+      fd_pos.reserve(fd_count);
+      std::vector<uint64_t> prefix(pending.size() + 1, 0);
+      for (size_t i = 0; i < pending.size(); ++i) {
+        if (CostsFd(pending[i])) {
+          fd_pos.push_back(i);
         }
-        continue;
+        prefix[i + 1] = prefix[i] + SourceBytes(pending[i], partition);
       }
+      size_t best = 0;
+      uint64_t best_bytes = UINT64_MAX;
+      for (size_t k = 0; k + want <= fd_pos.size(); ++k) {
+        const uint64_t bytes =
+            prefix[fd_pos[k + want - 1] + 1] - prefix[fd_pos[k]];
+        if (bytes < best_bytes) {
+          best_bytes = bytes;
+          best = k;
+        }
+      }
+      const size_t lo = fd_pos[best];
+      const size_t hi = fd_pos[best + want - 1];
       std::vector<std::unique_ptr<RecordReader>> sources;
-      sources.reserve(group_end - i);
-      for (size_t g = i; g < group_end; ++g) {
+      sources.reserve(hi - lo + 1);
+      for (size_t g = lo; g <= hi; ++g) {
         std::unique_ptr<RecordReader> reader;
         NGRAM_RETURN_NOT_OK(
             OpenPendingSource(options, pending[g], partition, &reader));
@@ -515,18 +548,22 @@ Status PrepareReduceMerge(const ExternalMergeOptions& options,
       result->intermediate_files.push_back(merged.path);
       NGRAM_RETURN_NOT_OK(
           MergeToIntermediate(options, std::move(sources), &merged));
-      // Intermediates consumed by this group are done for good; unlink
+      // Intermediates consumed by this window are done for good; unlink
       // now so disk usage stays one pass deep (their paths remain in the
       // cleanup list — a second unlink is a harmless no-op).
-      for (size_t g = i; g < group_end; ++g) {
+      for (size_t g = lo; g <= hi; ++g) {
         if (pending[g].run == nullptr) {
           unlink(pending[g].path.c_str());
         }
       }
-      next.push_back(std::move(merged));
-      i = group_end;
+      // The intermediate takes the window's position, so relative source
+      // order — and with it the tie-break — is untouched.
+      pending.erase(pending.begin() + static_cast<ptrdiff_t>(lo),
+                    pending.begin() + static_cast<ptrdiff_t>(hi + 1));
+      pending.insert(pending.begin() + static_cast<ptrdiff_t>(lo),
+                     std::move(merged));
+      fd_count -= want - 1;
     }
-    pending = std::move(next);
   }
 
   result->sources.reserve(pending.size());
@@ -538,6 +575,54 @@ Status PrepareReduceMerge(const ExternalMergeOptions& options,
       result->sources.push_back(std::move(reader));
     }
   }
+  return Status::OK();
+}
+
+Status MergePartitionToRun(const ExternalMergeOptions& options,
+                           const std::vector<const SpillRun*>& runs,
+                           uint32_t partition, uint32_t num_partitions,
+                           const std::string& out_path, SpillRun* out) {
+  std::vector<std::unique_ptr<RecordReader>> sources;
+  sources.reserve(runs.size());
+  for (const SpillRun* run : runs) {
+    if (run->segments[partition].num_records == 0) {
+      continue;
+    }
+    if (options.verifier != nullptr) {
+      NGRAM_RETURN_NOT_OK(options.verifier->Verify(*run, options.env));
+    }
+    auto reader = OpenRunPartition(*run, partition, options.env);
+    if (reader != nullptr) {
+      sources.push_back(std::move(reader));
+    }
+  }
+  std::unique_ptr<RunWriter> writer =
+      NewRunWriter(out_path, MergeWriterOptions(options));
+  NGRAM_RETURN_NOT_OK(writer->Open());
+  KWayMerger merger(std::move(sources), options.comparator);
+  RunWriterSink sink(writer.get());
+  Status st = DrainMerger(&merger, /*combiner=*/nullptr, options.comparator,
+                          &sink, options.counters);
+  if (!st.ok()) {
+    writer->Abandon();  // Unlinks the partial eager output.
+    return st;
+  }
+  NGRAM_RETURN_NOT_OK(writer->Close());  // Close() unlinks on failure.
+  out->file_path = out_path;
+  out->memory_data.clear();
+  out->buckets.clear();
+  out->segments.assign(num_partitions, RunSegment{});
+  RunSegment& seg = out->segments[partition];
+  seg.offset = 0;
+  seg.length = writer->bytes_written();
+  seg.num_records = writer->records_written();
+  out->block_format = writer->block_format();
+  out->has_crc = false;
+  if (options.checksum && !out->block_format) {
+    out->crc32 = writer->crc32();
+    out->has_crc = true;
+  }
+  ChargeMergePass(options, *writer);
   return Status::OK();
 }
 

@@ -151,6 +151,10 @@ struct ExternalMergeOptions {
   /// True for the map-side final merge: pass/byte counters are charged to
   /// the MAP_* phase breakouts instead of REDUCE_*.
   bool map_side = false;
+  /// True for eager pre-barrier passes run by the early shuffle service:
+  /// pass/byte counters are charged to the EARLY_* breakout instead of
+  /// the MAP_*/REDUCE_* ones (totals are charged either way).
+  bool early = false;
   /// Map-side only: re-run the combiner across runs while merging.
   RawCombineFn combiner;
   /// Reduce-side only: once-per-job CRC verification of the map runs.
@@ -189,20 +193,43 @@ struct ReduceMergeResult {
 
 /// Opens partition `partition` of `runs` for merging, running
 /// intermediate single-partition merge passes until no more than
-/// `merge_factor` *fd-costing* (file-backed) sources remain. Groups
-/// cover consecutive source indices — that is what preserves the
-/// source-order tie-break — and close once they hold `merge_factor`
-/// file-backed members; in-memory runs cost no fd or read buffer, so
-/// they never count against the bound and a no-spill job is never
-/// re-spilled (groups without two file-backed members pass through
-/// untouched). With `merge_factor` == 0 every non-empty segment is
-/// opened at once (unbounded). Checksummed map runs are verified
-/// through `options.verifier` before their first open; intermediate
-/// outputs carry their own CRC and are re-verified before the next
-/// pass reads them.
+/// `merge_factor` *fd-costing* (file-backed) sources remain. Every pass
+/// merges one consecutive window of sources — consecutive indices are
+/// what preserve the source-order tie-break — and the plan is
+/// Hadoop-style: the first window is remainder-sized so every later
+/// window holds exactly `merge_factor` file-backed members (no pass
+/// wastes fan-in), and among the candidate windows of the required size
+/// the one covering the fewest bytes merges first (smallest runs first,
+/// so early passes are cheap and bytes are re-spilled as few times as
+/// possible; byte ties break on the lowest start index, keeping the plan
+/// a pure function of the source list). In-memory runs cost no fd or
+/// read buffer: they never count against the bound, ride along inside
+/// whichever window spans their position, and a no-spill job is never
+/// re-spilled here at all. With `merge_factor` == 0 every non-empty
+/// segment is opened at once (unbounded). Checksummed map runs are
+/// verified through `options.verifier` before their first open;
+/// intermediate outputs carry their own CRC and are re-verified before
+/// the next pass reads them.
 Status PrepareReduceMerge(const ExternalMergeOptions& options,
                           const std::vector<const SpillRun*>& runs,
                           uint32_t partition, ReduceMergeResult* result);
+
+/// \brief One eager (early-shuffle) merge pass: merges partition
+/// `partition` of `runs` — in source order, so the source-index tie-break
+/// is exactly the one the reduce-side plan would apply to the same window
+/// — into a single run file at `out_path`.
+///
+/// On success `*out` is a synthetic partition-segmented SpillRun whose
+/// only non-empty segment is `partition` (sized `num_partitions` so it
+/// can stand in for map runs in a reduce-side source list). Checksummed
+/// inputs are verified through `options.verifier`; on failure the partial
+/// output is unlinked and `*out` is unspecified. At most |runs| sources
+/// plus the output are open at once — callers bound |runs|'s fd cost by
+/// `merge_factor` themselves.
+Status MergePartitionToRun(const ExternalMergeOptions& options,
+                           const std::vector<const SpillRun*>& runs,
+                           uint32_t partition, uint32_t num_partitions,
+                           const std::string& out_path, SpillRun* out);
 
 /// Unlinks the files behind `paths` (ignoring missing ones).
 void RemoveFiles(const std::vector<std::string>& paths);

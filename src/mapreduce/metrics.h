@@ -54,6 +54,12 @@ struct PipelineMetrics {
     uint64_t map_merge_bytes = 0;
     uint64_t reduce_merge_passes = 0;
     uint64_t reduce_merge_bytes = 0;
+    // Early shuffle (shuffle_slots > 0): intermediate passes run before
+    // the map barrier, and the post-barrier source-prep latency that
+    // remained (summed over successful reduce attempts).
+    uint64_t early_merge_passes = 0;
+    uint64_t early_merge_bytes = 0;
+    uint64_t barrier_wait_ms = 0;
     // At-rest run bytes: raw-framing equivalent vs actually written
     // (the compress_runs ratio for this round; equal with the knob off).
     uint64_t run_bytes_raw = 0;
@@ -112,6 +118,11 @@ struct PipelineMetrics {
             << r.reduce_merge_bytes << " B in " << r.reduce_merge_passes
             << " pass(es)";
       }
+      if (r.early_merge_passes > 0) {
+        out << ", early-merged " << r.early_merge_bytes << " B in "
+            << r.early_merge_passes << " eager pass(es), barrier wait "
+            << r.barrier_wait_ms << " ms";
+      }
       if (i + 1 < rounds.size()) {
         out << "\n";
       }
@@ -148,6 +159,9 @@ struct RunMetrics {
       r.map_merge_bytes = j.Counter(kMapIntermediateMergeBytes);
       r.reduce_merge_passes = j.Counter(kReduceMergePasses);
       r.reduce_merge_bytes = j.Counter(kReduceIntermediateMergeBytes);
+      r.early_merge_passes = j.Counter(kEarlyMergePasses);
+      r.early_merge_bytes = j.Counter(kEarlyMergeBytes);
+      r.barrier_wait_ms = j.Counter(kBarrierWaitMs);
       r.run_bytes_raw = j.Counter(kRunBytesRaw);
       r.run_bytes_written = j.Counter(kRunBytesWritten);
       p.rounds.push_back(std::move(r));

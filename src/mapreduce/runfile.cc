@@ -138,13 +138,23 @@ class BlockRunWriter final : public RunWriter {
 
 }  // namespace
 
-Status DecodeBlockPayload(Slice payload, uint64_t block_offset,
-                          const std::string& path, std::string* framed) {
+namespace {
+
+// Shared body of DecodeBlockPayload / the indexed variant. When
+// `restart_offsets` is non-null it receives, per restart-array slot, the
+// offset within `*framed` of that restart entry's frame — translating the
+// writer's payload-offset index into the decoded representation.
+Status DecodeBlockPayloadImpl(Slice payload, uint64_t block_offset,
+                              const std::string& path, std::string* framed,
+                              std::vector<uint32_t>* restart_offsets) {
   auto corrupt = [&](const std::string& what) {
     return Status::Corruption(what + " in block at offset " +
                               std::to_string(block_offset) + " of " + path);
   };
   framed->clear();
+  if (restart_offsets != nullptr) {
+    restart_offsets->clear();
+  }
   if (payload.size() < 4) {
     return corrupt("malformed restart array");
   }
@@ -158,10 +168,18 @@ Status DecodeBlockPayload(Slice payload, uint64_t block_offset,
     return corrupt("malformed restart array");
   }
   const size_t entries_end = payload.size() - static_cast<size_t>(restart_bytes);
+  const char* const restart_array = payload.data() + entries_end;
+  uint32_t next_restart = 0;  // Restart-array slots consumed so far.
 
   std::string last_key;
   Slice in(payload.data(), entries_end);
   while (!in.empty()) {
+    if (restart_offsets != nullptr && next_restart < num_restarts &&
+        DecodeFixed32(restart_array + 4 * next_restart) ==
+            static_cast<uint32_t>(in.data() - payload.data())) {
+      restart_offsets->push_back(static_cast<uint32_t>(framed->size()));
+      ++next_restart;
+    }
     // Entry header: tag byte (shared/non_shared nibbles, 15 = varint
     // follows) plus the value length varint.
     const uint8_t tag = static_cast<uint8_t>(in[0]);
@@ -195,11 +213,20 @@ Status DecodeBlockPayload(Slice payload, uint64_t block_offset,
     // "decoded something" as their progress guarantee.
     return corrupt("block with no entries");
   }
+  if (restart_offsets != nullptr && next_restart != num_restarts) {
+    // CRC-valid payloads always index real entry starts (the writer emits
+    // the array from actual offsets), so a dangling slot is a writer bug
+    // — fail loudly rather than hand lookups a short anchor list.
+    return corrupt("restart array does not point at entry starts");
+  }
   return Status::OK();
 }
 
-Status DecodeBlockAt(Slice file, uint64_t offset, const std::string& path,
-                     std::string* framed, uint64_t* next_offset) {
+// Shared body of DecodeBlockAt / the indexed variant.
+Status DecodeBlockAtImpl(Slice file, uint64_t offset, const std::string& path,
+                         std::string* framed,
+                         std::vector<uint32_t>* restart_offsets,
+                         uint64_t* next_offset) {
   auto corrupt = [&](const std::string& what) {
     return Status::Corruption(what + " in block at offset " +
                               std::to_string(offset) + " of " + path);
@@ -224,12 +251,33 @@ Status DecodeBlockAt(Slice file, uint64_t offset, const std::string& path,
   if (Crc32(0, payload.data(), payload.size()) != expected) {
     return corrupt("block CRC mismatch");
   }
-  Status st = DecodeBlockPayload(payload, offset, path, framed);
+  Status st =
+      DecodeBlockPayloadImpl(payload, offset, path, framed, restart_offsets);
   if (!st.ok()) {
     return st;
   }
   *next_offset = offset + header_bytes + payload_len + 4;
   return Status::OK();
+}
+
+}  // namespace
+
+Status DecodeBlockPayload(Slice payload, uint64_t block_offset,
+                          const std::string& path, std::string* framed) {
+  return DecodeBlockPayloadImpl(payload, block_offset, path, framed, nullptr);
+}
+
+Status DecodeBlockAt(Slice file, uint64_t offset, const std::string& path,
+                     std::string* framed, uint64_t* next_offset) {
+  return DecodeBlockAtImpl(file, offset, path, framed, nullptr, next_offset);
+}
+
+Status DecodeBlockAtIndexed(Slice file, uint64_t offset,
+                            const std::string& path, std::string* framed,
+                            std::vector<uint32_t>* restart_offsets,
+                            uint64_t* next_offset) {
+  return DecodeBlockAtImpl(file, offset, path, framed, restart_offsets,
+                           next_offset);
 }
 
 std::unique_ptr<RunWriter> NewRunWriter(std::string path,

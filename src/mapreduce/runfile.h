@@ -48,6 +48,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mapreduce/record.h"
 #include "util/slice.h"
@@ -148,6 +149,18 @@ Status DecodeBlockPayload(Slice payload, uint64_t block_offset,
 /// block yields Corruption naming `path` and the block offset.
 Status DecodeBlockAt(Slice file, uint64_t offset, const std::string& path,
                      std::string* framed, uint64_t* next_offset);
+
+/// As DecodeBlockAt, and additionally translates the block's restart array
+/// into `*restart_offsets`: entry i is the byte offset within `*framed` of
+/// the i-th restart entry's frame (a full-key entry — every
+/// `restart_interval`-th record). Always non-empty on success (the first
+/// entry of a block is a restart). Point lookups binary-search these
+/// anchors and decode-scan at most one restart interval instead of walking
+/// the whole block (serve/sharded_store.cc).
+Status DecodeBlockAtIndexed(Slice file, uint64_t offset,
+                            const std::string& path, std::string* framed,
+                            std::vector<uint32_t>* restart_offsets,
+                            uint64_t* next_offset);
 
 /// RecordSink adapter over any RunWriter — the glue every writer-backed
 /// emit path (spills, merge passes) uses to stream records.

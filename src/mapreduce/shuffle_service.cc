@@ -1,0 +1,308 @@
+#include "mapreduce/shuffle_service.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace ngram::mr {
+
+EarlyShuffleService::EarlyShuffleService(const Options& options,
+                                         MapOutputRegistry* registry,
+                                         Counters* counters)
+    : options_(options),
+      factor_(std::max<uint32_t>(2, options.merge_factor)),
+      registry_(registry),
+      counters_(counters) {
+  if (options_.shuffle_slots == 0 || options_.merge_factor == 0 ||
+      options_.num_map_tasks == 0 || options_.num_partitions == 0) {
+    return;
+  }
+  enabled_ = true;
+  parts_.resize(options_.num_partitions);
+  for (PartitionState& part : parts_) {
+    part.state.assign(options_.num_map_tasks, TaskState::kPending);
+    part.fd_sources.assign(options_.num_map_tasks, 0);
+  }
+  workers_.reserve(options_.shuffle_slots);
+  for (uint32_t i = 0; i < options_.shuffle_slots; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+EarlyShuffleService::~EarlyShuffleService() {
+  Finish();
+  RemoveFiles(output_files_);
+}
+
+void EarlyShuffleService::NotifyMapTaskCommitted(uint32_t task) {
+  if (!enabled_) {
+    return;
+  }
+  // Snapshot the committed task's per-partition fd footprint once, so
+  // window scanning never has to touch the registry.
+  std::vector<uint32_t> fds(options_.num_partitions, 0);
+  {
+    std::lock_guard<std::mutex> reg_lock(registry_->mu);
+    const std::vector<SpillRun>& runs = *registry_->runs[task];
+    for (const SpillRun& run : runs) {
+      if (run.in_memory()) {
+        continue;
+      }
+      for (uint32_t p = 0; p < options_.num_partitions; ++p) {
+        if (run.segments[p].num_records > 0) {
+          ++fds[p];
+        }
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint32_t p = 0; p < options_.num_partitions; ++p) {
+      parts_[p].fd_sources[task] = fds[p];
+      parts_[p].state[task] = TaskState::kReady;
+    }
+  }
+  work_cv_.notify_all();
+}
+
+void EarlyShuffleService::Finish() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+}
+
+void EarlyShuffleService::InvalidateTask(uint32_t task) {
+  if (!enabled_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PartitionState& part : parts_) {
+    for (const std::shared_ptr<EarlyMergeOutput>& out : part.outputs) {
+      if (out->first_task <= task && task <= out->last_task) {
+        out->invalidated = true;
+      }
+    }
+  }
+}
+
+bool EarlyShuffleService::InvalidateOutputNamedIn(
+    const std::string& message) {
+  if (!enabled_) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  bool matched = false;
+  for (PartitionState& part : parts_) {
+    for (const std::shared_ptr<EarlyMergeOutput>& out : part.outputs) {
+      if (!out->invalidated && !out->run.file_path.empty() &&
+          message.find(out->run.file_path) != std::string::npos) {
+        out->invalidated = true;
+        matched = true;
+      }
+    }
+  }
+  return matched;
+}
+
+std::vector<std::shared_ptr<const EarlyMergeOutput>>
+EarlyShuffleService::OutputsFor(
+    uint32_t partition, const std::vector<uint32_t>& generations) const {
+  std::vector<std::shared_ptr<const EarlyMergeOutput>> result;
+  if (!enabled_) {
+    return result;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::shared_ptr<EarlyMergeOutput>& out :
+       parts_[partition].outputs) {
+    if (out->invalidated) {
+      continue;
+    }
+    bool valid = true;
+    for (uint32_t t = out->first_task; t <= out->last_task; ++t) {
+      if (generations[t] != out->generations[t - out->first_task]) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      result.push_back(out);
+    }
+  }
+  // Windows never overlap within a partition, so first_task orders them.
+  std::sort(result.begin(), result.end(),
+            [](const std::shared_ptr<const EarlyMergeOutput>& a,
+               const std::shared_ptr<const EarlyMergeOutput>& b) {
+              return a->first_task < b->first_task;
+            });
+  return result;
+}
+
+uint64_t EarlyShuffleService::completed_merges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_merges_;
+}
+
+void EarlyShuffleService::WorkerLoop() {
+  TaskCounters tc(counters_);  // Flushed by the destructor at exit.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    Window window;
+    if (!stopping_ && FindWindow(&window)) {
+      lock.unlock();
+      MergeWindow(window, &tc);
+      lock.lock();
+      // A finished window can wedge a neighboring sub-full window into
+      // eligibility, so wake the others.
+      work_cv_.notify_all();
+      continue;
+    }
+    if (stopping_) {
+      return;
+    }
+    work_cv_.wait(lock);
+  }
+}
+
+bool EarlyShuffleService::FindWindow(Window* window) {
+  const uint32_t num_tasks = options_.num_map_tasks;
+  for (uint32_t i = 0; i < parts_.size(); ++i) {
+    const uint32_t p =
+        (next_partition_ + i) % static_cast<uint32_t>(parts_.size());
+    PartitionState& part = parts_[p];
+    uint32_t t = 0;
+    while (t < num_tasks) {
+      // A window starts at a ready task that contributes at least one fd.
+      if (part.state[t] != TaskState::kReady || part.fd_sources[t] == 0) {
+        ++t;
+        continue;
+      }
+      // Extend right over ready tasks until the window is full, the next
+      // ready task would overflow it, or a non-ready task blocks it.
+      size_t fds = 0;
+      uint32_t end = t;
+      uint32_t u = t;
+      bool overflow = false;
+      while (u < num_tasks && part.state[u] == TaskState::kReady) {
+        if (fds + part.fd_sources[u] > factor_) {
+          overflow = true;
+          break;
+        }
+        fds += part.fd_sources[u];
+        if (part.fd_sources[u] > 0) {
+          end = u;  // Trailing memory-only tasks stay out of the window.
+        }
+        ++u;
+        if (fds == factor_) {
+          break;
+        }
+      }
+      // Full windows always merge. A sub-full window merges only when it
+      // can never grow: the next ready task would overflow it, or both
+      // neighbors are settled (array edge / covered / merging / failed —
+      // a kPending neighbor may still commit and extend the window, so
+      // the scan waits for it instead of fragmenting the plan).
+      bool eligible = fds == factor_ || (fds >= 2 && overflow);
+      if (!eligible && fds >= 2) {
+        const bool right_settled =
+            u >= num_tasks || part.state[u] != TaskState::kPending;
+        const bool left_settled =
+            t == 0 || part.state[t - 1] != TaskState::kPending;
+        eligible = right_settled && left_settled;
+      }
+      if (!eligible) {
+        t = u > t ? u : t + 1;  // Skip the scanned ready segment.
+        continue;
+      }
+      for (uint32_t v = t; v <= end; ++v) {
+        part.state[v] = TaskState::kMerging;
+      }
+      window->partition = p;
+      window->first_task = t;
+      window->last_task = end;
+      char name[64];
+      snprintf(name, sizeof(name), "/early-%u-%06llu.run", p,
+               static_cast<unsigned long long>(seq_++));
+      window->out_path = options_.work_dir + name;
+      // Registered before anything is written: no failure path leaks it.
+      output_files_.push_back(window->out_path);
+      next_partition_ = (p + 1) % static_cast<uint32_t>(parts_.size());
+      return true;
+    }
+  }
+  return false;
+}
+
+void EarlyShuffleService::MergeWindow(const Window& window,
+                                      TaskCounters* tc) {
+  // Snapshot the window's run generations; the shared_ptrs keep every
+  // run object alive for the duration of the merge even if the task were
+  // retired mid-flight (it cannot be during the map phase, but the
+  // snapshot discipline matches the reduce side's).
+  std::vector<std::shared_ptr<std::vector<SpillRun>>> snapshot;
+  auto output = std::make_shared<EarlyMergeOutput>();
+  output->partition = window.partition;
+  output->first_task = window.first_task;
+  output->last_task = window.last_task;
+  {
+    std::lock_guard<std::mutex> reg_lock(registry_->mu);
+    for (uint32_t t = window.first_task; t <= window.last_task; ++t) {
+      snapshot.push_back(registry_->runs[t]);
+      output->generations.push_back(registry_->generation[t]);
+    }
+  }
+  std::vector<const SpillRun*> run_ptrs;
+  for (const auto& task_runs : snapshot) {
+    for (const SpillRun& run : *task_runs) {
+      run_ptrs.push_back(&run);
+    }
+  }
+
+  ExternalMergeOptions merge_options;
+  merge_options.comparator = options_.comparator;
+  merge_options.merge_factor = static_cast<uint32_t>(factor_);
+  merge_options.work_dir = options_.work_dir;
+  merge_options.spill_buffer_bytes = options_.spill_buffer_bytes;
+  merge_options.compress = options_.compress;
+  merge_options.checksum = options_.checksum;
+  merge_options.early = true;
+  merge_options.verifier = options_.verifier;
+  merge_options.counters = tc;
+  merge_options.env = options_.env;
+  Status st =
+      MergePartitionToRun(merge_options, run_ptrs, window.partition,
+                          options_.num_partitions, window.out_path,
+                          &output->run);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  PartitionState& part = parts_[window.partition];
+  const TaskState verdict =
+      st.ok() ? TaskState::kCovered : TaskState::kFailed;
+  for (uint32_t t = window.first_task; t <= window.last_task; ++t) {
+    part.state[t] = verdict;
+  }
+  if (st.ok()) {
+    ++completed_merges_;
+    part.outputs.push_back(std::move(output));
+  } else {
+    // Best-effort: the window is never retried eagerly; the reduce phase
+    // merges the committed runs itself (and surfaces real corruption
+    // through its own read, where the recovery protocol handles it).
+    NGRAM_LOG_WARN << "early shuffle: eager merge of map tasks ["
+                   << window.first_task << ", " << window.last_task
+                   << "] partition " << window.partition
+                   << " failed: " << st.ToString()
+                   << "; falling back to the committed runs";
+  }
+}
+
+}  // namespace ngram::mr

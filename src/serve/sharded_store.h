@@ -14,8 +14,11 @@
 //   block:  binary-search the shard's block index           (no I/O)
 //   fetch:  BlockCache hit, or decode the ~16 KiB block from the mmap —
 //           CRC-verified, so a flipped bit anywhere in the segment
-//           surfaces as Corruption naming the file, never a wrong count
-//   scan:   walk the decoded records (bytewise-sorted, early exit)
+//           surfaces as Corruption naming the file, never a wrong count —
+//           with the block's restart index cached alongside the frames
+//   seek:   binary-search the restart anchors (the block format's full-key
+//           entries), then scan at most one restart interval of records
+//           (bytewise-sorted, early exit)
 #pragma once
 
 #include <cstdint>
@@ -97,7 +100,8 @@ class ShardedStatsStore {
   ShardedStatsStore() = default;
 
   /// Fetches (through the cache) or decodes block `block_index` of shard
-  /// `shard` as raw frames.
+  /// `shard` as raw frames with the block's restart index appended as a
+  /// fixed32 trailer (parsed back with ParseBlockView in the .cc).
   Status GetBlock(const Shard& shard, size_t block_index,
                   std::shared_ptr<const std::string>* framed) const;
 

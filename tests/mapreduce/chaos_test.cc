@@ -98,12 +98,36 @@ std::string TableBytes(const RecordTable& table) {
 }
 
 /// Counters whose values legitimately differ from a fault-free run: they
-/// record the recovery work itself. Everything else must match exactly.
+/// record the recovery work itself, or wall time (kBarrierWaitMs measures
+/// milliseconds, not data). Everything else must match exactly.
 std::map<std::string, uint64_t> StripRecoveryCounters(
     std::map<std::string, uint64_t> counters) {
   counters.erase(kTaskRetries);
   counters.erase(kMapReexecutions);
   counters.erase(kCorruptRunsRecovered);
+  counters.erase(kBarrierWaitMs);
+  return counters;
+}
+
+/// With shuffle_slots > 0 the merge *accounting* becomes
+/// scheduling-dependent — how many intermediate passes run eagerly (and
+/// what they write) depends on map-task commit timing — so overlap
+/// configs additionally strip it. The data counters (records in/out,
+/// spills, groups) stay in the comparison: eager merging must never
+/// change what the reducers consume or produce.
+std::map<std::string, uint64_t> StripSchedulingCounters(
+    std::map<std::string, uint64_t> counters) {
+  counters = StripRecoveryCounters(std::move(counters));
+  counters.erase(kMergePasses);
+  counters.erase(kIntermediateMergeBytes);
+  counters.erase(kMapMergePasses);
+  counters.erase(kMapIntermediateMergeBytes);
+  counters.erase(kReduceMergePasses);
+  counters.erase(kReduceIntermediateMergeBytes);
+  counters.erase(kEarlyMergePasses);
+  counters.erase(kEarlyMergeBytes);
+  counters.erase(kRunBytesRaw);
+  counters.erase(kRunBytesWritten);
   return counters;
 }
 
@@ -165,7 +189,8 @@ size_t FilesIn(const std::string& dir) {
 /// unchecksummed raw run would let a bit flip through *silently* — the
 /// exact outcome the dichotomy forbids. (Block-format runs verify per
 /// block unconditionally.)
-JobConfig ChaosConfig(bool compress, uint32_t merge_factor) {
+JobConfig ChaosConfig(bool compress, uint32_t merge_factor,
+                      uint32_t shuffle_slots = 0) {
   JobConfig config;
   config.sort_buffer_bytes = 512;
   config.num_map_tasks = 3;
@@ -173,6 +198,7 @@ JobConfig ChaosConfig(bool compress, uint32_t merge_factor) {
   config.map_slots = 1;
   config.reduce_slots = 1;
   config.merge_factor = merge_factor;
+  config.shuffle_slots = shuffle_slots;
   config.compress_runs = compress;
   config.checksum_spills = !compress;
   config.max_task_attempts = 3;
@@ -184,26 +210,36 @@ JobConfig ChaosConfig(bool compress, uint32_t merge_factor) {
 struct SweepConfig {
   bool compress;
   uint32_t merge_factor;
+  uint32_t shuffle_slots;
 };
 
 constexpr SweepConfig kSweepConfigs[] = {
-    {true, 2},  {true, 16},  {true, 0},
-    {false, 2}, {false, 16}, {false, 0},
+    {true, 2, 0},  {true, 16, 0},  {true, 0, 0},
+    {false, 2, 0}, {false, 16, 0}, {false, 0, 0},
+    // Early shuffle on: eager merge workers race the injected faults, so
+    // op placement is not replayable seed-to-seed — the dichotomy itself
+    // must still hold, with the scheduling-dependent merge accounting
+    // stripped from the counter comparison.
+    {true, 2, 2},  {true, 16, 2},  {false, 2, 2},
 };
-constexpr uint64_t kSeedsPerConfig = 60;  // 360 seeds total.
+constexpr uint64_t kSeedsPerConfig = 60;  // 540 seeds total.
 
 TEST(ChaosTest, SweptSeedsUpholdTheDichotomy) {
   for (size_t c = 0; c < std::size(kSweepConfigs); ++c) {
     const SweepConfig& sweep = kSweepConfigs[c];
-    const JobConfig config =
-        ChaosConfig(sweep.compress, sweep.merge_factor);
+    const JobConfig config = ChaosConfig(sweep.compress, sweep.merge_factor,
+                                         sweep.shuffle_slots);
+    const bool overlap = sweep.shuffle_slots > 0;
+    const auto strip = [overlap](const std::map<std::string, uint64_t>& c) {
+      return overlap ? StripSchedulingCounters(c) : StripRecoveryCounters(c);
+    };
 
     auto baseline_dir = TempDir::Create("chaos-baseline");
     ASSERT_TRUE(baseline_dir.ok());
     const PipelineResult baseline =
         RunPipeline(config, nullptr, baseline_dir->path().string());
     ASSERT_TRUE(baseline.status.ok()) << baseline.status.ToString();
-    const auto baseline_counters = StripRecoveryCounters(baseline.counters);
+    const auto baseline_counters = strip(baseline.counters);
 
     for (uint64_t i = 0; i < kSeedsPerConfig; ++i) {
       const uint64_t seed = c * 100003 + i;
@@ -217,12 +253,12 @@ TEST(ChaosTest, SweptSeedsUpholdTheDichotomy) {
       const std::string label =
           "seed=" + std::to_string(seed) + " plan=" + plan.ToString() +
           " compress=" + std::to_string(sweep.compress) +
-          " merge_factor=" + std::to_string(sweep.merge_factor);
+          " merge_factor=" + std::to_string(sweep.merge_factor) +
+          " shuffle_slots=" + std::to_string(sweep.shuffle_slots);
       if (result.status.ok()) {
         // Completion arm: byte-identical output and counters.
         EXPECT_EQ(result.output_bytes, baseline.output_bytes) << label;
-        EXPECT_EQ(StripRecoveryCounters(result.counters), baseline_counters)
-            << label;
+        EXPECT_EQ(strip(result.counters), baseline_counters) << label;
       } else {
         // Failure arm: a clean Status (by construction) ...
         EXPECT_TRUE(env.fault_fired())
@@ -355,6 +391,42 @@ TEST(ChaosTest, BitFlippedMapRunTriggersProducerReexecution) {
   EXPECT_EQ(result.output_bytes, baseline.output_bytes);
   EXPECT_EQ(StripRecoveryCounters(result.counters),
             StripRecoveryCounters(baseline.counters));
+  EXPECT_EQ(FilesIn(work_dir), 0u);
+}
+
+/// Producer re-execution composing with the early shuffle: the flipped
+/// run may have been pulled into an eager intermediate (whose merge then
+/// failed on the block CRC and fell back) before a reducer discovers the
+/// corruption; re-execution retires the generation and invalidates every
+/// eager output built over it, and the job must still complete
+/// byte-identical to its fault-free overlap baseline.
+TEST(ChaosTest, BitFlippedMapRunRecoversWithEarlyShuffle) {
+  JobConfig config = ChaosConfig(/*compress=*/true, /*merge_factor=*/16,
+                                 /*shuffle_slots=*/2);
+  config.max_task_attempts = 2;
+
+  auto baseline_dir = TempDir::Create("flip-early-baseline");
+  ASSERT_TRUE(baseline_dir.ok());
+  const PipelineResult baseline =
+      RunPipeline(config, nullptr, baseline_dir->path().string());
+  ASSERT_TRUE(baseline.status.ok());
+
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kBitFlip;
+  plan.op = 1;  // First written buffer: map task 0's first committed run.
+  plan.bit = 17;
+  FaultEnv env(IoEnv::Default(), plan);
+  auto dir = TempDir::Create("flip-early");
+  ASSERT_TRUE(dir.ok());
+  const std::string work_dir = dir->path().string();
+  const PipelineResult result = RunPipeline(config, &env, work_dir);
+
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(env.fault_fired());
+  EXPECT_GE(result.counters.at(kMapReexecutions), 1u);
+  EXPECT_EQ(result.output_bytes, baseline.output_bytes);
+  EXPECT_EQ(StripSchedulingCounters(result.counters),
+            StripSchedulingCounters(baseline.counters));
   EXPECT_EQ(FilesIn(work_dir), 0u);
 }
 

@@ -285,6 +285,42 @@ TEST(MergeStressTest, CompletesUnderLowFdLimit) {
   }
 }
 
+TEST(MergeStressTest, CompletesUnderLowFdLimitWithEarlyShuffle) {
+  // Same fd-pressure scenario with the early shuffle overlapping eager
+  // merges with map execution: the service's own merge passes open at
+  // most merge_factor sources plus one output per worker, so the fd
+  // ceiling holds with the pipeline enabled too — and the output still
+  // matches the overlap-off run byte for byte.
+  struct rlimit saved;
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &saved), 0);
+  struct rlimit lowered = saved;
+  lowered.rlim_cur = 64;
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &lowered), 0);
+
+  JobConfig config;
+  config.sort_buffer_bytes = 1024;
+  config.num_map_tasks = 32;
+  config.map_slots = 2;
+  config.reduce_slots = 2;
+  config.num_reducers = 2;
+  config.merge_factor = 4;
+  config.shuffle_slots = 2;
+  RecordTable output;
+  auto metrics = RunStressJob(config, 640, 10, &output);
+
+  JobConfig plain = config;
+  plain.shuffle_slots = 0;
+  RecordTable plain_output;
+  auto plain_metrics = RunStressJob(plain, 640, 10, &plain_output);
+
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &saved), 0);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  ASSERT_TRUE(plain_metrics.ok()) << plain_metrics.status().ToString();
+  EXPECT_GE(metrics->Counter(kSpillFiles), 256u);
+  EXPECT_EQ(output.num_records(), 640u * 10u);
+  EXPECT_EQ(TableBytes(output), TableBytes(plain_output));
+}
+
 TEST(MergeStressTest, CompletesUnderLowFdLimitRawRuns) {
   // Same fd-pressure scenario over raw-format runs (compress_runs off).
   struct rlimit saved;
