@@ -87,10 +87,13 @@ std::string NgramStatistics::ToString(const Vocabulary& vocab,
   for (const auto& e : entries) {
     by_freq.push_back(&e);
   }
-  std::stable_sort(by_freq.begin(), by_freq.end(),
-                   [](const Entry* a, const Entry* b) {
-                     return a->second > b->second;
-                   });
+  // Ties break on entry position (the pointers index into `entries`), so
+  // plain sort renders equal-frequency n-grams in table order — the same
+  // output stable_sort gave, without its temp buffer.
+  std::sort(by_freq.begin(), by_freq.end(),
+            [](const Entry* a, const Entry* b) {
+              return a->second != b->second ? a->second > b->second : a < b;
+            });
   std::string out;
   char buf[64];
   for (size_t i = 0; i < by_freq.size() && i < limit; ++i) {

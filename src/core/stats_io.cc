@@ -1,7 +1,5 @@
 #include "core/stats_io.h"
 
-#include <cerrno>
-#include <cstdio>
 #include <cstring>
 #include <memory>
 
@@ -15,30 +13,26 @@ namespace {
 
 constexpr char kMagic[4] = {'N', 'G', 'S', '1'};
 
-struct FileCloser {
-  void operator()(FILE* f) const {
-    if (f != nullptr) {
-      fclose(f);
-    }
-  }
-};
-using FilePtr = std::unique_ptr<FILE, FileCloser>;
-
-Status WriteAll(FILE* f, const std::string& data, const std::string& path) {
-  if (fwrite(data.data(), 1, data.size(), f) != data.size()) {
-    return Status::IOError("short write to " + path);
-  }
+/// Reads all of `path` into `*content` through `env` (already resolved).
+Status ReadWholeFile(mr::IoEnv* env, const std::string& path,
+                     std::string* content) {
+  std::unique_ptr<mr::ReadableFile> f;
+  NGRAM_RETURN_NOT_OK(env->NewReadableFile(path, /*buffer_hint=*/0, &f));
+  char chunk[64 * 1024];
+  size_t got = 0;
+  do {
+    NGRAM_RETURN_NOT_OK(f->Read(chunk, sizeof(chunk), &got));
+    content->append(chunk, got);
+  } while (got > 0);
   return Status::OK();
 }
 
 }  // namespace
 
 Status WriteStatsTsv(const NgramStatistics& stats, const Vocabulary* vocab,
-                     const std::string& path) {
-  FilePtr f(fopen(path.c_str(), "w"));
-  if (f == nullptr) {
-    return Status::IOError("open " + path + ": " + strerror(errno));
-  }
+                     const std::string& path, mr::IoEnv* env) {
+  std::unique_ptr<mr::WritableFile> f;
+  NGRAM_RETURN_NOT_OK(mr::ResolveEnv(env)->NewWritableFile(path, &f));
   std::string line;
   for (const auto& [seq, cf] : stats.entries) {
     line.clear();
@@ -55,20 +49,16 @@ Status WriteStatsTsv(const NgramStatistics& stats, const Vocabulary* vocab,
     line += '\t';
     line += std::to_string(cf);
     line += '\n';
-    NGRAM_RETURN_NOT_OK(WriteAll(f.get(), line, path));
+    NGRAM_RETURN_NOT_OK(f->Write(line.data(), line.size()));
   }
-  if (fflush(f.get()) != 0) {
-    return Status::IOError("flush " + path);
-  }
-  return Status::OK();
+  NGRAM_RETURN_NOT_OK(f->Sync());
+  return f->Close();
 }
 
-Status WriteStatsBinary(const NgramStatistics& stats,
-                        const std::string& path) {
-  FilePtr f(fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return Status::IOError("open " + path + ": " + strerror(errno));
-  }
+Status WriteStatsBinary(const NgramStatistics& stats, const std::string& path,
+                        mr::IoEnv* env) {
+  std::unique_ptr<mr::WritableFile> f;
+  NGRAM_RETURN_NOT_OK(mr::ResolveEnv(env)->NewWritableFile(path, &f));
   std::string buf(kMagic, sizeof(kMagic));
   PutVarint64(&buf, stats.entries.size());
   std::string seq_bytes;
@@ -79,32 +69,20 @@ Status WriteStatsBinary(const NgramStatistics& stats,
     buf += seq_bytes;
     PutVarint64(&buf, cf);
     if (buf.size() > (1 << 20)) {
-      NGRAM_RETURN_NOT_OK(WriteAll(f.get(), buf, path));
+      NGRAM_RETURN_NOT_OK(f->Write(buf.data(), buf.size()));
       buf.clear();
     }
   }
-  NGRAM_RETURN_NOT_OK(WriteAll(f.get(), buf, path));
-  if (fflush(f.get()) != 0) {
-    return Status::IOError("flush " + path);
-  }
-  return Status::OK();
+  NGRAM_RETURN_NOT_OK(f->Write(buf.data(), buf.size()));
+  NGRAM_RETURN_NOT_OK(f->Sync());
+  return f->Close();
 }
 
-Status ReadStatsBinary(const std::string& path, NgramStatistics* stats) {
+Status ReadStatsBinary(const std::string& path, NgramStatistics* stats,
+                       mr::IoEnv* env) {
   stats->entries.clear();
-  FilePtr f(fopen(path.c_str(), "rb"));
-  if (f == nullptr) {
-    return Status::IOError("open " + path + ": " + strerror(errno));
-  }
   std::string content;
-  char chunk[64 * 1024];
-  size_t got = 0;
-  while ((got = fread(chunk, 1, sizeof(chunk), f.get())) > 0) {
-    content.append(chunk, got);
-  }
-  if (ferror(f.get())) {
-    return Status::IOError("read " + path);
-  }
+  NGRAM_RETURN_NOT_OK(ReadWholeFile(mr::ResolveEnv(env), path, &content));
   Slice in(content);
   if (in.size() < sizeof(kMagic) ||
       memcmp(in.data(), kMagic, sizeof(kMagic)) != 0) {

@@ -6,21 +6,25 @@
 #include <string>
 
 #include "core/stats.h"
+#include "mapreduce/io_env.h"
 #include "text/vocabulary.h"
 #include "util/status.h"
 
 namespace ngram {
 
 /// Writes `stats` as "term term term<TAB>frequency" lines, decoding term
-/// ids through `vocab` (pass nullptr to write raw term ids).
+/// ids through `vocab` (pass nullptr to write raw term ids). All byte I/O
+/// goes through `env` (nullptr means IoEnv::Default()), so statistics
+/// persistence is fault-injectable like every other persisted byte path.
 Status WriteStatsTsv(const NgramStatistics& stats, const Vocabulary* vocab,
-                     const std::string& path);
+                     const std::string& path, mr::IoEnv* env = nullptr);
 
 /// Writes `stats` in the binary format (magic "NGS1", varbyte entries).
-Status WriteStatsBinary(const NgramStatistics& stats,
-                        const std::string& path);
+Status WriteStatsBinary(const NgramStatistics& stats, const std::string& path,
+                        mr::IoEnv* env = nullptr);
 
 /// Reads a binary statistics file written by WriteStatsBinary.
-Status ReadStatsBinary(const std::string& path, NgramStatistics* stats);
+Status ReadStatsBinary(const std::string& path, NgramStatistics* stats,
+                       mr::IoEnv* env = nullptr);
 
 }  // namespace ngram

@@ -222,7 +222,7 @@ Result<mr::RecordTable> RunSuffixSigmaJob(const CorpusContext& ctx,
     return job_metrics.status();
   }
   metrics->Add(std::move(job_metrics).ValueOrDie());
-  return std::move(output);
+  return output;
 }
 
 Result<NgramRun> RunSuffixSigma(const CorpusContext& ctx,

@@ -8,7 +8,7 @@ uint64_t AllocateCacheFileId() {
 }
 
 std::shared_ptr<const std::string> BlockCache::Lookup(const BlockKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -25,7 +25,7 @@ void BlockCache::Insert(const BlockKey& key,
   if (capacity_bytes_ == 0 || block == nullptr) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   inserts_.fetch_add(1, std::memory_order_relaxed);
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -45,7 +45,7 @@ void BlockCache::Insert(const BlockKey& key,
 }
 
 void BlockCache::EraseFile(uint64_t file_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.file_id == file_id) {
       charged_bytes_.fetch_sub(it->block->size(), std::memory_order_relaxed);

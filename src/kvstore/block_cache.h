@@ -7,11 +7,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "util/macros.h"
+#include "util/mutex.h"
 
 namespace ngram::kv {
 
@@ -72,14 +72,16 @@ class BlockCache {
   NGRAM_DISALLOW_COPY_AND_ASSIGN(BlockCache);
 
   /// Returns the cached block or nullptr on miss.
-  std::shared_ptr<const std::string> Lookup(const BlockKey& key);
+  std::shared_ptr<const std::string> Lookup(const BlockKey& key)
+      NGRAM_EXCLUDES(mu_);
 
   /// Inserts a block (no-op when capacity is zero). Replaces an existing
   /// entry for the same key.
-  void Insert(const BlockKey& key, std::shared_ptr<const std::string> block);
+  void Insert(const BlockKey& key, std::shared_ptr<const std::string> block)
+      NGRAM_EXCLUDES(mu_);
 
   /// Drops every block belonging to `file_id` (file deleted / truncated).
-  void EraseFile(uint64_t file_id);
+  void EraseFile(uint64_t file_id) NGRAM_EXCLUDES(mu_);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -112,12 +114,13 @@ class BlockCache {
   };
   using LruList = std::list<Entry>;
 
-  void EvictIfNeeded();  // Requires mu_ held.
+  void EvictIfNeeded() NGRAM_REQUIRES(mu_);
 
   const size_t capacity_bytes_;
-  std::mutex mu_;
-  LruList lru_;  // Front = most recently used.
-  std::unordered_map<BlockKey, LruList::iterator, BlockKeyHash> index_;
+  Mutex mu_;
+  LruList lru_ NGRAM_GUARDED_BY(mu_);  // Front = most recently used.
+  std::unordered_map<BlockKey, LruList::iterator, BlockKeyHash> index_
+      NGRAM_GUARDED_BY(mu_);
   std::atomic<size_t> charged_bytes_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

@@ -6,9 +6,10 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace ngram::mr {
 
@@ -87,44 +88,48 @@ inline constexpr const char* kBookkeepingPeakEntries =
 /// taken after phase barriers for reporting.
 class Counters {
  public:
-  void Increment(const std::string& name, uint64_t delta = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Increment(const std::string& name, uint64_t delta = 1)
+      NGRAM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     values_[name] += delta;
   }
 
-  uint64_t Get(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t Get(const std::string& name) const NGRAM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = values_.find(name);
     return it == values_.end() ? 0 : it->second;
   }
 
   /// Raises `name` to `value` if it is currently lower (used for
   /// max-semantics counters like per-reducer skew and peak memory).
-  void UpdateMax(const std::string& name, uint64_t value) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void UpdateMax(const std::string& name, uint64_t value)
+      NGRAM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     uint64_t& slot = values_[name];
     if (value > slot) {
       slot = value;
     }
   }
 
-  std::map<std::string, uint64_t> Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> Snapshot() const NGRAM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return values_;
   }
 
-  /// Adds every counter of `other` into this.
-  void MergeFrom(const Counters& other) {
+  /// Adds every counter of `other` into this. Snapshots `other` before
+  /// taking this->mu_, so two counters merging into each other
+  /// concurrently cannot deadlock on lock order.
+  void MergeFrom(const Counters& other) NGRAM_EXCLUDES(mu_) {
     const auto snap = other.Snapshot();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [name, value] : snap) {
       values_[name] += value;
     }
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, uint64_t> values_;
+  mutable Mutex mu_;
+  std::map<std::string, uint64_t> values_ NGRAM_GUARDED_BY(mu_);
 };
 
 /// \brief A task-local, lock-free counter block flushed into the shared

@@ -45,10 +45,8 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -355,19 +353,23 @@ Result<JobMetrics> RunJob(
   // removed, so a user-provided work_dir comes back clean.
   struct RunFileCleanup {
     MapOutputRegistry* outputs;
+    IoEnv* env;
     ~RunFileCleanup() {
+      // Every worker has joined by the time the guard runs, but the
+      // guarded members still require the (uncontended) lock.
+      MutexLock lock(&outputs->mu);
       for (const auto& task : outputs->runs) {
         if (task != nullptr) {
-          RemoveRunFiles(*task);
+          RemoveRunFiles(*task, env);
         }
       }
       for (const auto& old : outputs->retired) {
         if (old != nullptr) {
-          RemoveRunFiles(*old);
+          RemoveRunFiles(*old, env);
         }
       }
     }
-  } run_file_cleanup{&map_outputs};
+  } run_file_cleanup{&map_outputs, io_env};
 
   // Early shuffle (JobConfig::shuffle_slots): background workers eagerly
   // merge committed map tasks' runs while other map tasks still execute,
@@ -495,7 +497,7 @@ Result<JobMetrics> RunJob(
         break;
       }
       tc.DiscardPending();
-      RemoveRunFiles(*out);  // Discarded attempts leave no files.
+      RemoveRunFiles(*out, io_env);  // Discarded attempts leave no files.
       out->clear();
       if (attempt + 1 < max_attempts) {
         counters.Increment(kTaskRetries);
@@ -517,7 +519,7 @@ Result<JobMetrics> RunJob(
         Status st = run_map_task(t, /*attempt_base=*/0, &counters,
                                  runs.get());
         {
-          std::lock_guard<std::mutex> lock(map_outputs.mu);
+          MutexLock lock(&map_outputs.mu);
           map_outputs.runs[t] = std::move(runs);
           map_outputs.executions[t] = 1;
         }
@@ -557,20 +559,23 @@ Result<JobMetrics> RunJob(
   // false when the task's re-execution budget is exhausted or the
   // re-execution itself failed (the corruption is then fatal).
   auto recover_producer = [&](uint32_t t, uint32_t seen_generation) -> bool {
-    std::unique_lock<std::mutex> lock(map_outputs.mu);
+    map_outputs.mu.Lock();
     // Another reducer may already be regenerating this task; wait it out
     // rather than re-executing the same task twice.
-    map_outputs.cv.wait(lock,
-                        [&] { return map_outputs.regenerating[t] == 0; });
+    while (map_outputs.regenerating[t] != 0) {
+      map_outputs.cv.Wait();
+    }
     if (map_outputs.generation[t] != seen_generation) {
+      map_outputs.mu.Unlock();
       return true;  // Already replaced since this attempt's snapshot.
     }
     if (map_outputs.executions[t] >= max_attempts) {
+      map_outputs.mu.Unlock();
       return false;  // Re-execution budget exhausted.
     }
     map_outputs.regenerating[t] = 1;
     const uint32_t attempt_base = map_outputs.executions[t] * max_attempts;
-    lock.unlock();
+    map_outputs.mu.Unlock();
 
     // Re-executions count into a throwaway sink: the original execution
     // already published this task's data counters, and the regenerated
@@ -579,7 +584,7 @@ Result<JobMetrics> RunJob(
     auto regenerated = std::make_shared<std::vector<SpillRun>>();
     Status rst = run_map_task(t, attempt_base, &scratch, regenerated.get());
 
-    lock.lock();
+    map_outputs.mu.Lock();
     map_outputs.regenerating[t] = 0;
     ++map_outputs.executions[t];
     const bool replaced = rst.ok();
@@ -593,12 +598,12 @@ Result<JobMetrics> RunJob(
       counters.Increment(kMapReexecutions);
       counters.Increment(kCorruptRunsRecovered);
     } else {
-      RemoveRunFiles(*regenerated);
+      RemoveRunFiles(*regenerated, io_env);
       NGRAM_LOG_WARN << config.name << " map task " << t
                      << " re-execution failed: " << rst.ToString();
     }
-    lock.unlock();
-    map_outputs.cv.notify_all();
+    map_outputs.mu.Unlock();
+    map_outputs.cv.SignalAll();
     if (replaced && shuffle != nullptr) {
       // The retired generation may back eager intermediates; invalidate
       // them so no later attempt substitutes stale-generation data. (The
@@ -648,18 +653,23 @@ Result<JobMetrics> RunJob(
           std::vector<std::shared_ptr<std::vector<SpillRun>>> snapshot;
           std::vector<uint32_t> generations;
           {
-            std::unique_lock<std::mutex> lock(map_outputs.mu);
+            MutexLock lock(&map_outputs.mu);
             // Plan only over settled generations: a merge planned while
             // a regeneration is mid-flight would mix the snapshot it
             // wants with files about to be retired.
-            map_outputs.cv.wait(lock, [&] {
+            for (;;) {
+              bool settled = true;
               for (const uint8_t regen : map_outputs.regenerating) {
                 if (regen != 0) {
-                  return false;
+                  settled = false;
+                  break;
                 }
               }
-              return true;
-            });
+              if (settled) {
+                break;
+              }
+              map_outputs.cv.Wait();
+            }
             snapshot = map_outputs.runs;
             generations = map_outputs.generation;
           }
@@ -760,7 +770,7 @@ Result<JobMetrics> RunJob(
           }
           // Intermediate merge outputs are attempt-private scratch: gone
           // as soon as the attempt is over, successful or not.
-          RemoveFiles(merge_inputs.intermediate_files);
+          RemoveFiles(merge_inputs.intermediate_files, io_env);
           ++attempt_seq;
           if (st.ok()) {
             // Partition-skew visibility: the heaviest reduce task.

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cstdio>
 
-#include <unistd.h>
-
 #include "mapreduce/context.h"
 #include "mapreduce/runfile.h"
 #include "mapreduce/spill_writer.h"
@@ -404,7 +402,7 @@ Status RunCrcVerifier::Verify(const SpillRun& run, IoEnv* env) {
   }
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::shared_ptr<Entry>& slot = entries_[run.file_path];
     if (slot == nullptr) {
       slot = std::make_shared<Entry>();
@@ -457,7 +455,9 @@ Status MergeMapRuns(const ExternalMergeOptions& options,
       }
       for (size_t g = i; g < group_end; ++g) {
         if (!current[g].file_path.empty()) {
-          unlink(current[g].file_path.c_str());
+          ResolveEnv(options.env)
+              ->Unlink(current[g].file_path)
+              .IgnoreError();
         }
       }
       next.push_back(std::move(merged));
@@ -553,7 +553,7 @@ Status PrepareReduceMerge(const ExternalMergeOptions& options,
       // cleanup list — a second unlink is a harmless no-op).
       for (size_t g = lo; g <= hi; ++g) {
         if (pending[g].run == nullptr) {
-          unlink(pending[g].path.c_str());
+          ResolveEnv(options.env)->Unlink(pending[g].path).IgnoreError();
         }
       }
       // The intermediate takes the window's position, so relative source
@@ -626,10 +626,11 @@ Status MergePartitionToRun(const ExternalMergeOptions& options,
   return Status::OK();
 }
 
-void RemoveFiles(const std::vector<std::string>& paths) {
+void RemoveFiles(const std::vector<std::string>& paths, IoEnv* env) {
+  IoEnv* const e = ResolveEnv(env);
   for (const std::string& path : paths) {
     if (!path.empty()) {
-      unlink(path.c_str());
+      e->Unlink(path).IgnoreError();
     }
   }
 }

@@ -30,6 +30,7 @@
 #include "mapreduce/record.h"
 #include "mapreduce/sort_buffer.h"
 #include "util/macros.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace ngram::mr {
@@ -113,15 +114,16 @@ class RunCrcVerifier {
 
   /// Verifies `run` if it carries a CRC and is file-backed; in-memory and
   /// unchecksummed runs pass trivially.
-  Status Verify(const SpillRun& run, IoEnv* env);
+  Status Verify(const SpillRun& run, IoEnv* env) NGRAM_EXCLUDES(mu_);
 
  private:
   struct Entry {
     std::once_flag once;
-    Status result;
+    Status result;  // Written once under `once`; read after call_once.
   };
-  std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_
+      NGRAM_GUARDED_BY(mu_);
 };
 
 /// Knobs shared by the map-side final merge and the reduce-side
@@ -231,7 +233,8 @@ Status MergePartitionToRun(const ExternalMergeOptions& options,
                            uint32_t partition, uint32_t num_partitions,
                            const std::string& out_path, SpillRun* out);
 
-/// Unlinks the files behind `paths` (ignoring missing ones).
-void RemoveFiles(const std::vector<std::string>& paths);
+/// Unlinks the files behind `paths` through `env` (nullptr means
+/// IoEnv::Default()), ignoring missing ones.
+void RemoveFiles(const std::vector<std::string>& paths, IoEnv* env = nullptr);
 
 }  // namespace ngram::mr

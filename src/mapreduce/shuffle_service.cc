@@ -19,10 +19,15 @@ EarlyShuffleService::EarlyShuffleService(const Options& options,
     return;
   }
   enabled_ = true;
-  parts_.resize(options_.num_partitions);
-  for (PartitionState& part : parts_) {
-    part.state.assign(options_.num_map_tasks, TaskState::kPending);
-    part.fd_sources.assign(options_.num_map_tasks, 0);
+  {
+    // Workers start below; initialize the guarded state under the lock so
+    // the analysis (and the memory model) see a clean handoff.
+    MutexLock lock(&mu_);
+    parts_.resize(options_.num_partitions);
+    for (PartitionState& part : parts_) {
+      part.state.assign(options_.num_map_tasks, TaskState::kPending);
+      part.fd_sources.assign(options_.num_map_tasks, 0);
+    }
   }
   workers_.reserve(options_.shuffle_slots);
   for (uint32_t i = 0; i < options_.shuffle_slots; ++i) {
@@ -32,7 +37,12 @@ EarlyShuffleService::EarlyShuffleService(const Options& options,
 
 EarlyShuffleService::~EarlyShuffleService() {
   Finish();
-  RemoveFiles(output_files_);
+  std::vector<std::string> doomed;
+  {
+    MutexLock lock(&mu_);
+    doomed.swap(output_files_);
+  }
+  RemoveFiles(doomed, options_.env);
 }
 
 void EarlyShuffleService::NotifyMapTaskCommitted(uint32_t task) {
@@ -43,7 +53,7 @@ void EarlyShuffleService::NotifyMapTaskCommitted(uint32_t task) {
   // window scanning never has to touch the registry.
   std::vector<uint32_t> fds(options_.num_partitions, 0);
   {
-    std::lock_guard<std::mutex> reg_lock(registry_->mu);
+    MutexLock reg_lock(&registry_->mu);
     const std::vector<SpillRun>& runs = *registry_->runs[task];
     for (const SpillRun& run : runs) {
       if (run.in_memory()) {
@@ -57,24 +67,24 @@ void EarlyShuffleService::NotifyMapTaskCommitted(uint32_t task) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (uint32_t p = 0; p < options_.num_partitions; ++p) {
       parts_[p].fd_sources[task] = fds[p];
       parts_[p].state[task] = TaskState::kReady;
     }
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
 }
 
 void EarlyShuffleService::Finish() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) {
       return;
     }
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -85,7 +95,7 @@ void EarlyShuffleService::InvalidateTask(uint32_t task) {
   if (!enabled_) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (PartitionState& part : parts_) {
     for (const std::shared_ptr<EarlyMergeOutput>& out : part.outputs) {
       if (out->first_task <= task && task <= out->last_task) {
@@ -100,7 +110,7 @@ bool EarlyShuffleService::InvalidateOutputNamedIn(
   if (!enabled_) {
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   bool matched = false;
   for (PartitionState& part : parts_) {
     for (const std::shared_ptr<EarlyMergeOutput>& out : part.outputs) {
@@ -121,7 +131,7 @@ EarlyShuffleService::OutputsFor(
   if (!enabled_) {
     return result;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const std::shared_ptr<EarlyMergeOutput>& out :
        parts_[partition].outputs) {
     if (out->invalidated) {
@@ -148,28 +158,29 @@ EarlyShuffleService::OutputsFor(
 }
 
 uint64_t EarlyShuffleService::completed_merges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return completed_merges_;
 }
 
 void EarlyShuffleService::WorkerLoop() {
   TaskCounters tc(counters_);  // Flushed by the destructor at exit.
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
     Window window;
     if (!stopping_ && FindWindow(&window)) {
-      lock.unlock();
+      mu_.Unlock();
       MergeWindow(window, &tc);
-      lock.lock();
+      mu_.Lock();
       // A finished window can wedge a neighboring sub-full window into
       // eligibility, so wake the others.
-      work_cv_.notify_all();
+      work_cv_.SignalAll();
       continue;
     }
     if (stopping_) {
+      mu_.Unlock();
       return;
     }
-    work_cv_.wait(lock);
+    work_cv_.Wait();
   }
 }
 
@@ -254,7 +265,7 @@ void EarlyShuffleService::MergeWindow(const Window& window,
   output->first_task = window.first_task;
   output->last_task = window.last_task;
   {
-    std::lock_guard<std::mutex> reg_lock(registry_->mu);
+    MutexLock reg_lock(&registry_->mu);
     for (uint32_t t = window.first_task; t <= window.last_task; ++t) {
       snapshot.push_back(registry_->runs[t]);
       output->generations.push_back(registry_->generation[t]);
@@ -283,7 +294,7 @@ void EarlyShuffleService::MergeWindow(const Window& window,
                           options_.num_partitions, window.out_path,
                           &output->run);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   PartitionState& part = parts_[window.partition];
   const TaskState verdict =
       st.ok() ? TaskState::kCovered : TaskState::kFailed;

@@ -40,10 +40,8 @@
 // because a stale reduce attempt may still be reading it.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +53,7 @@
 #include "mapreduce/sort_buffer.h"
 #include "mapreduce/spill_writer.h"
 #include "util/macros.h"
+#include "util/mutex.h"
 
 namespace ngram::mr {
 
@@ -68,15 +67,24 @@ namespace ngram::mr {
 /// are retired: their objects stay alive and their files on disk until
 /// job end, when the driver's cleanup guard removes everything.
 struct MapOutputRegistry {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<std::shared_ptr<std::vector<SpillRun>>> runs;
-  std::vector<uint32_t> generation;   // Bumped per re-execution.
-  std::vector<uint32_t> executions;   // Completed executions of the task.
-  std::vector<uint8_t> regenerating;  // A recovery is in flight.
-  std::vector<std::shared_ptr<std::vector<SpillRun>>> retired;
+  Mutex mu;
+  /// Signaled whenever a generation settles (regeneration finished,
+  /// successful or not): reduce attempts wait for a settled registry
+  /// before planning, and recoveries wait out a racing regeneration.
+  CondVar cv{&mu};
+  std::vector<std::shared_ptr<std::vector<SpillRun>>> runs
+      NGRAM_GUARDED_BY(mu);
+  /// Bumped per re-execution.
+  std::vector<uint32_t> generation NGRAM_GUARDED_BY(mu);
+  /// Completed executions of the task.
+  std::vector<uint32_t> executions NGRAM_GUARDED_BY(mu);
+  /// A recovery is in flight.
+  std::vector<uint8_t> regenerating NGRAM_GUARDED_BY(mu);
+  std::vector<std::shared_ptr<std::vector<SpillRun>>> retired
+      NGRAM_GUARDED_BY(mu);
 
-  void Resize(uint32_t num_tasks) {
+  void Resize(uint32_t num_tasks) NGRAM_EXCLUDES(mu) {
+    MutexLock lock(&mu);
     runs.resize(num_tasks);
     generation.assign(num_tasks, 0);
     executions.assign(num_tasks, 0);
@@ -147,16 +155,16 @@ class EarlyShuffleService {
   bool enabled() const { return enabled_; }
 
   /// Map task `task` committed its (generation-0) runs; wakes workers.
-  void NotifyMapTaskCommitted(uint32_t task);
+  void NotifyMapTaskCommitted(uint32_t task) NGRAM_EXCLUDES(mu_);
 
   /// The map barrier: stop scheduling, drain in-flight merges, join the
   /// workers. Idempotent.
-  void Finish();
+  void Finish() NGRAM_EXCLUDES(mu_);
 
   /// Task `task`'s generation was retired by a producer re-execution:
   /// invalidates every output built over it (files stay on disk until
   /// destruction — see EarlyMergeOutput::invalidated).
-  void InvalidateTask(uint32_t task);
+  void InvalidateTask(uint32_t task) NGRAM_EXCLUDES(mu_);
 
   /// A reduce attempt failed with `message` (an error-context string that
   /// names the offending file). If it names an eager output, invalidates
@@ -165,17 +173,19 @@ class EarlyShuffleService {
   /// the doomed file. Returns true when an output matched. Invalidation
   /// only ever shrinks the output set, so recovery retries triggered by
   /// this are bounded by the number of outputs.
-  bool InvalidateOutputNamedIn(const std::string& message);
+  bool InvalidateOutputNamedIn(const std::string& message)
+      NGRAM_EXCLUDES(mu_);
 
   /// The outputs a reduce attempt with generation snapshot `generations`
   /// may substitute for partition `partition`: valid (not invalidated,
   /// all covered generations matching), ordered by first_task,
   /// non-overlapping. Call after Finish().
   std::vector<std::shared_ptr<const EarlyMergeOutput>> OutputsFor(
-      uint32_t partition, const std::vector<uint32_t>& generations) const;
+      uint32_t partition, const std::vector<uint32_t>& generations) const
+      NGRAM_EXCLUDES(mu_);
 
   /// Eager merge passes completed successfully (tests/benchmarks).
-  uint64_t completed_merges() const;
+  uint64_t completed_merges() const NGRAM_EXCLUDES(mu_);
 
  private:
   /// Per-(partition, task) scheduling state. kPending: task not committed
@@ -206,30 +216,34 @@ class EarlyShuffleService {
     std::vector<std::shared_ptr<EarlyMergeOutput>> outputs;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() NGRAM_EXCLUDES(mu_);
   /// Picks and claims the next eager-merge window, or returns false.
-  /// Requires mu_.
-  bool FindWindow(Window* window);
+  bool FindWindow(Window* window) NGRAM_REQUIRES(mu_);
   /// Runs one claimed window's merge and records the result.
-  void MergeWindow(const Window& window, TaskCounters* tc);
+  void MergeWindow(const Window& window, TaskCounters* tc)
+      NGRAM_EXCLUDES(mu_);
 
   const Options options_;
   const size_t factor_;  // Normalized merge factor (>= 2).
   MapOutputRegistry* const registry_;
   Counters* const counters_;
-  bool enabled_ = false;
+  bool enabled_ = false;  // Written only in the constructor.
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  bool stopping_ = false;
-  uint64_t seq_ = 0;               // Output file name sequence.
-  uint64_t completed_merges_ = 0;
-  uint32_t next_partition_ = 0;    // Round-robin scan start.
-  std::vector<PartitionState> parts_;
+  mutable Mutex mu_;
+  CondVar work_cv_{&mu_};
+  bool stopping_ NGRAM_GUARDED_BY(mu_) = false;
+  /// Output file name sequence.
+  uint64_t seq_ NGRAM_GUARDED_BY(mu_) = 0;
+  uint64_t completed_merges_ NGRAM_GUARDED_BY(mu_) = 0;
+  /// Round-robin scan start.
+  uint32_t next_partition_ NGRAM_GUARDED_BY(mu_) = 0;
+  std::vector<PartitionState> parts_ NGRAM_GUARDED_BY(mu_);
   /// Every output path ever claimed, unlinked at destruction (failed
   /// merges already unlinked theirs — a second unlink is a no-op).
-  std::vector<std::string> output_files_;
+  std::vector<std::string> output_files_ NGRAM_GUARDED_BY(mu_);
 
+  /// Started in the constructor, joined by Finish(); only the
+  /// constructor, Finish(), and the destructor (via Finish()) touch it.
   std::vector<std::thread> workers_;
 };
 

@@ -1,9 +1,8 @@
 #include "mapreduce/sort_buffer.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
-
-#include <unistd.h>
 
 #include "mapreduce/runfile.h"
 #include "util/logging.h"
@@ -82,10 +81,11 @@ class SortBuffer::GroupIterator final : public RawValueIterator {
   size_t next_;     // Next ref to consume.
 };
 
-void RemoveRunFiles(const std::vector<SpillRun>& runs) {
+void RemoveRunFiles(const std::vector<SpillRun>& runs, IoEnv* env) {
+  IoEnv* const e = ResolveEnv(env);
   for (const SpillRun& run : runs) {
     if (!run.file_path.empty()) {
-      unlink(run.file_path.c_str());
+      e->Unlink(run.file_path).IgnoreError();
     }
   }
 }
@@ -98,7 +98,7 @@ SortBuffer::SortBuffer(Options options, TaskCounters* counters)
 SortBuffer::~SortBuffer() {
   // A successful Finish() moved the runs out; anything left here belongs
   // to an abandoned attempt.
-  RemoveRunFiles(runs_);
+  RemoveRunFiles(runs_, options_.env);
 }
 
 Status SortBuffer::Add(uint32_t partition, Slice key, Slice value) {

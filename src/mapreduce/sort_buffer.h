@@ -78,7 +78,9 @@ struct SpillRun {
 /// job-private, so the driver removes them for discarded task attempts
 /// and when the job finishes — a user-provided work_dir is never left
 /// with orphaned run files.
-void RemoveRunFiles(const std::vector<SpillRun>& runs);
+/// Unlinks the files behind `runs` through `env` (nullptr means
+/// IoEnv::Default()), ignoring missing ones.
+void RemoveRunFiles(const std::vector<SpillRun>& runs, IoEnv* env = nullptr);
 
 /// Raw (serialized) view of a combiner: receives one key group — the
 /// leading key plus a lazily-advancing zero-copy value iterator — and

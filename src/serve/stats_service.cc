@@ -180,6 +180,7 @@ kv::BlockCacheStats StatsService::CacheStats() const {
 }
 
 Status StatsService::Reload(const std::string& dir) {
+  MutexLock lock(&reload_mu_);
   NGRAM_ASSIGN_OR_RETURN(
       auto snapshot,
       BuildSnapshot(dir.empty() ? dir_ : dir, options_, lm_options_));

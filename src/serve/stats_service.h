@@ -30,6 +30,7 @@
 #include "serve/sharded_store.h"
 #include "text/corpus.h"
 #include "util/macros.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace ngram::serve {
@@ -78,7 +79,10 @@ class StatsService {
 
   /// Re-opens `dir` (or the original directory when empty) and atomically
   /// swaps the snapshot. Queries already in flight finish on the old one.
-  Status Reload(const std::string& dir = "");
+  /// Concurrent Reloads are serialized (build-then-publish under
+  /// `reload_mu_`), so the published snapshot is always the latest
+  /// successful build rather than whichever racing build swapped last.
+  Status Reload(const std::string& dir = "") NGRAM_EXCLUDES(reload_mu_);
 
   /// The current snapshot's store (for inspection and tests).
   std::shared_ptr<const ShardedStatsStore> store() const;
@@ -109,7 +113,13 @@ class StatsService {
   const std::string dir_;
   const ServingOptions options_;
   const lm::LanguageModelOptions lm_options_;
-  /// The atomic shard table: swapped wholesale by Reload().
+  /// Serializes Reload(): held across the snapshot build AND the publish
+  /// so two concurrent reloads cannot publish out of build order. Never
+  /// touched by queries — the read path stays lock-free.
+  Mutex reload_mu_;
+  /// The atomic shard table: swapped wholesale by Reload(). Atomic
+  /// shared_ptr load/store, not GUARDED_BY(reload_mu_): readers load it
+  /// without any lock; reload_mu_ only orders the writers.
   std::shared_ptr<const Snapshot> snapshot_;
 };
 

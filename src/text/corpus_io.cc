@@ -1,7 +1,6 @@
 #include "text/corpus_io.h"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -18,22 +17,26 @@ namespace {
 
 constexpr char kMagic[4] = {'N', 'G', 'C', '1'};
 
-struct FileCloser {
-  void operator()(FILE* f) const {
-    if (f != nullptr) {
-      fclose(f);
-    }
-  }
-};
-using FilePtr = std::unique_ptr<FILE, FileCloser>;
+/// Reads all of `path` into `*content` through `env` (already resolved).
+Status ReadWholeFile(mr::IoEnv* env, const std::string& path,
+                     std::string* content) {
+  std::unique_ptr<mr::ReadableFile> f;
+  NGRAM_RETURN_NOT_OK(env->NewReadableFile(path, /*buffer_hint=*/0, &f));
+  char chunk[64 * 1024];
+  size_t got = 0;
+  do {
+    NGRAM_RETURN_NOT_OK(f->Read(chunk, sizeof(chunk), &got));
+    content->append(chunk, got);
+  } while (got > 0);
+  return Status::OK();
+}
 
 }  // namespace
 
-Status WriteCorpusBinary(const Corpus& corpus, const std::string& path) {
-  FilePtr f(fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return Status::IOError("open " + path + ": " + strerror(errno));
-  }
+Status WriteCorpusBinary(const Corpus& corpus, const std::string& path,
+                         mr::IoEnv* env) {
+  std::unique_ptr<mr::WritableFile> f;
+  NGRAM_RETURN_NOT_OK(mr::ResolveEnv(env)->NewWritableFile(path, &f));
   std::string buf(kMagic, sizeof(kMagic));
   PutVarint64(&buf, corpus.docs.size());
   for (const auto& doc : corpus.docs) {
@@ -47,36 +50,20 @@ Status WriteCorpusBinary(const Corpus& corpus, const std::string& path) {
       }
     }
     if (buf.size() > (1 << 20)) {
-      if (fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
-        return Status::IOError("short write to " + path);
-      }
+      NGRAM_RETURN_NOT_OK(f->Write(buf.data(), buf.size()));
       buf.clear();
     }
   }
-  if (fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
-    return Status::IOError("short write to " + path);
-  }
-  if (fflush(f.get()) != 0) {
-    return Status::IOError("flush " + path);
-  }
-  return Status::OK();
+  NGRAM_RETURN_NOT_OK(f->Write(buf.data(), buf.size()));
+  NGRAM_RETURN_NOT_OK(f->Sync());
+  return f->Close();
 }
 
-Status ReadCorpusBinary(const std::string& path, Corpus* corpus) {
+Status ReadCorpusBinary(const std::string& path, Corpus* corpus,
+                        mr::IoEnv* env) {
   corpus->docs.clear();
-  FilePtr f(fopen(path.c_str(), "rb"));
-  if (f == nullptr) {
-    return Status::IOError("open " + path + ": " + strerror(errno));
-  }
   std::string content;
-  char chunk[64 * 1024];
-  size_t got = 0;
-  while ((got = fread(chunk, 1, sizeof(chunk), f.get())) > 0) {
-    content.append(chunk, got);
-  }
-  if (ferror(f.get())) {
-    return Status::IOError("read " + path);
-  }
+  NGRAM_RETURN_NOT_OK(ReadWholeFile(mr::ResolveEnv(env), path, &content));
   Slice in(content);
   if (in.size() < sizeof(kMagic) ||
       memcmp(in.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -124,7 +111,7 @@ Status ReadCorpusBinary(const std::string& path, Corpus* corpus) {
 
 
 Status WriteCorpusSharded(const Corpus& corpus, const std::string& dir,
-                          uint32_t num_shards) {
+                          uint32_t num_shards, mr::IoEnv* env) {
   if (num_shards == 0) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
@@ -140,12 +127,13 @@ Status WriteCorpusSharded(const Corpus& corpus, const std::string& dir,
   for (uint32_t i = 0; i < num_shards; ++i) {
     char name[32];
     snprintf(name, sizeof(name), "/part-%05u", i);
-    NGRAM_RETURN_NOT_OK(WriteCorpusBinary(shards[i], dir + name));
+    NGRAM_RETURN_NOT_OK(WriteCorpusBinary(shards[i], dir + name, env));
   }
   return Status::OK();
 }
 
-Status ReadCorpusSharded(const std::string& dir, Corpus* corpus) {
+Status ReadCorpusSharded(const std::string& dir, Corpus* corpus,
+                         mr::IoEnv* env) {
   corpus->docs.clear();
   std::error_code ec;
   std::vector<std::filesystem::path> parts;
@@ -164,7 +152,7 @@ Status ReadCorpusSharded(const std::string& dir, Corpus* corpus) {
   std::sort(parts.begin(), parts.end());
   for (const auto& part : parts) {
     Corpus shard;
-    NGRAM_RETURN_NOT_OK(ReadCorpusBinary(part.string(), &shard));
+    NGRAM_RETURN_NOT_OK(ReadCorpusBinary(part.string(), &shard, env));
     corpus->docs.insert(corpus->docs.end(),
                         std::make_move_iterator(shard.docs.begin()),
                         std::make_move_iterator(shard.docs.end()));

@@ -6,25 +6,31 @@
 
 #include <string>
 
+#include "mapreduce/io_env.h"
 #include "text/corpus.h"
 #include "util/status.h"
 
 namespace ngram {
 
-/// Writes `corpus` to `path` in the NGC1 binary format.
-Status WriteCorpusBinary(const Corpus& corpus, const std::string& path);
+/// Writes `corpus` to `path` in the NGC1 binary format. All byte I/O
+/// goes through `env` (nullptr means IoEnv::Default()), so corpus
+/// persistence is fault-injectable like every other persisted byte path.
+Status WriteCorpusBinary(const Corpus& corpus, const std::string& path,
+                         mr::IoEnv* env = nullptr);
 
 /// Reads a corpus written by WriteCorpusBinary.
-Status ReadCorpusBinary(const std::string& path, Corpus* corpus);
+Status ReadCorpusBinary(const std::string& path, Corpus* corpus,
+                        mr::IoEnv* env = nullptr);
 
 /// Writes the corpus spread over `num_shards` part files
 /// (`dir/part-00000` ...), documents assigned by doc id modulo shard —
 /// the paper's layout ("spread ... over a total of 256 binary files").
 Status WriteCorpusSharded(const Corpus& corpus, const std::string& dir,
-                          uint32_t num_shards);
+                          uint32_t num_shards, mr::IoEnv* env = nullptr);
 
 /// Reads every `part-*` file under `dir`; documents are returned sorted by
 /// id, so the result is independent of the shard count.
-Status ReadCorpusSharded(const std::string& dir, Corpus* corpus);
+Status ReadCorpusSharded(const std::string& dir, Corpus* corpus,
+                         mr::IoEnv* env = nullptr);
 
 }  // namespace ngram

@@ -4,13 +4,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace ngram {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -56,7 +57,7 @@ LogMessage::~LogMessage() {
   const auto now = Clock::now().time_since_epoch();
   const auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(&g_log_mutex);
   fprintf(stderr, "[%lld.%03lld %s %s:%d] %s\n",
           static_cast<long long>(ms / 1000), static_cast<long long>(ms % 1000),
           LevelName(level_), Basename(file_), line_, stream_.str().c_str());
@@ -69,7 +70,7 @@ FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
 
 FatalMessage::~FatalMessage() {
   {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(&g_log_mutex);
     fprintf(stderr, "[FATAL] %s\n", stream_.str().c_str());
     fflush(stderr);
   }

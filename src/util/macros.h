@@ -32,3 +32,57 @@
 #define NGRAM_ASSIGN_OR_RETURN(lhs, rexpr) \
   NGRAM_ASSIGN_OR_RETURN_IMPL(             \
       NGRAM_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, rexpr)
+
+// ------------------------------------------------ thread-safety analysis --
+// Annotations for clang's -Wthread-safety static analysis (no-ops on other
+// compilers). Applied to every mutex-protected member and locking function
+// in the library (util/mutex.h wraps std::mutex in an annotated capability);
+// CI builds the full tree with clang -Wthread-safety -Werror, so a lock-
+// discipline violation — touching a NGRAM_GUARDED_BY member without its
+// mutex, calling a NGRAM_REQUIRES function unlocked — fails the build.
+// See docs/architecture.md section 9 for conventions.
+
+#if defined(__clang__)
+#define NGRAM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NGRAM_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a lockable capability (util/mutex.h's Mutex).
+#define NGRAM_CAPABILITY(x) NGRAM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (util/mutex.h's MutexLock).
+#define NGRAM_SCOPED_CAPABILITY NGRAM_THREAD_ANNOTATION(scoped_lockable)
+
+/// The member is protected by the given mutex: every read or write must
+/// hold it.
+#define NGRAM_GUARDED_BY(x) NGRAM_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointee (not the pointer itself) is protected by the given mutex.
+#define NGRAM_PT_GUARDED_BY(x) NGRAM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called with the listed mutexes held.
+#define NGRAM_REQUIRES(...) \
+  NGRAM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed mutexes and does not release them.
+#define NGRAM_ACQUIRE(...) \
+  NGRAM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed mutexes (held on entry).
+#define NGRAM_RELEASE(...) \
+  NGRAM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the listed mutexes held (it takes
+/// them itself — the self-deadlock guard).
+#define NGRAM_EXCLUDES(...) NGRAM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Tells the analysis the capability is held at this point (a runtime
+/// assertion hook for paths it cannot follow).
+#define NGRAM_ASSERT_CAPABILITY(x) NGRAM_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the discipline holds anyway.
+#define NGRAM_NO_THREAD_SAFETY_ANALYSIS \
+  NGRAM_THREAD_ANNOTATION(no_thread_safety_analysis)

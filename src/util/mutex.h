@@ -1,0 +1,82 @@
+// Annotated mutex primitives: std::mutex / std::condition_variable wrapped
+// in clang thread-safety capabilities (LevelDB port style), so the lock
+// discipline of every concurrent subsystem — thread pool, block cache,
+// shuffle registry, counters — is machine-checked by -Wthread-safety in CI
+// instead of documented in prose.
+//
+// Conventions (docs/architecture.md section 9):
+//   * Members a mutex protects carry NGRAM_GUARDED_BY(mu_).
+//   * Functions that must be entered with the lock held carry
+//     NGRAM_REQUIRES(mu_); public functions that take the lock themselves
+//     carry NGRAM_EXCLUDES(mu_) where self-deadlock is plausible.
+//   * Scoped locking goes through MutexLock. Condition waits use explicit
+//     `while (!cond) cv.Wait();` loops rather than predicate lambdas: the
+//     analysis cannot see that a lambda body runs under the caller's lock,
+//     so guarded reads inside a predicate would false-positive.
+//   * CondVar::Wait is deliberately unannotated (it releases and reacquires
+//     the mutex internally; callers hold the lock across the call, which is
+//     exactly what the analysis assumes).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/macros.h"
+
+namespace ngram {
+
+/// \brief A std::mutex annotated as a thread-safety capability.
+class NGRAM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(Mutex);
+
+  void Lock() NGRAM_ACQUIRE() { mu_.lock(); }
+  void Unlock() NGRAM_RELEASE() { mu_.unlock(); }
+
+  /// Declares (to the analysis) that the lock is held at this point —
+  /// for paths the analysis cannot follow. No runtime effect.
+  void AssertHeld() NGRAM_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over a Mutex, visible to the analysis as a scoped
+/// capability (the annotated replacement for std::lock_guard).
+class NGRAM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) NGRAM_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() NGRAM_RELEASE() { mu_->Unlock(); }
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(MutexLock);
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Condition variable bound to one Mutex at construction.
+///
+/// Wait() must be called with the mutex held; it releases it while
+/// blocked and reacquires before returning (std::condition_variable
+/// semantics through the adopt/release dance).
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(CondVar);
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+  Mutex* const mu_;
+};
+
+}  // namespace ngram

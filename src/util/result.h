@@ -14,7 +14,7 @@ namespace ngram {
 /// Use with NGRAM_ASSIGN_OR_RETURN for terse propagation. Accessing the
 /// value of an errored Result aborts in debug builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs an OK result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

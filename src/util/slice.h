@@ -69,7 +69,7 @@ class Slice {
 
 inline bool operator==(const Slice& a, const Slice& b) {
   return a.size() == b.size() &&
-         (a.size() == 0 || memcmp(a.data(), b.data(), a.size()) == 0);
+         (a.empty() || memcmp(a.data(), b.data(), a.size()) == 0);
 }
 inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
 inline bool operator<(const Slice& a, const Slice& b) {

@@ -30,7 +30,7 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// The OK state carries no allocation; error states allocate a small state
 /// object. Statuses are cheap to move and copy.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() noexcept = default;  // OK.
   Status(StatusCode code, std::string msg);
@@ -99,6 +99,11 @@ class Status {
 
   /// Prefixes the message with additional context, keeping the code.
   Status WithContext(const std::string& context) const;
+
+  /// Explicitly discards the status. The class is [[nodiscard]]; cleanup
+  /// paths that genuinely do not care (e.g. best-effort unlinks of files
+  /// that may already be gone) call this instead of silently dropping it.
+  void IgnoreError() const {}
 
  private:
   struct State {

@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.SignalAll();
   for (auto& t : threads_) {
     t.join();
   }
@@ -25,24 +25,27 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.Signal();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || in_flight_ != 0) {
+    all_done_.Wait();
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && queue_.empty()) {
+        work_available_.Wait();
+      }
       if (queue_.empty()) {
         return;  // Shutting down and drained.
       }
@@ -52,10 +55,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) {
-        all_done_.notify_all();
+        all_done_.SignalAll();
       }
     }
   }

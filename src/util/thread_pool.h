@@ -2,15 +2,14 @@
 // MapReduce runtime to emulate Hadoop's map/reduce slot scheduling.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/macros.h"
+#include "util/mutex.h"
 
 namespace ngram {
 
@@ -27,23 +26,24 @@ class ThreadPool {
   NGRAM_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) NGRAM_EXCLUDES(mu_);
 
   /// Blocks until all previously submitted tasks have finished.
-  void Wait();
+  void Wait() NGRAM_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() NGRAM_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_;
+  CondVar work_available_{&mu_};
+  CondVar all_done_{&mu_};
+  std::deque<std::function<void()>> queue_ NGRAM_GUARDED_BY(mu_);
+  /// Immutable after construction (safe to read unlocked).
   std::vector<std::thread> threads_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  size_t in_flight_ NGRAM_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ NGRAM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ngram

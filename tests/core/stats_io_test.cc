@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "mapreduce/io_env.h"
 #include "text/corpus_builder.h"
 #include "util/temp_dir.h"
 
@@ -70,6 +71,30 @@ TEST_F(StatsIoTest, BinaryRejectsTruncation) {
       << content.substr(0, content.size() - 1);
   NgramStatistics loaded;
   EXPECT_TRUE(ReadStatsBinary(path, &loaded).IsCorruption());
+}
+
+TEST_F(StatsIoTest, FaultEnvInjectsWriteError) {
+  mr::FaultPlan plan;
+  plan.kind = mr::FaultPlan::Kind::kWriteError;
+  plan.op = 1;
+  mr::FaultEnv env(mr::IoEnv::Default(), plan);
+  const Status st =
+      WriteStatsBinary(SampleStats(), dir_->File("faulted.bin"), &env);
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_TRUE(env.fault_fired());
+}
+
+TEST_F(StatsIoTest, FaultEnvInjectsReadError) {
+  const std::string path = dir_->File("readable.bin");
+  ASSERT_TRUE(WriteStatsBinary(SampleStats(), path).ok());
+  mr::FaultPlan plan;
+  plan.kind = mr::FaultPlan::Kind::kReadError;
+  plan.op = 1;
+  mr::FaultEnv env(mr::IoEnv::Default(), plan);
+  NgramStatistics loaded;
+  const Status st = ReadStatsBinary(path, &loaded, &env);
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_TRUE(env.fault_fired());
 }
 
 TEST_F(StatsIoTest, ReadMissingFileIsIOError) {

@@ -1,0 +1,13 @@
+// Lint fixture: raw I/O suppressed by fixtures/allowlist.txt.
+#include <cstdio>
+
+long SizeOf(const char* path) {
+  FILE* f = fopen(path, "rb");
+  if (f == nullptr) {
+    return -1;
+  }
+  fseek(f, 0, SEEK_END);
+  const long size = ftell(f);
+  fclose(f);
+  return size;
+}

@@ -1,0 +1,6 @@
+// Lint fixture: printf-family logging outside util/logging (rule: printf).
+#include <cstdio>
+
+void ReportProgress(int done, int total) {
+  fprintf(stderr, "progress: %d/%d\n", done, total);
+}

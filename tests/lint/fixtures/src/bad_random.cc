@@ -1,0 +1,7 @@
+// Lint fixture: nondeterminism in runtime code (rule: random).
+#include <random>
+
+unsigned PickShard(unsigned num_shards) {
+  std::random_device rd;
+  return rd() % num_shards;
+}

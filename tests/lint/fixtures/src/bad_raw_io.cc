@@ -1,0 +1,11 @@
+// Lint fixture: raw file I/O in runtime code (rule: raw-io).
+#include <cstdio>
+
+bool TouchFile(const char* path) {
+  FILE* f = fopen(path, "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  fclose(f);
+  return true;
+}

@@ -1,0 +1,7 @@
+// Lint fixture: banned std::stable_sort (rule: stable-sort).
+#include <algorithm>
+#include <vector>
+
+void SortValues(std::vector<int>* v) {
+  std::stable_sort(v->begin(), v->end());
+}

@@ -1,0 +1,17 @@
+// Lint fixture: must produce NO findings. Banned tokens appear only in
+// comments and string literals — e.g. fopen(, std::stable_sort, and
+// fprintf( right here — and near-miss identifiers exercise the token
+// boundary (snprintf is not printf; reducer_outputs( is not puts().
+#include <cstdio>
+#include <string>
+#include <vector>
+
+std::string DescribeBannedCalls() {
+  // rand( inside srand-like identifiers must not match either.
+  int operand(3);
+  char buf[64];
+  snprintf(buf, sizeof(buf), "do not call fopen( or ::unlink( %d", operand);
+  return std::string(buf) + " std::stable_sort is banned";
+}
+
+std::vector<int> reducer_outputs(int n) { return std::vector<int>(n, 0); }

@@ -1,0 +1,106 @@
+// Drives the ngram_lint binary (tools/lint) over its fixture tree and
+// over the real repository, pinning the exit-code contract, the
+// diagnostic format, the token-boundary matcher, and the allowlist.
+//
+// The binary path and source root arrive as compile definitions from
+// CMake (NGRAM_LINT_BINARY, NGRAM_SOURCE_DIR), so the test works from
+// any build directory.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace ngram {
+namespace {
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs `command` (stderr folded into stdout), capturing output and the
+/// process exit code.
+LintResult RunCommand(const std::string& command) {
+  LintResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 4096> chunk;
+  size_t got = 0;
+  while ((got = fread(chunk.data(), 1, chunk.size(), pipe)) > 0) {
+    result.output.append(chunk.data(), got);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+const std::string kBinary = NGRAM_LINT_BINARY;
+const std::string kSourceDir = NGRAM_SOURCE_DIR;
+const std::string kFixtures = kSourceDir + "/tests/lint/fixtures";
+
+TEST(NgramLintTest, FixturesWithoutAllowlistReportEveryRule) {
+  const LintResult result =
+      RunCommand(kBinary + " --root " + kFixtures);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  // One finding per bad fixture, each tagged with its rule.
+  EXPECT_NE(result.output.find("src/bad_raw_io.cc:5: [raw-io]"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("src/bad_stable_sort.cc:6: [stable-sort]"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("src/bad_random.cc:5: [random]"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("src/bad_printf.cc:5: [printf]"),
+            std::string::npos)
+      << result.output;
+  // Without an allowlist the second raw-io file is a finding too.
+  EXPECT_NE(result.output.find("src/allowlisted_io.cc:5: [raw-io]"),
+            std::string::npos)
+      << result.output;
+  // Tokens in comments/strings and near-miss identifiers never match.
+  EXPECT_EQ(result.output.find("clean.cc"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("5 finding(s)"), std::string::npos)
+      << result.output;
+}
+
+TEST(NgramLintTest, AllowlistSuppressesExactlyItsEntry) {
+  const LintResult result =
+      RunCommand(kBinary + " --root " + kFixtures + " --allowlist " +
+                 kFixtures + "/allowlist.txt");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_EQ(result.output.find("allowlisted_io.cc"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("src/bad_raw_io.cc:5: [raw-io]"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("4 finding(s)"), std::string::npos)
+      << result.output;
+}
+
+TEST(NgramLintTest, RepositoryTreeIsClean) {
+  // The CI gate, run as a test: the real tree plus the real allowlist
+  // must produce zero findings.
+  const LintResult result =
+      RunCommand(kBinary + " --root " + kSourceDir + " --allowlist " +
+                 kSourceDir + "/tools/lint/lint_allowlist.txt");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("ngram_lint: clean"), std::string::npos)
+      << result.output;
+}
+
+TEST(NgramLintTest, MissingRootIsUsageError) {
+  const LintResult result = RunCommand(kBinary);
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("usage:"), std::string::npos)
+      << result.output;
+}
+
+}  // namespace
+}  // namespace ngram

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "corpus/synthetic.h"
+#include "mapreduce/io_env.h"
 #include "testing/test_util.h"
 #include "util/temp_dir.h"
 
@@ -80,6 +81,49 @@ TEST_F(CorpusIoTest, RejectsTruncatedFile) {
       << content.substr(0, content.size() / 2);
   Corpus loaded;
   EXPECT_TRUE(ReadCorpusBinary(path, &loaded).IsCorruption());
+}
+
+TEST_F(CorpusIoTest, FaultEnvInjectsWriteError) {
+  mr::FaultPlan plan;
+  plan.kind = mr::FaultPlan::Kind::kWriteError;
+  plan.op = 1;
+  mr::FaultEnv env(mr::IoEnv::Default(), plan);
+  const Corpus corpus = testing::RandomCorpus(3, 10, 6, 4, 10, 1990, 1999);
+  const Status st =
+      WriteCorpusBinary(corpus, dir_->File("faulted.ngc"), &env);
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_TRUE(env.fault_fired());
+}
+
+TEST_F(CorpusIoTest, FaultEnvInjectsReadError) {
+  const Corpus corpus = testing::RandomCorpus(3, 10, 6, 4, 10, 1990, 1999);
+  const std::string path = dir_->File("readable.ngc");
+  ASSERT_TRUE(WriteCorpusBinary(corpus, path).ok());
+  mr::FaultPlan plan;
+  plan.kind = mr::FaultPlan::Kind::kReadError;
+  plan.op = 1;
+  mr::FaultEnv env(mr::IoEnv::Default(), plan);
+  Corpus loaded;
+  const Status st = ReadCorpusBinary(path, &loaded, &env);
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_TRUE(env.fault_fired());
+}
+
+TEST_F(CorpusIoTest, FaultEnvBitFlipSurfacesAsCorruption) {
+  // A silent bit flip in the written bytes must surface as Corruption on
+  // read-back (never as a silently different corpus).
+  const Corpus corpus = testing::RandomCorpus(1, 4, 4, 3, 6, 1990, 1999);
+  const std::string path = dir_->File("flipped.ngc");
+  mr::FaultPlan plan;
+  plan.kind = mr::FaultPlan::Kind::kBitFlip;
+  plan.op = 1;
+  plan.bit = 3;  // Lands in the leading magic/header bytes.
+  mr::FaultEnv env(mr::IoEnv::Default(), plan);
+  ASSERT_TRUE(WriteCorpusBinary(corpus, path, &env).ok());
+  ASSERT_TRUE(env.fault_fired());
+  Corpus loaded;
+  const Status st = ReadCorpusBinary(path, &loaded);
+  EXPECT_FALSE(st.ok());
 }
 
 TEST_F(CorpusIoTest, MissingFileIsIOError) {

@@ -1,0 +1,348 @@
+// ngram_lint: enforces project invariants a compiler cannot see.
+//
+// The rules (docs/architecture.md section 9):
+//   raw-io       Raw file I/O (fopen/::open/::rename/::unlink/std::remove/
+//                fread/fwrite) is confined to the IoEnv implementation —
+//                every persisted byte path must be fault-injectable.
+//                Scope: src/.
+//   stable-sort  std::stable_sort is banned repo-wide (PR 3): it allocates
+//                a temp buffer and hides tie-break intent; use std::sort
+//                with an explicit deterministic tie-break. Scope: all.
+//   random       Nondeterminism (rand/srand/std::random_device) is banned
+//                in the runtime — job output must be a pure function of
+//                input and config. Seeded generators in bench/tests are
+//                fine. Scope: src/.
+//   printf       printf-family logging belongs in util/logging (one place
+//                to redirect, one lock). snprintf-to-buffer formatting is
+//                not logging and stays legal. Scope: src/.
+//
+// Exemptions live in a machine-readable allowlist (default:
+// tools/lint/lint_allowlist.txt): one "rule path-suffix" pair per line,
+// '#' comments. Diagnostics are "path:line: [rule] message"; the exit
+// code is 1 when any finding survives the allowlist, 0 on a clean tree.
+//
+// Matching is token-based over comment- and string-stripped source: a
+// banned token only counts when the preceding character cannot extend an
+// identifier (so `snprintf(` never matches `printf(`, and our own
+// `Rename(`/`Unlink(` wrappers never match `rename(`/`unlink(`).
+//
+// Dependency-free by design: exactly the C++ standard library, so the
+// binary builds everywhere the project does and CI can run it before any
+// third-party checkout.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Rule {
+  const char* name;
+  /// Path prefix (relative to the root, '/'-separated) the rule applies
+  /// under; empty means everywhere.
+  const char* scope;
+  std::vector<const char*> tokens;
+  const char* message;
+};
+
+// Token literals are split ("std::" "stable_sort") so this file's own
+// code — which is scanned in CI like everything under tools/ — does not
+// contain the contiguous banned spelling outside of stripped strings.
+const std::vector<Rule>& Rules() {
+  static const std::vector<Rule> rules = {
+      {"raw-io",
+       "src/",
+       {"fopen(", "::open(", "::rename(", "::unlink(", "unlink(",
+        "std::" "remove(", "fread(", "fwrite("},
+       "raw file I/O belongs behind IoEnv (src/mapreduce/io_env.h) so the "
+       "byte path stays fault-injectable"},
+      {"stable-sort",
+       "",
+       {"std::" "stable_sort"},
+       "std::" "stable_sort is banned: use std::sort with an explicit "
+       "deterministic tie-break"},
+      {"random",
+       "src/",
+       {"std::" "random_device", "rand(", "srand("},
+       "nondeterminism in the runtime: job output must be a pure function "
+       "of input and config"},
+      {"printf",
+       "src/",
+       {"printf(", "fprintf(", "vfprintf(", "puts(", "fputs("},
+       "printf-family logging belongs in util/logging"},
+  };
+  return rules;
+}
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_suffix;
+};
+
+struct Finding {
+  std::string path;  // Relative to the root.
+  size_t line;
+  const Rule* rule;
+};
+
+/// Replaces comments and string/char-literal contents with spaces,
+/// keeping newlines so line numbers survive. Handles //, /* */, escape
+/// sequences, and leaves everything else byte-for-byte.
+std::string StripCommentsAndStrings(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// True when `token` occurs in `line` with a non-identifier character
+/// (or line start) before it. The preceding character must also not be
+/// ':' — that keeps a qualified name from matching a shorter token (so
+/// `mr::rename_helper(` cannot match `rename(`, and `::open(` is claimed
+/// by its own token rather than by `open(`).
+bool MatchesToken(const std::string& line, const char* token) {
+  const size_t token_len = std::strlen(token);
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const char before = pos == 0 ? '\0' : line[pos - 1];
+    if (!IsIdentChar(before) && before != ':') {
+      return true;
+    }
+    pos += token_len;
+  }
+  return false;
+}
+
+bool Allowed(const std::vector<AllowEntry>& allow, const std::string& rule,
+             const std::string& rel_path) {
+  for (const AllowEntry& entry : allow) {
+    if (entry.rule == rule && rel_path.size() >= entry.path_suffix.size() &&
+        rel_path.compare(rel_path.size() - entry.path_suffix.size(),
+                         entry.path_suffix.size(),
+                         entry.path_suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ScanFile(const fs::path& file, const std::string& rel_path,
+              const std::vector<AllowEntry>& allow,
+              std::vector<Finding>* findings) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    return;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string code = StripCommentsAndStrings(ss.str());
+
+  size_t line_no = 1;
+  size_t start = 0;
+  while (start <= code.size()) {
+    size_t end = code.find('\n', start);
+    if (end == std::string::npos) {
+      end = code.size();
+    }
+    const std::string line = code.substr(start, end - start);
+    for (const Rule& rule : Rules()) {
+      if (rule.scope[0] != '\0' && rel_path.rfind(rule.scope, 0) != 0) {
+        continue;
+      }
+      if (Allowed(allow, rule.name, rel_path)) {
+        continue;
+      }
+      for (const char* token : rule.tokens) {
+        if (MatchesToken(line, token)) {
+          findings->push_back(Finding{rel_path, line_no, &rule});
+          break;
+        }
+      }
+    }
+    if (end == code.size()) {
+      break;
+    }
+    start = end + 1;
+    ++line_no;
+  }
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+void ScanTree(const fs::path& root, const fs::path& dir,
+              const std::vector<AllowEntry>& allow,
+              std::vector<Finding>* findings) {
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), it_end;
+       !ec && it != it_end; it.increment(ec)) {
+    // Deliberately-bad lint fixtures are scanned by the lint test via an
+    // explicit root, never as part of the repository tree.
+    if (it->is_directory() && it->path().filename() == "fixtures") {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && IsSourceFile(it->path())) {
+      const std::string rel =
+          fs::relative(it->path(), root, ec).generic_string();
+      if (!ec) {
+        ScanFile(it->path(), rel, allow, findings);
+      }
+    }
+  }
+}
+
+bool LoadAllowlist(const std::string& path, std::vector<AllowEntry>* allow) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ss(line);
+    AllowEntry entry;
+    if (ss >> entry.rule >> entry.path_suffix) {
+      allow->push_back(std::move(entry));
+    }
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ngram_lint --root DIR [--allowlist FILE]\n"
+      "\n"
+      "Scans src/, tests/, bench/, examples/, and tools/ under DIR for\n"
+      "project-invariant violations (raw-io, stable-sort, random, printf).\n"
+      "Findings print as 'path:line: [rule] message'; exit status is 1\n"
+      "when any finding survives the allowlist.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root_arg;
+  std::string allowlist_arg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root_arg = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_arg = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (root_arg.empty()) {
+    return Usage();
+  }
+  std::error_code ec;
+  const fs::path root = fs::canonical(root_arg, ec);
+  if (ec) {
+    std::fprintf(stderr, "ngram_lint: cannot resolve root '%s': %s\n",
+                 root_arg.c_str(), ec.message().c_str());
+    return 2;
+  }
+
+  std::vector<AllowEntry> allow;
+  if (!allowlist_arg.empty() && !LoadAllowlist(allowlist_arg, &allow)) {
+    std::fprintf(stderr, "ngram_lint: cannot read allowlist '%s'\n",
+                 allowlist_arg.c_str());
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  for (const char* tree : {"src", "tests", "bench", "examples", "tools"}) {
+    const fs::path dir = root / tree;
+    if (fs::is_directory(dir, ec)) {
+      ScanTree(root, dir, allow, &findings);
+    }
+  }
+
+  for (const Finding& f : findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line, f.rule->name,
+                f.rule->message);
+  }
+  if (findings.empty()) {
+    std::printf("ngram_lint: clean\n");
+    return 0;
+  }
+  std::printf("ngram_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}
