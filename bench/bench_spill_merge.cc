@@ -127,6 +127,56 @@ void RegisterFormatSweep(const Dataset& dataset) {
   }
 }
 
+// Fetch-shuffle column (docs/architecture.md section 10): the same
+// spill-heavy regime with every shuffled byte pulled through the
+// in-proc transport into clone run files (fetch=1) vs the direct
+// shared-filesystem shuffle (fetch=0). fetch_mb is the wire volume;
+// the wallclock delta is the serve+mirror cost the placement
+// independence buys. Output is byte-identical across the column.
+void RegisterFetchSweep(const Dataset& dataset) {
+  const Method methods[] = {Method::kNaive, Method::kSuffixSigma};
+  for (Method method : methods) {
+    for (bool fetch : {false, true}) {
+      const std::string name =
+          std::string("FetchShuffle/") + dataset.name + "/" +
+          MethodName(method) + "/fetch=" + (fetch ? "1" : "0");
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&dataset, method, fetch](::benchmark::State& state) {
+            NgramJobOptions options =
+                BenchOptions(method, dataset.default_tau, 5);
+            options.sort_buffer_bytes = 128 << 10;  // Spill-heavy.
+            options.merge_factor = 16;
+            options.fetch_shuffle = fetch;
+            const CorpusContext& ctx = dataset.context();
+            for (auto _ : state) {
+              auto run = ComputeNgramStatistics(ctx, options);
+              if (!run.ok()) {
+                state.SkipWithError(run.status().ToString().c_str());
+                return;
+              }
+              state.SetIterationTime(run->metrics.total_wallclock_ms() /
+                                     1000.0);
+              state.counters["fetch_mb"] =
+                  static_cast<double>(run->metrics.TotalCounter(
+                      mr::kShuffleFetchBytes)) /
+                  (1024.0 * 1024.0);
+              state.counters["fetch_retries"] = static_cast<double>(
+                  run->metrics.TotalCounter(mr::kFetchRetries));
+              state.counters["fetch_wait_ms"] = static_cast<double>(
+                  run->metrics.TotalCounter(mr::kFetchWaitMs));
+              state.counters["reduce_ms"] =
+                  run->metrics.total_reduce_phase_ms();
+              state.counters["map_ms"] = run->metrics.total_map_phase_ms();
+            }
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ngram::bench
 
@@ -137,6 +187,8 @@ int main(int argc, char** argv) {
   RegisterSpillSweep(Cw());
   RegisterFormatSweep(Nyt());
   RegisterFormatSweep(Cw());
+  RegisterFetchSweep(Nyt());
+  RegisterFetchSweep(Cw());
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   return 0;

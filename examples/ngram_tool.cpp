@@ -7,16 +7,22 @@
 //               [--sort-buffer-kb=N] [--merge-factor=N] [--shuffle-slots=N]
 //               [--compress|--no-compress] [--checksum]
 //               [--max-task-attempts=N] [--chaos-seed=N]
+//               [--fetch-shuffle] [--fetch-transport=inproc|socket]
+//               [--shuffle-socket=PATH]
 //               [--no-splits] [--maximal|--closed] [--verbose]
 //   ngram_tool top <in.ngs> [k]
 //   ngram_tool info <in.ngc>
 //   ngram_tool build-serving <in.ngs> <out_dir> [--shards=N] [--block-kb=N]
+//   ngram_tool serve-shuffle <socket-path>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/maximality.h"
@@ -24,6 +30,8 @@
 #include "core/stats_io.h"
 #include "corpus/synthetic.h"
 #include "mapreduce/io_env.h"
+#include "net/map_output_server.h"
+#include "net/socket_transport.h"
 #include "serve/serving_builder.h"
 #include "text/corpus_io.h"
 
@@ -41,11 +49,14 @@ int Usage() {
           "             [--shuffle-slots=N]\n"
           "             [--compress|--no-compress] [--checksum]\n"
           "             [--max-task-attempts=N] [--chaos-seed=N]\n"
+          "             [--fetch-shuffle] [--fetch-transport=inproc|socket]\n"
+          "             [--shuffle-socket=PATH]\n"
           "             [--no-splits] [--maximal|--closed] [--verbose]\n"
           "  ngram_tool top <in.ngs> [k]\n"
           "  ngram_tool info <in.ngc>\n"
           "  ngram_tool build-serving <in.ngs> <out_dir> [--shards=N]\n"
           "             [--block-kb=N]\n"
+          "  ngram_tool serve-shuffle <socket-path>\n"
           "methods: naive, apriori-scan, apriori-index, suffix-sigma\n");
   return 2;
 }
@@ -144,6 +155,19 @@ int CmdStats(const std::vector<std::string>& args) {
     } else if (ParseFlag(args[i], "chaos-seed", &value)) {
       have_chaos_seed = true;
       chaos_seed = static_cast<uint64_t>(atoll(value.c_str()));
+    } else if (args[i] == "--fetch-shuffle") {
+      options.fetch_shuffle = true;
+    } else if (ParseFlag(args[i], "fetch-transport", &value)) {
+      options.fetch_shuffle = true;
+      if (value == "socket") {
+        options.fetch_over_sockets = true;
+      } else if (value != "inproc") {
+        return Usage();
+      }
+    } else if (ParseFlag(args[i], "shuffle-socket", &value)) {
+      // Two-process mode: dial an external `serve-shuffle` server.
+      options.fetch_shuffle = true;
+      options.shuffle_server_address = value;
     } else if (args[i] == "--verbose") {
       verbose = true;
     } else if (args[i] == "--no-splits") {
@@ -221,7 +245,8 @@ int CmdStats(const std::vector<std::string>& args) {
         mr::kRunBytesWritten,     mr::kCombineInputRecords,
         mr::kCombineOutputRecords, mr::kReduceInputRecords,
         mr::kTaskRetries,         mr::kMapReexecutions,
-        mr::kCorruptRunsRecovered,
+        mr::kCorruptRunsRecovered, mr::kShuffleFetchBytes,
+        mr::kFetchRetries,        mr::kFetchWaitMs,
     };
     printf("  shuffle: sort-buffer=%llu KiB merge-factor=%u "
            "shuffle-slots=%u compress=%s checksum=%s\n",
@@ -321,6 +346,41 @@ int CmdBuildServing(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Set by the SIGINT/SIGTERM handler; the serve loop polls it.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleStopSignal(int /*signum*/) { g_serve_stop = 1; }
+
+int CmdServeShuffle(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return Usage();
+  }
+  const std::string socket_path = args[0];
+  net::SocketTransport transport;
+  net::MapOutputServer::Options options;
+  options.transport = &transport;
+  options.address = socket_path;
+  net::MapOutputServer server(options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  printf("serving shuffle on %s (SIGINT/SIGTERM stops)\n",
+         socket_path.c_str());
+  fflush(stdout);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  printf("serve-shuffle: %llu connection(s), %llu segment(s) served\n",
+         static_cast<unsigned long long>(server.connections_accepted()),
+         static_cast<unsigned long long>(server.segments_served()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -343,6 +403,9 @@ int main(int argc, char** argv) {
   }
   if (command == "build-serving") {
     return CmdBuildServing(args);
+  }
+  if (command == "serve-shuffle") {
+    return CmdServeShuffle(args);
   }
   return Usage();
 }

@@ -119,6 +119,21 @@ struct NgramJobOptions {
   /// "administrative fix cost" that penalizes multi-job methods.
   double job_overhead_ms = 0.0;
 
+  /// Fetch shuffle (mapreduce/config.h; docs/architecture.md section 10):
+  /// pull every map output through a byte-stream transport into local
+  /// clone run files and plan the reduce side only over the clones.
+  /// Output is byte-identical on or off.
+  bool fetch_shuffle = false;
+
+  /// Loopback fetch fabric: false = deterministic in-process pipes (the
+  /// default), true = Unix-domain sockets. Ignored when
+  /// shuffle_server_address is set (always sockets).
+  bool fetch_over_sockets = false;
+
+  /// Non-empty: dial an external `ngram_tool serve-shuffle` server at
+  /// this Unix-socket path instead of starting a loopback server.
+  std::string shuffle_server_address;
+
   /// Memory budget for reducer-side buffered state (APRIORI-INDEX posting
   /// buffers, APRIORI-SCAN dictionary) before migrating to the disk KV
   /// store.

@@ -13,7 +13,19 @@
 #include "mapreduce/partitioner.h"
 #include "mapreduce/spill_writer.h"
 
+namespace ngram::net {
+class Transport;
+}  // namespace ngram::net
+
 namespace ngram::mr {
+
+/// Which byte-stream fabric the fetch shuffle runs over.
+enum class ShuffleTransport : uint8_t {
+  /// Deterministic in-process pipes (no sockets). The loopback default.
+  kInProc = 0,
+  /// Unix-domain sockets — the two-process fabric (`serve-shuffle`).
+  kUnixSocket = 1,
+};
 
 struct JobConfig {
   /// Job name, used in logs and metrics.
@@ -134,6 +146,38 @@ struct JobConfig {
   /// means IoEnv::Default(), the stdio passthrough; tests pass a FaultEnv
   /// to inject read/write/sync/rename faults (io_env.h). Not owned.
   IoEnv* io_env = nullptr;
+
+  /// Fetch shuffle (docs/architecture.md section 10). Off (default):
+  /// reduce tasks plan directly over the shared MapOutputRegistry — the
+  /// single-process fast path. On: every committed map task's output is
+  /// *published* to a MapOutputServer and *fetched* back over a byte
+  /// stream into local clone run files, and the reduce side plans only
+  /// over the fetched clones — the Hadoop/YTsaurus placement model, where
+  /// every shuffled byte crosses a transport. Clones are byte-identical
+  /// to their sources with identical segment extents, so job output and
+  /// data counters are byte-identical on or off for every merge factor
+  /// and slot count; spill/fetch accounting counters differ (final
+  /// flushes are forced to disk so they can be served). A fetch that
+  /// fails persistently fails its *map* attempt; a clone found corrupt at
+  /// reduce time triggers producer re-execution (max_task_attempts
+  /// bounds both), consuming no reduce attempt.
+  bool fetch_shuffle = false;
+
+  /// Fabric the fetch shuffle uses when the job starts its own loopback
+  /// server (ignored when `shuffle_server_address` is set, which always
+  /// dials Unix sockets).
+  ShuffleTransport shuffle_transport = ShuffleTransport::kInProc;
+
+  /// Non-empty: dial an external `ngram_tool serve-shuffle` server at
+  /// this Unix-socket path instead of starting a loopback server — the
+  /// two-process mode. Run files are shared through the filesystem (same
+  /// host), bytes move over the socket.
+  std::string shuffle_server_address;
+
+  /// Test seam: run the fetch shuffle over this transport instead of
+  /// constructing one (chaos tests pass a FaultTransport over an
+  /// InProcTransport). Not owned. Ignored when fetch_shuffle is off.
+  net::Transport* shuffle_transport_override = nullptr;
 
   const RawComparator* EffectiveGrouping() const {
     return grouping_comparator != nullptr ? grouping_comparator

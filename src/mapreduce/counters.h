@@ -73,6 +73,18 @@ inline constexpr const char* kEarlyMergeBytes = "EARLY_MERGE_BYTES";
 /// summed over successful reduce attempts) — the latency the early
 /// shuffle service exists to shrink.
 inline constexpr const char* kBarrierWaitMs = "BARRIER_WAIT_MS";
+/// Fetch shuffle (JobConfig::fetch_shuffle): payload bytes pulled over
+/// the transport — every shuffled byte crosses the wire in fetch mode,
+/// so this tracks the job's shuffle traffic as a remote cluster would
+/// bill it. Deterministic for a fault-free run (unlike the two below).
+inline constexpr const char* kShuffleFetchBytes = "SHUFFLE_FETCH_BYTES";
+/// Fetch/publish requests that were retried over a fresh connection
+/// (transient transport faults absorbed without failing the attempt).
+inline constexpr const char* kFetchRetries = "FETCH_RETRIES";
+/// Milliseconds map attempts spent mirroring their output through the
+/// shuffle server (publish + fetch + clone-file commit, summed over
+/// successful attempts) — the latency price of placement independence.
+inline constexpr const char* kFetchWaitMs = "FETCH_WAIT_MS";
 /// Maximum records any single reduce task consumed (partition skew).
 inline constexpr const char* kReduceInputRecordsMax =
     "REDUCE_INPUT_RECORDS_MAX";

@@ -61,6 +61,10 @@
 #include "mapreduce/metrics.h"
 #include "mapreduce/shuffle_service.h"
 #include "mapreduce/sort_buffer.h"
+#include "net/inproc_transport.h"
+#include "net/map_output_server.h"
+#include "net/shuffle_fetcher.h"
+#include "net/socket_transport.h"
 #include "util/logging.h"
 #include "util/result.h"
 #include "util/stopwatch.h"
@@ -371,6 +375,80 @@ Result<JobMetrics> RunJob(
     }
   } run_file_cleanup{&map_outputs, io_env};
 
+  // Fetch shuffle (JobConfig::fetch_shuffle; docs/architecture.md
+  // section 10): committed map output is published to a MapOutputServer
+  // and pulled back over a byte-stream transport into local clone run
+  // files; the whole reduce side then plans only over the clones, exactly
+  // as a remote reducer would. Clones live in their own registry with
+  // their own cleanup guard; origin files are kept until job end (they
+  // back re-fetches after a producer re-execution), so fetch mode holds
+  // roughly 2x the shuffle bytes on disk — the price a real cluster pays
+  // in network transfer, paid here in work_dir space.
+  const bool fetch_shuffle = config.fetch_shuffle;
+  MapOutputRegistry fetched_outputs;
+  fetched_outputs.Resize(fetch_shuffle ? num_map_tasks : 0);
+  RunFileCleanup fetched_file_cleanup{&fetched_outputs, io_env};
+
+  // Transport, loopback server, and fetcher — declared after the cleanup
+  // guards so the server stops (connection threads joined, no extent read
+  // in flight) before any run file is unlinked.
+  std::unique_ptr<net::InProcTransport> owned_inproc_transport;
+  std::unique_ptr<net::SocketTransport> owned_socket_transport;
+  std::unique_ptr<net::MapOutputServer> fetch_server;
+  std::unique_ptr<net::ShuffleFetcher> fetcher;
+  if (fetch_shuffle) {
+    net::Transport* transport = nullptr;
+    std::string server_address = config.shuffle_server_address;
+    const bool external_server = !server_address.empty();
+    if (config.shuffle_transport_override != nullptr) {
+      transport = config.shuffle_transport_override;
+    } else if (external_server ||
+               config.shuffle_transport == ShuffleTransport::kUnixSocket) {
+      // An external server address always names a Unix socket (the
+      // `ngram_tool serve-shuffle` fabric).
+      owned_socket_transport = std::make_unique<net::SocketTransport>();
+      transport = owned_socket_transport.get();
+    } else {
+      owned_inproc_transport = std::make_unique<net::InProcTransport>();
+      transport = owned_inproc_transport.get();
+    }
+    if (!external_server) {
+      // Loopback: the job serves its own committed runs. Every shuffled
+      // byte still crosses the transport — the fetch path under test is
+      // the two-process path minus process isolation.
+      server_address = owned_socket_transport != nullptr
+                           ? work_dir + "/shuffle.sock"
+                           : "loopback";
+      net::MapOutputServer::Options server_options;
+      server_options.transport = transport;
+      server_options.address = server_address;
+      server_options.env = io_env;
+      fetch_server = std::make_unique<net::MapOutputServer>(server_options);
+      Status server_st = fetch_server->Start();
+      if (!server_st.ok()) {
+        return server_st.WithContext(config.name +
+                                     " starting loopback shuffle server");
+      }
+    }
+    net::ShuffleFetcher::Options fetcher_options;
+    fetcher_options.transport = transport;
+    fetcher_options.server_address = server_address;
+    fetcher_options.work_dir = work_dir;
+    fetcher_options.buffer_bytes = config.spill_buffer_bytes;
+    fetcher_options.env = io_env;
+    fetcher = std::make_unique<net::ShuffleFetcher>(fetcher_options);
+  }
+
+  // The registry the entire reduce side — settle-wait, planning
+  // snapshots, eager merging, corruption recovery — works against:
+  // fetched clones in fetch mode, the origin registry otherwise. Clone
+  // files are byte-identical to their origins with identical segment
+  // extents at identical (task, run) positions, so merge planning, the
+  // source-order tie-break, and eager-window substitution behave exactly
+  // as they do fetch-off: job output is byte-identical on or off.
+  MapOutputRegistry& plan_outputs =
+      fetch_shuffle ? fetched_outputs : map_outputs;
+
   // Early shuffle (JobConfig::shuffle_slots): background workers eagerly
   // merge committed map tasks' runs while other map tasks still execute,
   // so reduce tasks find most of their intermediate passes already done
@@ -391,8 +469,10 @@ Result<JobMetrics> RunJob(
     shuffle_options.checksum = config.checksum_spills;
     shuffle_options.verifier = &crc_verifier;
     shuffle_options.env = io_env;
+    // In fetch mode the eager mergers read the fetched clones, like
+    // every other reduce-side consumer.
     shuffle = std::make_unique<EarlyShuffleService>(shuffle_options,
-                                                    &map_outputs, &counters);
+                                                    &plan_outputs, &counters);
   }
 
   const uint32_t max_attempts = std::max(1u, config.max_task_attempts);
@@ -409,15 +489,23 @@ Result<JobMetrics> RunJob(
   // never collide with the run names of any earlier execution. Task
   // counters flush into `sink`: the job counters for the first execution,
   // a throwaway for corruption-recovery re-executions (whose data the
-  // original successful execution already counted).
+  // original successful execution already counted). In fetch mode the
+  // attempt additionally mirrors its committed runs through the shuffle
+  // server into `*fetched_out` — a persistent fetch failure fails the
+  // *map* attempt (retried with fresh output here), consuming no reduce
+  // attempt, which is exactly Hadoop's fetch-failure blame assignment.
   auto run_map_task = [&](uint32_t t, uint32_t attempt_base, Counters* sink,
-                          std::vector<SpillRun>* out) -> Status {
+                          std::vector<SpillRun>* out,
+                          std::vector<SpillRun>* fetched_out) -> Status {
     Status st;
     for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
       const uint32_t attempt_id = attempt_base + attempt;
       // Each attempt starts from scratch: fresh mapper, fresh buffer,
       // fresh counters; previous partial output is discarded.
       out->clear();
+      if (fetched_out != nullptr) {
+        fetched_out->clear();
+      }
       TaskCounters tc(sink);
       SortBuffer::Options opts;
       opts.num_partitions = num_reducers;
@@ -428,6 +516,9 @@ Result<JobMetrics> RunJob(
       opts.spill_buffer_bytes = config.spill_buffer_bytes;
       opts.compress_runs = config.compress_runs;
       opts.checksum_spills = config.checksum_spills;
+      // Served runs must be file-backed: force the final flush to disk in
+      // fetch mode (the record stream — and so job output — is unchanged).
+      opts.persist_final_flush = fetch_shuffle;
       opts.env = io_env;
       // Attempt-scoped run names: a retried attempt can never collide
       // with (and silently reuse or orphan) a discarded attempt's files.
@@ -493,6 +584,15 @@ Result<JobMetrics> RunJob(
         merge_options.env = io_env;
         st = MergeMapRuns(merge_options, num_reducers, out);
       }
+      // Fetch mode: publish the committed runs and pull them back through
+      // the transport into clone files. Mirror cleans its own clones on
+      // failure; the origin runs fall to the shared discard path below.
+      // attempt_base / max_attempts is the execution count, which is
+      // exactly the registry generation this execution will commit as.
+      if (st.ok() && fetcher != nullptr) {
+        st = fetcher->Mirror(t, /*generation=*/attempt_base / max_attempts,
+                             attempt_id, *out, fetched_out, &tc);
+      }
       if (st.ok()) {
         break;
       }
@@ -516,12 +616,21 @@ Result<JobMetrics> RunJob(
     for (uint32_t t = 0; t < num_map_tasks; ++t) {
       pool.Submit([&, t] {
         auto runs = std::make_shared<std::vector<SpillRun>>();
+        auto fetched = std::make_shared<std::vector<SpillRun>>();
         Status st = run_map_task(t, /*attempt_base=*/0, &counters,
-                                 runs.get());
+                                 runs.get(),
+                                 fetch_shuffle ? fetched.get() : nullptr);
         {
           MutexLock lock(&map_outputs.mu);
           map_outputs.runs[t] = std::move(runs);
           map_outputs.executions[t] = 1;
+        }
+        if (fetch_shuffle) {
+          // Sequential locks, never nested: origin registry first, then
+          // the clone registry the reduce side plans over.
+          MutexLock lock(&fetched_outputs.mu);
+          fetched_outputs.runs[t] = std::move(fetched);
+          fetched_outputs.executions[t] = 1;
         }
         const bool committed = st.ok();
         map_status[t] = std::move(st);
@@ -559,51 +668,73 @@ Result<JobMetrics> RunJob(
   // false when the task's re-execution budget is exhausted or the
   // re-execution itself failed (the corruption is then fatal).
   auto recover_producer = [&](uint32_t t, uint32_t seen_generation) -> bool {
-    map_outputs.mu.Lock();
+    // All recovery bookkeeping lives on the registry the reduce side
+    // plans over (`plan_outputs`): the clone registry in fetch mode, the
+    // origin registry otherwise — the generations reducers snapshot are
+    // the ones recovery must check and bump.
+    plan_outputs.mu.Lock();
     // Another reducer may already be regenerating this task; wait it out
     // rather than re-executing the same task twice.
-    while (map_outputs.regenerating[t] != 0) {
-      map_outputs.cv.Wait();
+    while (plan_outputs.regenerating[t] != 0) {
+      plan_outputs.cv.Wait();
     }
-    if (map_outputs.generation[t] != seen_generation) {
-      map_outputs.mu.Unlock();
+    if (plan_outputs.generation[t] != seen_generation) {
+      plan_outputs.mu.Unlock();
       return true;  // Already replaced since this attempt's snapshot.
     }
-    if (map_outputs.executions[t] >= max_attempts) {
-      map_outputs.mu.Unlock();
+    if (plan_outputs.executions[t] >= max_attempts) {
+      plan_outputs.mu.Unlock();
       return false;  // Re-execution budget exhausted.
     }
-    map_outputs.regenerating[t] = 1;
-    const uint32_t attempt_base = map_outputs.executions[t] * max_attempts;
-    map_outputs.mu.Unlock();
+    plan_outputs.regenerating[t] = 1;
+    const uint32_t attempt_base = plan_outputs.executions[t] * max_attempts;
+    plan_outputs.mu.Unlock();
 
     // Re-executions count into a throwaway sink: the original execution
     // already published this task's data counters, and the regenerated
-    // output exists only once.
+    // output exists only once. In fetch mode the re-execution republishes
+    // and re-fetches inside run_map_task, so a successful recovery yields
+    // both fresh origin runs and fresh clones.
     Counters scratch;
     auto regenerated = std::make_shared<std::vector<SpillRun>>();
-    Status rst = run_map_task(t, attempt_base, &scratch, regenerated.get());
+    auto refetched = std::make_shared<std::vector<SpillRun>>();
+    Status rst = run_map_task(t, attempt_base, &scratch, regenerated.get(),
+                              fetch_shuffle ? refetched.get() : nullptr);
 
-    map_outputs.mu.Lock();
-    map_outputs.regenerating[t] = 0;
-    ++map_outputs.executions[t];
     const bool replaced = rst.ok();
+    if (fetch_shuffle) {
+      // Origin registry first — sequential locks, never nested. The
+      // regenerated origin runs back any future re-fetch of this task.
+      MutexLock lock(&map_outputs.mu);
+      ++map_outputs.executions[t];
+      if (replaced) {
+        map_outputs.retired.push_back(std::move(map_outputs.runs[t]));
+        map_outputs.runs[t] = std::move(regenerated);
+        ++map_outputs.generation[t];
+      }
+    }
+    plan_outputs.mu.Lock();
+    plan_outputs.regenerating[t] = 0;
+    ++plan_outputs.executions[t];
     if (replaced) {
       // Retire the corrupt generation instead of destroying it: stale
       // reduce attempts may still hold pointers into it. Its files are
       // removed with everything else at job end.
-      map_outputs.retired.push_back(std::move(map_outputs.runs[t]));
-      map_outputs.runs[t] = std::move(regenerated);
-      ++map_outputs.generation[t];
+      plan_outputs.retired.push_back(std::move(plan_outputs.runs[t]));
+      plan_outputs.runs[t] =
+          fetch_shuffle ? std::move(refetched) : std::move(regenerated);
+      ++plan_outputs.generation[t];
       counters.Increment(kMapReexecutions);
       counters.Increment(kCorruptRunsRecovered);
     } else {
+      // Fetch mode: a failed re-execution's clones were already cleaned
+      // by Mirror / the attempt loop, so only origin files remain here.
       RemoveRunFiles(*regenerated, io_env);
       NGRAM_LOG_WARN << config.name << " map task " << t
                      << " re-execution failed: " << rst.ToString();
     }
-    map_outputs.mu.Unlock();
-    map_outputs.cv.SignalAll();
+    plan_outputs.mu.Unlock();
+    plan_outputs.cv.SignalAll();
     if (replaced && shuffle != nullptr) {
       // The retired generation may back eager intermediates; invalidate
       // them so no later attempt substitutes stale-generation data. (The
@@ -653,13 +784,13 @@ Result<JobMetrics> RunJob(
           std::vector<std::shared_ptr<std::vector<SpillRun>>> snapshot;
           std::vector<uint32_t> generations;
           {
-            MutexLock lock(&map_outputs.mu);
+            MutexLock lock(&plan_outputs.mu);
             // Plan only over settled generations: a merge planned while
             // a regeneration is mid-flight would mix the snapshot it
             // wants with files about to be retired.
             for (;;) {
               bool settled = true;
-              for (const uint8_t regen : map_outputs.regenerating) {
+              for (const uint8_t regen : plan_outputs.regenerating) {
                 if (regen != 0) {
                   settled = false;
                   break;
@@ -668,10 +799,10 @@ Result<JobMetrics> RunJob(
               if (settled) {
                 break;
               }
-              map_outputs.cv.Wait();
+              plan_outputs.cv.Wait();
             }
-            snapshot = map_outputs.runs;
-            generations = map_outputs.generation;
+            snapshot = plan_outputs.runs;
+            generations = plan_outputs.generation;
           }
           // Assemble the attempt's sources in map-task-id order,
           // substituting each still-valid eager intermediate for the

@@ -60,6 +60,12 @@ struct PipelineMetrics {
     uint64_t early_merge_passes = 0;
     uint64_t early_merge_bytes = 0;
     uint64_t barrier_wait_ms = 0;
+    // Fetch shuffle (fetch_shuffle on): transport payload bytes pulled,
+    // requests retried over fresh connections, and time map attempts
+    // spent mirroring their output through the shuffle server.
+    uint64_t shuffle_fetch_bytes = 0;
+    uint64_t fetch_retries = 0;
+    uint64_t fetch_wait_ms = 0;
     // At-rest run bytes: raw-framing equivalent vs actually written
     // (the compress_runs ratio for this round; equal with the knob off).
     uint64_t run_bytes_raw = 0;
@@ -123,6 +129,12 @@ struct PipelineMetrics {
             << r.early_merge_passes << " eager pass(es), barrier wait "
             << r.barrier_wait_ms << " ms";
       }
+      if (r.shuffle_fetch_bytes > 0 || r.fetch_retries > 0) {
+        out << ", fetched " << r.shuffle_fetch_bytes
+            << " B over transport (" << r.fetch_retries
+            << " retried request(s), " << r.fetch_wait_ms
+            << " ms fetch wait)";
+      }
       if (i + 1 < rounds.size()) {
         out << "\n";
       }
@@ -162,6 +174,9 @@ struct RunMetrics {
       r.early_merge_passes = j.Counter(kEarlyMergePasses);
       r.early_merge_bytes = j.Counter(kEarlyMergeBytes);
       r.barrier_wait_ms = j.Counter(kBarrierWaitMs);
+      r.shuffle_fetch_bytes = j.Counter(kShuffleFetchBytes);
+      r.fetch_retries = j.Counter(kFetchRetries);
+      r.fetch_wait_ms = j.Counter(kFetchWaitMs);
       r.run_bytes_raw = j.Counter(kRunBytesRaw);
       r.run_bytes_written = j.Counter(kRunBytesWritten);
       p.rounds.push_back(std::move(r));

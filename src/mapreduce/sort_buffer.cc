@@ -285,8 +285,10 @@ Status SortBuffer::SpillSorted(bool final_flush) {
   }
   SortBuckets();
   // Keep the final flush in memory only if nothing was spilled before —
-  // otherwise all runs go to disk so memory stays bounded.
-  const bool to_memory = final_flush && runs_.empty();
+  // otherwise all runs go to disk so memory stays bounded. The fetch
+  // shuffle opts out: served runs must be file-backed.
+  const bool to_memory =
+      final_flush && runs_.empty() && !options_.persist_final_flush;
   if (!to_memory && options_.work_dir.empty()) {
     return Status::InvalidArgument(
         "SortBuffer budget exceeded but no work_dir configured");

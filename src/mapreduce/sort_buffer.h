@@ -113,6 +113,12 @@ class SortBuffer {
     /// Maintain a per-run CRC-32 on raw-format spill files (off on the
     /// hot path; block-format runs carry per-block CRCs regardless).
     bool checksum_spills = false;
+    /// Force the final flush to disk even when nothing ever spilled
+    /// (normally it stays in memory, zero-copy). The fetch shuffle needs
+    /// every run file-backed so the MapOutputServer can serve its
+    /// extents; the record *stream* is unchanged, so job output is
+    /// identical — only spill-accounting counters move.
+    bool persist_final_flush = false;
     /// Hard cap on one partition's arena: RecordRef offsets are 32-bit,
     /// so this can never exceed 4 GiB (values above are clamped). Only
     /// tests lower it.

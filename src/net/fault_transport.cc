@@ -1,0 +1,175 @@
+#include "net/fault_transport.h"
+
+#include <utility>
+
+namespace ngram::net {
+namespace {
+
+// SplitMix64, the same seed expansion FaultPlan::FromSeed uses, so one
+// seed list drives both env and transport sweeps reproducibly.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+/// The faulting Connection: every Read ticks the shared transport-wide
+/// counter; Writes and Abort pass through untouched.
+class FaultConnection final : public Connection {
+ public:
+  FaultConnection(std::unique_ptr<Connection> base,
+                  FaultTransport* transport)
+      : base_(std::move(base)), transport_(transport) {}
+
+  Status Write(const char* data, size_t n) override {
+    return base_->Write(data, n);
+  }
+
+  Status Read(char* dst, size_t n, size_t* read) override;
+
+  void Abort() override { base_->Abort(); }
+
+ private:
+  std::unique_ptr<Connection> base_;
+  FaultTransport* const transport_;
+};
+
+namespace {
+
+/// Wraps accepted connections so server->fetcher bytes fault too.
+class FaultListenerImpl final : public Listener {
+ public:
+  FaultListenerImpl(std::unique_ptr<Listener> base, FaultTransport* transport)
+      : base_(std::move(base)), transport_(transport) {}
+
+  Status Accept(std::unique_ptr<Connection>* conn) override {
+    std::unique_ptr<Connection> inner;
+    Status st = base_->Accept(&inner);
+    if (!st.ok()) {
+      return st;
+    }
+    *conn = std::make_unique<FaultConnection>(std::move(inner), transport_);
+    return Status::OK();
+  }
+
+  void Shutdown() override { base_->Shutdown(); }
+  const std::string& address() const override { return base_->address(); }
+
+ private:
+  std::unique_ptr<Listener> base_;
+  FaultTransport* const transport_;
+};
+
+}  // namespace
+
+Status FaultConnection::Read(char* dst, size_t n, size_t* read) {
+  const uint64_t count = transport_->reads_.fetch_add(1) + 1;
+  const TransportFaultPlan& plan = transport_->plan();
+  if (plan.kind != TransportFaultPlan::Kind::kNone &&
+      transport_->ShouldFire(count)) {
+    switch (plan.kind) {
+      case TransportFaultPlan::Kind::kDrop:
+        return Status::IOError("injected fault: connection dropped");
+      case TransportFaultPlan::Kind::kTruncate:
+        // Premature orderly EOF: the stream just ends. A mid-frame
+        // truncation surfaces as Corruption in ReadFull; between frames
+        // it looks like the peer hung up.
+        *read = 0;
+        return Status::OK();
+      case TransportFaultPlan::Kind::kBitFlip: {
+        Status st = base_->Read(dst, n, read);
+        if (st.ok() && *read > 0) {
+          const uint64_t bit = plan.bit % (*read * 8);
+          dst[bit / 8] = static_cast<char>(
+              static_cast<unsigned char>(dst[bit / 8]) ^
+              (1u << (bit % 8)));
+        }
+        return st;
+      }
+      case TransportFaultPlan::Kind::kNone:
+        break;
+    }
+  }
+  return base_->Read(dst, n, read);
+}
+
+TransportFaultPlan TransportFaultPlan::FromSeed(uint64_t seed) {
+  TransportFaultPlan plan;
+  const uint64_t r0 = Mix64(seed);
+  const uint64_t r1 = Mix64(seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  const uint64_t r2 = Mix64(seed ^ 0x0123456789abcdefULL);
+  switch (r0 % 3) {
+    case 0:
+      plan.kind = Kind::kDrop;
+      break;
+    case 1:
+      plan.kind = Kind::kTruncate;
+      break;
+    default:
+      plan.kind = Kind::kBitFlip;
+      break;
+  }
+  // The fetch protocol issues a handful of Reads per request (frame
+  // header + payload chunks) and tens of requests per spill-heavy job;
+  // 1..64 lands faults in publish frames, fetch headers, and payload
+  // bytes alike, with the tail of the range sometimes never firing (the
+  // degenerate dichotomy arm, same calibration style as FaultPlan).
+  plan.op = 1 + r1 % 64;
+  plan.bit = r2;
+  return plan;
+}
+
+std::string TransportFaultPlan::ToString() const {
+  return std::string("TransportFaultPlan{") + KindName(kind) +
+         ", op=" + std::to_string(op) + ", bit=" + std::to_string(bit) + "}";
+}
+
+const char* TransportFaultPlan::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kDrop:
+      return "drop";
+    case Kind::kTruncate:
+      return "truncate";
+    case Kind::kBitFlip:
+      return "bit-flip";
+  }
+  return "unknown";
+}
+
+bool FaultTransport::ShouldFire(uint64_t count) {
+  if (count != plan_.op) {
+    return false;
+  }
+  bool expected = false;
+  return fired_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel);
+}
+
+Status FaultTransport::Listen(const std::string& address,
+                              std::unique_ptr<Listener>* listener) {
+  std::unique_ptr<Listener> inner;
+  Status st = base_->Listen(address, &inner);
+  if (!st.ok()) {
+    return st;
+  }
+  *listener = std::make_unique<FaultListenerImpl>(std::move(inner), this);
+  return Status::OK();
+}
+
+Status FaultTransport::Connect(const std::string& address,
+                               std::unique_ptr<Connection>* conn) {
+  std::unique_ptr<Connection> inner;
+  Status st = base_->Connect(address, &inner);
+  if (!st.ok()) {
+    return st;
+  }
+  *conn = std::make_unique<FaultConnection>(std::move(inner), this);
+  return Status::OK();
+}
+
+}  // namespace ngram::net

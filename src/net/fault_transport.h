@@ -1,0 +1,88 @@
+// Transport decorator executing one seeded fault against the byte
+// stream — the network sibling of FaultEnv (io_env.h). A plan names a
+// single fault (connection drop, silent truncation, or a one-bit flip in
+// received bytes) and the 1-based Read call at which it fires, counted
+// across every connection the decorated transport ever produced — so a
+// seed sweep walks the fault through publish frames, fetch frames, and
+// payload bytes alike. Exactly one fault fires per plan; an op index past
+// the run's Read count never fires (the degenerate dichotomy arm).
+//
+// Faults are injected on the *fetcher's* side of the stream (the
+// connections this transport dials or accepts), which models every
+// interesting network failure for a CRC-framed pull protocol: a dropped
+// connection (retryable), a stream that ends early (truncated frame), and
+// bytes damaged in flight (frame CRC mismatch).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/transport.h"
+#include "util/macros.h"
+
+namespace ngram::net {
+
+/// \brief One deterministic injected transport fault.
+struct TransportFaultPlan {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kDrop,      // The Nth read call fails with IOError (peer vanished).
+    kTruncate,  // The Nth read call returns EOF: the stream ends early.
+    kBitFlip,   // One bit of the Nth read's bytes flips *silently*.
+  };
+
+  Kind kind = Kind::kNone;
+  /// 1-based index of the faulted Read call, counted across connections.
+  uint64_t op = 0;
+  /// kBitFlip: bit position, taken modulo the read's bit width on fire.
+  uint64_t bit = 0;
+
+  /// Derives a plan deterministically from `seed` (SplitMix64, same
+  /// expansion FaultPlan::FromSeed uses), so a chaos sweep reproduces
+  /// run-to-run from seed lists alone.
+  static TransportFaultPlan FromSeed(uint64_t seed);
+
+  /// Human-readable form for chaos-test failure messages.
+  std::string ToString() const;
+
+  static const char* KindName(Kind kind);
+};
+
+/// \brief Transport decorator executing one TransportFaultPlan.
+///
+/// Thread-safe: the read counter is atomic and the fault fires exactly
+/// once even when connections race past the trigger index.
+class FaultTransport final : public Transport {
+ public:
+  /// `base` must outlive this transport.
+  FaultTransport(Transport* base, TransportFaultPlan plan)
+      : base_(base), plan_(plan) {}
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(FaultTransport);
+
+  Status Listen(const std::string& address,
+                std::unique_ptr<Listener>* listener) override;
+  Status Connect(const std::string& address,
+                 std::unique_ptr<Connection>* conn) override;
+
+  const TransportFaultPlan& plan() const { return plan_; }
+  /// True once the planned fault has executed. Tests assert this to prove
+  /// a scenario really exercised the injection point.
+  bool fault_fired() const { return fired_.load(std::memory_order_acquire); }
+  /// Read calls seen so far, for calibrating op-index ranges in sweeps.
+  uint64_t reads_seen() const { return reads_.load(); }
+
+ private:
+  friend class FaultConnection;
+
+  /// Returns true exactly once: when `count` hits the plan's trigger.
+  bool ShouldFire(uint64_t count);
+
+  Transport* const base_;
+  const TransportFaultPlan plan_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<bool> fired_{false};
+};
+
+}  // namespace ngram::net

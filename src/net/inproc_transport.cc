@@ -1,0 +1,217 @@
+#include "net/inproc_transport.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+namespace ngram::net {
+namespace internal {
+
+/// One direction of an in-process connection: an unbounded byte queue.
+/// The writer appends and signals; the reader drains or blocks. Closing
+/// the write side turns an empty queue into EOF; aborting either endpoint
+/// poisons both directions.
+struct InProcPipe {
+  Mutex mu;
+  CondVar cv{&mu};
+  std::string buffer NGRAM_GUARDED_BY(mu);
+  size_t consumed NGRAM_GUARDED_BY(mu) = 0;
+  bool write_closed NGRAM_GUARDED_BY(mu) = false;
+  bool read_closed NGRAM_GUARDED_BY(mu) = false;
+  bool aborted NGRAM_GUARDED_BY(mu) = false;
+
+  Status Write(const char* data, size_t n) NGRAM_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    if (aborted) {
+      return Status::IOError("inproc connection aborted");
+    }
+    if (read_closed) {
+      return Status::IOError("inproc connection closed by peer");
+    }
+    buffer.append(data, n);
+    cv.SignalAll();
+    return Status::OK();
+  }
+
+  Status Read(char* dst, size_t n, size_t* read) NGRAM_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    while (buffer.size() == consumed && !write_closed && !aborted) {
+      cv.Wait();
+    }
+    if (aborted) {
+      return Status::IOError("inproc connection aborted");
+    }
+    if (buffer.size() == consumed) {  // write_closed: orderly EOF.
+      *read = 0;
+      return Status::OK();
+    }
+    const size_t avail = buffer.size() - consumed;
+    const size_t take = std::min(n, avail);
+    std::copy_n(buffer.data() + consumed, take, dst);
+    consumed += take;
+    // Compact once the dead prefix dominates, so a long-lived connection
+    // does not hold every byte it ever carried.
+    if (consumed > 4096 && consumed * 2 >= buffer.size()) {
+      buffer.erase(0, consumed);
+      consumed = 0;
+    }
+    *read = take;
+    return Status::OK();
+  }
+
+  void CloseWrite() NGRAM_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    write_closed = true;
+    cv.SignalAll();
+  }
+
+  void CloseRead() NGRAM_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    read_closed = true;
+    cv.SignalAll();
+  }
+
+  void Abort() NGRAM_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    aborted = true;
+    cv.SignalAll();
+  }
+};
+
+/// One endpoint: reads from `in`, writes to `out`. The peer endpoint
+/// holds the same two pipes swapped.
+class InProcConnection final : public Connection {
+ public:
+  InProcConnection(std::shared_ptr<InProcPipe> in,
+                   std::shared_ptr<InProcPipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  ~InProcConnection() override {
+    // Orderly close: the peer drains buffered bytes then sees EOF; the
+    // peer's further writes toward us fail instead of buffering forever.
+    out_->CloseWrite();
+    in_->CloseRead();
+  }
+
+  Status Write(const char* data, size_t n) override {
+    return out_->Write(data, n);
+  }
+  Status Read(char* dst, size_t n, size_t* read) override {
+    return in_->Read(dst, n, read);
+  }
+  void Abort() override {
+    in_->Abort();
+    out_->Abort();
+  }
+
+ private:
+  std::shared_ptr<InProcPipe> in_;
+  std::shared_ptr<InProcPipe> out_;
+};
+
+/// Shared between a listener handle and the transport's address map —
+/// either side may go away first.
+struct InProcListenerState {
+  std::string address;
+  Mutex mu;
+  CondVar cv{&mu};
+  std::deque<std::unique_ptr<Connection>> pending NGRAM_GUARDED_BY(mu);
+  bool shut_down NGRAM_GUARDED_BY(mu) = false;
+
+  bool IsShutDown() NGRAM_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    return shut_down;
+  }
+};
+
+namespace {
+
+class InProcListener final : public Listener {
+ public:
+  explicit InProcListener(std::shared_ptr<InProcListenerState> state)
+      : state_(std::move(state)) {}
+
+  ~InProcListener() override { Shutdown(); }
+
+  Status Accept(std::unique_ptr<Connection>* conn) override {
+    MutexLock lock(&state_->mu);
+    while (state_->pending.empty() && !state_->shut_down) {
+      state_->cv.Wait();
+    }
+    if (state_->shut_down) {
+      return Status::Cancelled("inproc listener shut down");
+    }
+    *conn = std::move(state_->pending.front());
+    state_->pending.pop_front();
+    return Status::OK();
+  }
+
+  void Shutdown() override {
+    MutexLock lock(&state_->mu);
+    state_->shut_down = true;
+    state_->pending.clear();  // Dialers already hold their endpoint.
+    state_->cv.SignalAll();
+  }
+
+  const std::string& address() const override { return state_->address; }
+
+ private:
+  std::shared_ptr<InProcListenerState> state_;
+};
+
+}  // namespace
+}  // namespace internal
+
+InProcTransport::~InProcTransport() = default;
+
+Status InProcTransport::Listen(const std::string& address,
+                               std::unique_ptr<Listener>* listener) {
+  auto state = std::make_shared<internal::InProcListenerState>();
+  state->address = address;
+  {
+    MutexLock lock(&mu_);
+    auto it = listeners_.find(address);
+    if (it != listeners_.end()) {
+      if (!it->second->IsShutDown()) {
+        return Status::AlreadyExists("inproc address already bound: " +
+                                     address);
+      }
+      listeners_.erase(it);
+    }
+    listeners_.emplace(address, state);
+  }
+  *listener = std::make_unique<internal::InProcListener>(std::move(state));
+  return Status::OK();
+}
+
+Status InProcTransport::Connect(const std::string& address,
+                                std::unique_ptr<Connection>* conn) {
+  std::shared_ptr<internal::InProcListenerState> state;
+  {
+    MutexLock lock(&mu_);
+    auto it = listeners_.find(address);
+    if (it != listeners_.end()) {
+      state = it->second;
+    }
+  }
+  if (state == nullptr) {
+    return Status::NotFound("no inproc listener at: " + address);
+  }
+  auto a_to_b = std::make_shared<internal::InProcPipe>();
+  auto b_to_a = std::make_shared<internal::InProcPipe>();
+  auto dialer = std::make_unique<internal::InProcConnection>(b_to_a, a_to_b);
+  auto accepted =
+      std::make_unique<internal::InProcConnection>(a_to_b, b_to_a);
+  {
+    MutexLock lock(&state->mu);
+    if (state->shut_down) {
+      return Status::NotFound("no inproc listener at: " + address);
+    }
+    state->pending.push_back(std::move(accepted));
+    state->cv.SignalAll();
+  }
+  *conn = std::move(dialer);
+  return Status::OK();
+}
+
+}  // namespace ngram::net

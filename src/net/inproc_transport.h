@@ -1,0 +1,49 @@
+// In-process Transport: a deterministic byte-stream fabric with no
+// sockets, no file descriptors, and no kernel buffering policy — each
+// connection is a pair of mutex/condvar-guarded byte queues. This is the
+// loopback fabric the fetch shuffle uses inside one process (every
+// shuffled byte still crosses a Connection, so the fetch path under test
+// is exactly the two-process path minus the kernel), and the substrate
+// FaultTransport decorates in the chaos sweep.
+//
+// Addresses are arbitrary strings scoped to one InProcTransport instance:
+// two transports never see each other's listeners, so concurrent jobs in
+// one process cannot collide.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/transport.h"
+#include "util/macros.h"
+#include "util/mutex.h"
+
+namespace ngram::net {
+
+namespace internal {
+struct InProcListenerState;
+}  // namespace internal
+
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport() = default;
+  ~InProcTransport() override;
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(InProcTransport);
+
+  Status Listen(const std::string& address,
+                std::unique_ptr<Listener>* listener) override
+      NGRAM_EXCLUDES(mu_);
+  Status Connect(const std::string& address,
+                 std::unique_ptr<Connection>* conn) override
+      NGRAM_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  /// Live listeners by address. Entries whose listener has shut down are
+  /// dead (Connect refuses them) and are reclaimed by the next Listen.
+  std::map<std::string, std::shared_ptr<internal::InProcListenerState>>
+      listeners_ NGRAM_GUARDED_BY(mu_);
+};
+
+}  // namespace ngram::net

@@ -1,0 +1,212 @@
+// All raw socket syscalls of the tree live in this file (socket lint
+// rule); everything above it speaks the Transport interface.
+#include "net/socket_transport.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ngram::net {
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  const std::string msg = what + ": " + std::strerror(err);
+  if (err == ENOENT || err == ECONNREFUSED) {
+    return Status::NotFound(msg);
+  }
+  return Status::IOError(msg);
+}
+
+Status FillSockaddr(const std::string& address, sockaddr_un* addr) {
+  if (address.empty() || address.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument(
+        "unix socket path empty or longer than sun_path: " + address);
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, address.data(), address.size());
+  return Status::OK();
+}
+
+class SocketConnection final : public Connection {
+ public:
+  explicit SocketConnection(int fd) : fd_(fd) {}
+
+  ~SocketConnection() override { ::close(fd_); }
+
+  Status Write(const char* data, size_t n) override {
+    size_t written = 0;
+    while (written < n) {
+      // send + MSG_NOSIGNAL, not write: a peer that vanished mid-stream
+      // must surface as EPIPE -> IOError, not kill the process.
+      const ssize_t rc =
+          ::send(fd_, data + written, n - written, MSG_NOSIGNAL);
+      if (rc < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoStatus("socket write", errno);
+      }
+      written += static_cast<size_t>(rc);
+    }
+    return Status::OK();
+  }
+
+  Status Read(char* dst, size_t n, size_t* read) override {
+    while (true) {
+      const ssize_t rc = ::read(fd_, dst, n);
+      if (rc < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoStatus("socket read", errno);
+      }
+      *read = static_cast<size_t>(rc);
+      return Status::OK();
+    }
+  }
+
+  void Abort() override {
+    // Leaves fd_ open (the destructor closes it); pending and future
+    // reads/writes see EOF / EPIPE-ish failures immediately.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+
+ private:
+  const int fd_;
+};
+
+class SocketListener final : public Listener {
+ public:
+  SocketListener(int listen_fd, int wake_rd, int wake_wr, std::string address)
+      : listen_fd_(listen_fd),
+        wake_rd_(wake_rd),
+        wake_wr_(wake_wr),
+        address_(std::move(address)) {}
+
+  ~SocketListener() override {
+    Shutdown();
+    ::close(listen_fd_);
+    ::close(wake_rd_);
+    ::close(wake_wr_);
+    ::unlink(address_.c_str());
+  }
+
+  Status Accept(std::unique_ptr<Connection>* conn) override {
+    while (true) {
+      pollfd fds[2];
+      fds[0].fd = listen_fd_;
+      fds[0].events = POLLIN;
+      fds[1].fd = wake_rd_;
+      fds[1].events = POLLIN;
+      const int rc = ::poll(fds, 2, -1);
+      if (rc < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoStatus("poll on listener", errno);
+      }
+      if (fds[1].revents != 0) {
+        return Status::Cancelled("socket listener shut down");
+      }
+      if (fds[0].revents == 0) {
+        continue;
+      }
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) {
+          continue;
+        }
+        return ErrnoStatus("accept on " + address_, errno);
+      }
+      *conn = std::make_unique<SocketConnection>(fd);
+      return Status::OK();
+    }
+  }
+
+  void Shutdown() override {
+    // One byte per call is fine: the wake fd is only ever polled, never
+    // drained, so any byte keeps every future Accept returning Cancelled.
+    const char b = 1;
+    while (::write(wake_wr_, &b, 1) < 0 && errno == EINTR) {
+    }
+  }
+
+  const std::string& address() const override { return address_; }
+
+ private:
+  const int listen_fd_;
+  const int wake_rd_;  // Self-pipe: readable means "shut down".
+  const int wake_wr_;
+  const std::string address_;
+};
+
+}  // namespace
+
+Status SocketTransport::Listen(const std::string& address,
+                               std::unique_ptr<Listener>* listener) {
+  sockaddr_un addr;
+  Status st = FillSockaddr(address, &addr);
+  if (!st.ok()) {
+    return st;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket", errno);
+  }
+  // A stale socket file from a crashed server would make bind fail with
+  // EADDRINUSE even though nothing is listening.
+  ::unlink(address.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("bind " + address, err);
+  }
+  if (::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(address.c_str());
+    return ErrnoStatus("listen " + address, err);
+  }
+  int wake[2];
+  if (::pipe2(wake, O_CLOEXEC) < 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(address.c_str());
+    return ErrnoStatus("pipe2", err);
+  }
+  *listener = std::make_unique<SocketListener>(fd, wake[0], wake[1], address);
+  return Status::OK();
+}
+
+Status SocketTransport::Connect(const std::string& address,
+                                std::unique_ptr<Connection>* conn) {
+  sockaddr_un addr;
+  Status st = FillSockaddr(address, &addr);
+  if (!st.ok()) {
+    return st;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket", errno);
+  }
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) < 0) {
+    if (errno == EINTR) {
+      continue;
+    }
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("connect " + address, err);
+  }
+  *conn = std::make_unique<SocketConnection>(fd);
+  return Status::OK();
+}
+
+}  // namespace ngram::net

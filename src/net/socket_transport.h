@@ -1,0 +1,35 @@
+// Unix-domain-socket Transport: the two-process shuffle fabric.
+//
+// Addresses are filesystem paths (AF_UNIX, SOCK_STREAM). Listen unlinks a
+// stale socket file before binding (the previous server crashed), Accept
+// is unblocked by a self-pipe so Shutdown never races a blocking
+// accept(2), and Read/Write retry EINTR. This is the only translation
+// unit in the tree allowed to make raw socket syscalls — the `socket`
+// ngram_lint rule confines them here (tools/lint/lint_allowlist.txt).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/transport.h"
+#include "util/macros.h"
+
+namespace ngram::net {
+
+class SocketTransport final : public Transport {
+ public:
+  SocketTransport() = default;
+  NGRAM_DISALLOW_COPY_AND_ASSIGN(SocketTransport);
+
+  /// Binds the socket file at `address` (unlinking a stale one). The
+  /// listener unlinks it again on destruction.
+  Status Listen(const std::string& address,
+                std::unique_ptr<Listener>* listener) override;
+
+  /// Dials the socket file at `address`. NotFound when nothing listens
+  /// there (ENOENT/ECONNREFUSED).
+  Status Connect(const std::string& address,
+                 std::unique_ptr<Connection>* conn) override;
+};
+
+}  // namespace ngram::net

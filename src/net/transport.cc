@@ -1,0 +1,33 @@
+#include "net/transport.h"
+
+namespace ngram::net {
+
+Status ReadFull(Connection* conn, char* dst, size_t n, bool eof_ok,
+                bool* clean_eof) {
+  if (clean_eof != nullptr) {
+    *clean_eof = false;
+  }
+  size_t got = 0;
+  while (got < n) {
+    size_t chunk = 0;
+    Status st = conn->Read(dst + got, n - got, &chunk);
+    if (!st.ok()) {
+      return st;
+    }
+    if (chunk == 0) {
+      if (got == 0 && eof_ok) {
+        if (clean_eof != nullptr) {
+          *clean_eof = true;
+        }
+        return Status::OK();
+      }
+      return Status::Corruption("unexpected end of stream (got " +
+                                std::to_string(got) + " of " +
+                                std::to_string(n) + " bytes)");
+    }
+    got += chunk;
+  }
+  return Status::OK();
+}
+
+}  // namespace ngram::net

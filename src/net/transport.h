@@ -1,0 +1,100 @@
+// Byte-stream transport abstraction for the fetch shuffle (docs §10).
+//
+// The shuffle's remote half moves committed run-file segment extents from
+// the process that ran a map task to the process reducing a partition.
+// Everything above this layer — the MapOutputServer, the ShuffleFetcher,
+// the wire protocol — speaks only in terms of these three interfaces:
+//
+//   Transport  — names a byte-stream fabric: Listen() binds an address,
+//                Connect() dials one.
+//   Listener   — accepts inbound connections until Shutdown().
+//   Connection — an ordered, reliable, bidirectional byte stream with
+//                Status-returning Read/Write, mirroring ReadableFile /
+//                WritableFile (io_env.h) so fault decoration composes the
+//                same way FaultEnv composes over IoEnv.
+//
+// Two implementations ship: InProcTransport (inproc_transport.h) — a
+// deterministic, socket-free fabric for tests and same-process loopback —
+// and SocketTransport (socket_transport.h) over Unix-domain sockets for
+// the two-process mode. FaultTransport (fault_transport.h) decorates
+// either with seeded single-shot drop/truncate/bit-flip faults.
+//
+// Threading: one Connection is used by one requester thread at a time
+// (the fetch protocol is strictly request/response), but *different*
+// connections of one transport are used concurrently, and Abort() may be
+// called from any thread to unblock a pending Read/Write during shutdown.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace ngram::net {
+
+/// \brief One ordered, reliable byte stream between two endpoints.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Writes exactly `n` bytes, or fails with IOError. A short write is an
+  /// error, never a partial success (mirrors WritableFile::Write).
+  virtual Status Write(const char* data, size_t n) = 0;
+
+  /// Reads up to `n` bytes into `dst`. On success `*read` holds the byte
+  /// count actually read — 0 means the peer closed its write side
+  /// (orderly end of stream). Blocks until at least one byte, EOF, or
+  /// failure.
+  virtual Status Read(char* dst, size_t n, size_t* read) = 0;
+
+  /// Forcibly tears the stream down from any thread: pending and future
+  /// Reads/Writes on *either* endpoint fail with IOError. Used by server
+  /// shutdown to unblock connection threads parked in Read. Idempotent.
+  virtual void Abort() = 0;
+};
+
+/// \brief Accepts inbound connections on one bound address.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Blocks until an inbound connection arrives (returns OK), the
+  /// listener is Shutdown() (returns Cancelled), or the fabric fails.
+  virtual Status Accept(std::unique_ptr<Connection>* conn) = 0;
+
+  /// Unblocks current and future Accept() calls with Cancelled; already
+  /// accepted connections are unaffected. Callable from any thread,
+  /// idempotent.
+  virtual void Shutdown() = 0;
+
+  /// The address this listener is bound to (Connect()-able).
+  virtual const std::string& address() const = 0;
+};
+
+/// \brief A byte-stream fabric: how shuffle endpoints find each other.
+///
+/// Listen and Connect are thread-safe; a transport outlives every
+/// listener and connection it produced.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Binds `address` and returns a listener. AlreadyExists if the address
+  /// is taken, InvalidArgument if the fabric cannot express it.
+  virtual Status Listen(const std::string& address,
+                        std::unique_ptr<Listener>* listener) = 0;
+
+  /// Dials `address`. NotFound when nothing is listening there.
+  virtual Status Connect(const std::string& address,
+                         std::unique_ptr<Connection>* conn) = 0;
+};
+
+/// Reads exactly `n` bytes. An orderly EOF after at least one byte (or
+/// mid-stream, when `eof_ok` is false) is Corruption — a frame was cut
+/// short. With `eof_ok` true and EOF before the first byte, returns OK
+/// and sets `*clean_eof` (the server's between-requests read).
+Status ReadFull(Connection* conn, char* dst, size_t n, bool eof_ok = false,
+                bool* clean_eof = nullptr);
+
+}  // namespace ngram::net

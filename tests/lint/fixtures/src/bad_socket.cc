@@ -1,0 +1,6 @@
+// Lint fixture: raw socket syscall outside src/net/ (rule: socket).
+#include <sys/socket.h>
+
+int OpenRawSocket() {
+  return ::socket(AF_UNIX, SOCK_STREAM, 0);
+}

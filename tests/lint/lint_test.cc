@@ -59,6 +59,9 @@ TEST(NgramLintTest, FixturesWithoutAllowlistReportEveryRule) {
   EXPECT_NE(result.output.find("src/bad_printf.cc:5: [printf]"),
             std::string::npos)
       << result.output;
+  EXPECT_NE(result.output.find("src/bad_socket.cc:5: [socket]"),
+            std::string::npos)
+      << result.output;
   // Without an allowlist the second raw-io file is a finding too.
   EXPECT_NE(result.output.find("src/allowlisted_io.cc:5: [raw-io]"),
             std::string::npos)
@@ -66,7 +69,7 @@ TEST(NgramLintTest, FixturesWithoutAllowlistReportEveryRule) {
   // Tokens in comments/strings and near-miss identifiers never match.
   EXPECT_EQ(result.output.find("clean.cc"), std::string::npos)
       << result.output;
-  EXPECT_NE(result.output.find("5 finding(s)"), std::string::npos)
+  EXPECT_NE(result.output.find("6 finding(s)"), std::string::npos)
       << result.output;
 }
 
@@ -80,7 +83,7 @@ TEST(NgramLintTest, AllowlistSuppressesExactlyItsEntry) {
   EXPECT_NE(result.output.find("src/bad_raw_io.cc:5: [raw-io]"),
             std::string::npos)
       << result.output;
-  EXPECT_NE(result.output.find("4 finding(s)"), std::string::npos)
+  EXPECT_NE(result.output.find("5 finding(s)"), std::string::npos)
       << result.output;
 }
 

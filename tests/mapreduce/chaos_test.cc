@@ -20,6 +20,8 @@
 #include "mapreduce/dataset.h"
 #include "mapreduce/io_env.h"
 #include "mapreduce/job.h"
+#include "net/fault_transport.h"
+#include "net/inproc_transport.h"
 #include "util/temp_dir.h"
 
 namespace ngram::mr {
@@ -449,6 +451,126 @@ TEST(ChaosTest, ExhaustedReexecutionBudgetFailsCleanly) {
 
   ASSERT_FALSE(result.status.ok());
   EXPECT_TRUE(result.status.IsCorruption()) << result.status.ToString();
+  EXPECT_EQ(FilesIn(work_dir), 0u);
+}
+
+// ------------------------------------------------- fetch-shuffle chaos
+
+/// Counters that record the fetch work itself rather than the data:
+/// retries and wait time move with injected transport faults, and the
+/// wire byte count moves with how much a failed attempt re-fetched.
+std::map<std::string, uint64_t> StripFetchCounters(
+    std::map<std::string, uint64_t> counters) {
+  counters.erase(kShuffleFetchBytes);
+  counters.erase(kFetchRetries);
+  counters.erase(kFetchWaitMs);
+  return counters;
+}
+
+/// The transport-fault sweep: fetch-shuffle on, with every wire byte
+/// flowing through a seeded FaultTransport (via the override seam). Each
+/// seeded drop/truncate/bit-flip must either be absorbed (request retry
+/// or map-attempt retry) with output and data counters identical to the
+/// fault-free fetch run, or fail the job cleanly — never corrupt output,
+/// never orphan clone files. Transit CRCs turn silent bit flips into
+/// clean request failures, so the bit-flip arm exercises the frame CRC.
+TEST(ChaosTest, FetchTransportFaultsUpholdTheDichotomy) {
+  struct FetchSweepConfig {
+    bool compress;
+    uint32_t merge_factor;
+  };
+  constexpr FetchSweepConfig kFetchConfigs[] = {
+      {true, 2},
+      {false, 0},
+  };
+  constexpr uint64_t kFetchSeedsPerConfig = 60;  // 120 seeds total.
+
+  for (size_t c = 0; c < std::size(kFetchConfigs); ++c) {
+    JobConfig config = ChaosConfig(kFetchConfigs[c].compress,
+                                   kFetchConfigs[c].merge_factor);
+    config.fetch_shuffle = true;
+
+    auto baseline_dir = TempDir::Create("fetch-chaos-baseline");
+    ASSERT_TRUE(baseline_dir.ok());
+    const PipelineResult baseline =
+        RunPipeline(config, nullptr, baseline_dir->path().string());
+    ASSERT_TRUE(baseline.status.ok()) << baseline.status.ToString();
+    const auto baseline_counters =
+        StripFetchCounters(StripRecoveryCounters(baseline.counters));
+
+    for (uint64_t i = 0; i < kFetchSeedsPerConfig; ++i) {
+      const uint64_t seed = c * 100003 + i;
+      const net::TransportFaultPlan plan =
+          net::TransportFaultPlan::FromSeed(seed);
+      net::InProcTransport base_transport;
+      net::FaultTransport transport(&base_transport, plan);
+      JobConfig faulty = config;
+      faulty.shuffle_transport_override = &transport;
+
+      auto dir = TempDir::Create("fetch-chaos");
+      ASSERT_TRUE(dir.ok());
+      const std::string work_dir = dir->path().string();
+      const PipelineResult result = RunPipeline(faulty, nullptr, work_dir);
+
+      const std::string label =
+          "seed=" + std::to_string(seed) + " plan=" + plan.ToString() +
+          " compress=" + std::to_string(kFetchConfigs[c].compress) +
+          " merge_factor=" +
+          std::to_string(kFetchConfigs[c].merge_factor);
+      if (result.status.ok()) {
+        EXPECT_EQ(result.output_bytes, baseline.output_bytes) << label;
+        EXPECT_EQ(StripFetchCounters(StripRecoveryCounters(result.counters)),
+                  baseline_counters)
+            << label;
+      } else {
+        EXPECT_TRUE(transport.fault_fired())
+            << label << ": failed without the fault firing: "
+            << result.status.ToString();
+      }
+      EXPECT_EQ(FilesIn(work_dir), 0u)
+          << label << " status=" << result.status.ToString();
+      if (!transport.fault_fired()) {
+        EXPECT_TRUE(result.status.ok()) << label;
+      }
+    }
+  }
+}
+
+/// The fetch-mode acceptance scenario: the *origin* run is bit-flipped at
+/// write time (FaultEnv, not the transport), so the server serves the
+/// corrupt bytes under valid transit CRCs and the clone lands corrupt.
+/// The reducer's integrity check then names the clone, blame must map
+/// back through the clone registry to the producing map task, and
+/// re-execution (re-publish + re-fetch) must repair it — the chain that
+/// makes fetch failures equivalent to local corruption.
+TEST(ChaosTest, CorruptFetchedRunTriggersProducerReexecution) {
+  JobConfig config = ChaosConfig(/*compress=*/true, /*merge_factor=*/0);
+  config.fetch_shuffle = true;
+  config.max_task_attempts = 2;
+
+  auto baseline_dir = TempDir::Create("fetch-flip-baseline");
+  ASSERT_TRUE(baseline_dir.ok());
+  const PipelineResult baseline =
+      RunPipeline(config, nullptr, baseline_dir->path().string());
+  ASSERT_TRUE(baseline.status.ok());
+
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kBitFlip;
+  plan.op = 1;  // First written buffer: map task 0's first committed run.
+  plan.bit = 17;
+  FaultEnv env(IoEnv::Default(), plan);
+  auto dir = TempDir::Create("fetch-flip");
+  ASSERT_TRUE(dir.ok());
+  const std::string work_dir = dir->path().string();
+  const PipelineResult result = RunPipeline(config, &env, work_dir);
+
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(env.fault_fired());
+  EXPECT_GE(result.counters.at(kMapReexecutions), 1u);
+  EXPECT_GE(result.counters.at(kCorruptRunsRecovered), 1u);
+  EXPECT_EQ(result.output_bytes, baseline.output_bytes);
+  EXPECT_EQ(StripFetchCounters(StripRecoveryCounters(result.counters)),
+            StripFetchCounters(StripRecoveryCounters(baseline.counters)));
   EXPECT_EQ(FilesIn(work_dir), 0u);
 }
 

@@ -15,6 +15,11 @@
 //   printf       printf-family logging belongs in util/logging (one place
 //                to redirect, one lock). snprintf-to-buffer formatting is
 //                not logging and stays legal. Scope: src/.
+//   socket       Raw socket syscalls (socket/bind/connect/accept/send/
+//                recv) are confined to the transport layer (src/net/) —
+//                everything else moves bytes through the Transport
+//                interface so chaos tests can interpose a FaultTransport.
+//                Scope: src/.
 //
 // Exemptions live in a machine-readable allowlist (default:
 // tools/lint/lint_allowlist.txt): one "rule path-suffix" pair per line,
@@ -76,6 +81,17 @@ const std::vector<Rule>& Rules() {
        "src/",
        {"printf(", "fprintf(", "vfprintf(", "puts(", "fputs("},
        "printf-family logging belongs in util/logging"},
+      // Both spellings per syscall: the boundary matcher refuses a match
+      // whose preceding character is ':', so `::socket(` is claimed only
+      // by its own token and `std::bind(` never matches `bind(`.
+      {"socket",
+       "src/",
+       {"socket(", "::socket(", "bind(", "::bind(", "connect(",
+        "::connect(", "accept(", "::accept(", "accept4(", "::accept4(",
+        "send(", "::send(", "recv(", "::recv("},
+       "raw socket syscalls are confined to the transport layer "
+       "(src/net/) so every byte path stays fault-injectable via "
+       "Transport"},
   };
   return rules;
 }
@@ -288,7 +304,8 @@ int Usage() {
       "usage: ngram_lint --root DIR [--allowlist FILE]\n"
       "\n"
       "Scans src/, tests/, bench/, examples/, and tools/ under DIR for\n"
-      "project-invariant violations (raw-io, stable-sort, random, printf).\n"
+      "project-invariant violations (raw-io, stable-sort, random, printf,\n"
+      "socket).\n"
       "Findings print as 'path:line: [rule] message'; exit status is 1\n"
       "when any finding survives the allowlist.\n");
   return 2;
